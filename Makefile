@@ -1,0 +1,22 @@
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bound_gallery.exe
+	dune exec examples/mgs_tiling.exe
+	dune exec examples/qr_io_study.exe
+	dune exec examples/hourglass_explorer.exe
+
+clean:
+	dune clean

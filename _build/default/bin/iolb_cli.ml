@@ -1,0 +1,243 @@
+(* Command-line interface to the lower-bound engine.
+
+   iolb list                          enumerate the built-in kernels
+   iolb analyze mgs                   full derivation report for one kernel
+   iolb bounds --all                  formulas for every kernel
+   iolb eval mgs -m 128 -n 64 -s 256  numeric bounds at a concrete point
+   iolb simulate mgs -m 12 -n 8 -s 16 pebble-game I/O vs the bounds
+   iolb tile mgs -m 48 -n 16 -s 400   tiled-ordering cache simulation *)
+
+open Cmdliner
+
+module Report = Iolb.Report
+module D = Iolb.Derive
+module Cdag = Iolb_cdag.Cdag
+module Game = Iolb_pebble.Game
+module Cache = Iolb_pebble.Cache
+module Trace = Iolb_pebble.Trace
+module K = Iolb_kernels
+
+let kernel_arg =
+  let doc = "Kernel name: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let m_arg = Arg.(value & opt int 64 & info [ "m" ] ~docv:"M" ~doc:"Rows M.")
+let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Columns N.")
+
+let s_arg =
+  Arg.(value & opt int 256 & info [ "s" ] ~docv:"S" ~doc:"Fast memory size S.")
+
+let find_entry name =
+  match Report.find name with
+  | entry -> Ok entry
+  | exception Not_found ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown kernel %S (try: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2)"
+             name))
+
+let list_cmd =
+  let run () =
+    Printf.printf "paper kernels:\n";
+    List.iter
+      (fun (e : Report.entry) ->
+        Printf.printf "  %-12s %s\n"
+          (Iolb.Paper_formulas.kernel_name e.kernel)
+          e.display)
+      Report.registry;
+    Printf.printf "baselines (classical path / negative controls):\n";
+    List.iter
+      (fun (name, _, _) -> Printf.printf "  %s\n" name)
+      Report.baselines
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in kernels")
+    Term.(const run $ const ())
+
+let analyze_cmd =
+  let show_bounds bounds =
+    List.iter
+      (fun (b : D.t) ->
+        Format.printf "@.%a@." D.pp b;
+        List.iter (fun l -> Format.printf "    | %s@." l) b.log)
+      bounds
+  in
+  let run name =
+    match find_entry name with
+    | Ok entry ->
+        let a = Report.analyze entry in
+        Format.printf "%a@." Report.pp_analysis a;
+        Ok (show_bounds a.bounds)
+    | Error _ as err -> (
+        (* Baselines are analysable too; they just have no paper columns. *)
+        match
+          List.find_opt (fun (n, _, _) -> n = name) Report.baselines
+        with
+        | Some (_, prog, verify_params) ->
+            let bounds = D.analyze ~verify_params prog in
+            if bounds = [] then
+              Format.printf
+                "no bound derivable (no hourglass; Brascamp-Lieb exponent <=                  1)@.";
+            Ok (show_bounds bounds)
+        | None -> err)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Derivation report for one kernel")
+    Term.(term_result (const run $ kernel_arg))
+
+let bounds_cmd =
+  let run () =
+    List.iter
+      (fun entry ->
+        let a = Report.analyze entry in
+        Format.printf "%a@." Report.pp_analysis a)
+      Report.registry
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Derived bound formulas for every kernel")
+    Term.(const run $ const ())
+
+let eval_cmd =
+  let run name m n s =
+    Result.map
+      (fun (entry : Report.entry) ->
+        let a = Report.analyze entry in
+        Printf.printf "%s at m=%d n=%d s=%d:\n" entry.display m n s;
+        List.iter
+          (fun tech ->
+            let label =
+              match tech with
+              | `Classical -> "classical"
+              | `Hourglass -> "hourglass"
+            in
+            match Report.eval_best a ~technique:tech ~m ~n ~s with
+            | Some v -> Printf.printf "  %-10s Q >= %.1f\n" label v
+            | None -> Printf.printf "  %-10s (no bound)\n" label)
+          [ `Classical; `Hourglass ];
+        Printf.printf "  %-10s %s\n" "paper"
+          (Printf.sprintf "Q >= %.1f (theorem formula)"
+             (Iolb.Paper_formulas.eval_at
+                (Iolb.Paper_formulas.theorem_main entry.kernel)
+                ~m ~n ~s)))
+      (find_entry name)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate the bounds at a concrete point")
+    Term.(term_result (const run $ kernel_arg $ m_arg $ n_arg $ s_arg))
+
+let simulate_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random schedule seed.")
+  in
+  let run name m n s seed =
+    Result.map
+      (fun (entry : Report.entry) ->
+        let params =
+          match entry.kernel with
+          | Iolb.Paper_formulas.Gehd2 -> [ ("N", n); ("M", (n / 2) - 1) ]
+          | _ -> [ ("M", m); ("N", n) ]
+        in
+        let cdag = Cdag.of_program ~params entry.program in
+        Format.printf "%a@." Cdag.pp_stats cdag;
+        let a = Report.analyze entry in
+        let program = Game.run cdag ~s ~schedule:(Game.program_schedule cdag) in
+        let random =
+          Game.run cdag ~s ~schedule:(Game.random_topological ~seed cdag)
+        in
+        Printf.printf "pebble game at S=%d:\n" s;
+        Printf.printf "  program order : %d loads (peak red %d)\n"
+          program.Game.loads program.Game.peak_red;
+        Printf.printf "  random order  : %d loads (peak red %d)\n"
+          random.Game.loads random.Game.peak_red;
+        List.iter
+          (fun tech ->
+            match Report.eval_best a ~technique:tech ~m ~n ~s with
+            | Some v ->
+                Printf.printf "  lower bound (%s): %.1f\n"
+                  (match tech with
+                  | `Classical -> "classical"
+                  | `Hourglass -> "hourglass")
+                  v
+            | None -> ())
+          [ `Classical; `Hourglass ])
+      (find_entry name)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Play the red-white pebble game and compare with the bounds")
+    Term.(term_result (const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg))
+
+let tile_cmd =
+  let b_arg =
+    Arg.(value & opt int 0 & info [ "b" ] ~doc:"Block size (0 = paper choice).")
+  in
+  let run name m n s b =
+    let b = if b > 0 then b else max 1 ((s / m) - 1) in
+    let b = if n mod b = 0 then b else 1 in
+    match name with
+    | "mgs" ->
+        let trace = Trace.of_program ~params:[] (K.Mgs.tiled_spec ~m ~n ~b) in
+        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
+        Printf.printf "tiled MGS m=%d n=%d s=%d b=%d: opt=%d lru=%d predicted=%.0f\n"
+          m n s b opt.Cache.loads lru.Cache.loads
+          ((0.5 *. float_of_int (m * n * n) /. float_of_int b)
+          +. float_of_int (m * n));
+        Ok ()
+    | "qr_hh_a2v" | "a2v" ->
+        let trace =
+          Trace.of_program ~params:[] (K.Householder.tiled_spec ~m ~n ~b)
+        in
+        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
+        Printf.printf "tiled A2V m=%d n=%d s=%d b=%d: opt=%d lru=%d\n" m n s b
+          opt.Cache.loads lru.Cache.loads;
+        Ok ()
+    | other ->
+        Error (`Msg (Printf.sprintf "no tiled ordering for %S (mgs, a2v)" other))
+  in
+  Cmd.v
+    (Cmd.info "tile" ~doc:"Cache-simulate a tiled ordering (Appendix A)")
+    Term.(term_result (const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ b_arg))
+
+let dot_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "cdag.dot"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output DOT file.")
+  in
+  let run name m n out =
+    Result.map
+      (fun (entry : Report.entry) ->
+        let params =
+          match entry.kernel with
+          | Iolb.Paper_formulas.Gehd2 -> [ ("N", n); ("M", (n / 2) - 1) ]
+          | _ -> [ ("M", m); ("N", n) ]
+        in
+        let cdag = Cdag.of_program ~params entry.program in
+        Iolb_cdag.Dot.to_file out cdag;
+        Printf.printf "wrote %s (%d nodes)\n" out (Cdag.n_nodes cdag))
+      (find_entry name)
+  in
+  let small_m = Arg.(value & opt int 6 & info [ "m" ] ~docv:"M" ~doc:"Rows M.") in
+  let small_n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Columns N.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a small concrete CDAG to Graphviz")
+    Term.(term_result (const run $ kernel_arg $ small_m $ small_n $ out_arg))
+
+let () =
+  let doc = "Automatic I/O lower bounds via the hourglass dependency pattern" in
+  let info = Cmd.info "iolb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            analyze_cmd;
+            bounds_cmd;
+            eval_cmd;
+            simulate_cmd;
+            tile_cmd;
+            dot_cmd;
+          ]))

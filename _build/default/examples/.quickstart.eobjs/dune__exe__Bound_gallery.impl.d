@@ -1,0 +1,1 @@
+examples/bound_gallery.ml: Format Iolb Iolb_symbolic List Printf

@@ -1,0 +1,1 @@
+examples/bound_gallery.mli:

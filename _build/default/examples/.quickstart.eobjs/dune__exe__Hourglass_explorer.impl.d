@@ -1,0 +1,1 @@
+examples/hourglass_explorer.ml: Array Format Iolb Iolb_cdag Iolb_ir List Option Printf String Sys

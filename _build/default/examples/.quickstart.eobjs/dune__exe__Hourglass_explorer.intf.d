@@ -1,0 +1,1 @@
+examples/hourglass_explorer.mli:

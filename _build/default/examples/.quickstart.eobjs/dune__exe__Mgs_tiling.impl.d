@@ -1,0 +1,1 @@
+examples/mgs_tiling.ml: Iolb Iolb_kernels Iolb_pebble List Option Printf Sys

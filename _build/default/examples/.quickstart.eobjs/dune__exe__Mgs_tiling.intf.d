@@ -1,0 +1,1 @@
+examples/mgs_tiling.mli:

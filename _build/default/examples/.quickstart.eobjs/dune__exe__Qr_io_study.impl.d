@@ -1,0 +1,1 @@
+examples/qr_io_study.ml: Format Iolb Iolb_kernels Iolb_pebble List Printf

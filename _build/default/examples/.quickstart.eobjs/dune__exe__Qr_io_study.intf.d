@@ -1,0 +1,1 @@
+examples/qr_io_study.mli:

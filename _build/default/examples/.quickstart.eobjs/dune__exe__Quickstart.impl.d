@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Iolb Iolb_cdag Iolb_ir Iolb_kernels Iolb_pebble Iolb_poly List

@@ -1,0 +1,1 @@
+lib/cdag/cdag.ml: Array Format Hashtbl Int Iolb_ir List Queue

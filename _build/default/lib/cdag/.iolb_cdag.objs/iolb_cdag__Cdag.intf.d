@@ -1,0 +1,1 @@
+lib/cdag/cdag.mli: Format Iolb_ir

@@ -1,0 +1,1 @@
+lib/cdag/dot.ml: Array Cdag Format Hashtbl List String

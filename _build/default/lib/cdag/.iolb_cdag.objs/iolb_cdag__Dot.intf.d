@@ -1,0 +1,1 @@
+lib/cdag/dot.mli: Cdag Format

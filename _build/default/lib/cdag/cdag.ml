@@ -1,0 +1,159 @@
+module Program = Iolb_ir.Program
+
+type kind =
+  | Input of string * int array
+  | Compute of string * int array
+
+type t = {
+  kinds : kind array;
+  preds : int array array;
+  succs : int array array;
+  order : int array; (* topological: program order with inputs at first use *)
+  by_stmt : (string, int list) Hashtbl.t;
+  instance_ids : (string * int array, int) Hashtbl.t;
+  n_inputs : int;
+}
+
+let of_program ~params p =
+  let kinds = ref [] and preds = ref [] in
+  let n = ref 0 in
+  let order = ref [] in
+  let by_stmt = Hashtbl.create 16 in
+  let instance_ids = Hashtbl.create 256 in
+  let last_writer : (string * int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let inputs = ref 0 in
+  let add_node kind pred_list =
+    let id = !n in
+    incr n;
+    kinds := kind :: !kinds;
+    preds := pred_list :: !preds;
+    order := id :: !order;
+    id
+  in
+  Program.iter_instances ~params p (fun inst ->
+      let pred_ids =
+        List.map
+          (fun (a, cell) ->
+            match Hashtbl.find_opt last_writer (a, cell) with
+            | Some id -> id
+            | None ->
+                let id = add_node (Input (a, cell)) [] in
+                incr inputs;
+                Hashtbl.replace last_writer (a, cell) id;
+                id)
+          inst.loads
+      in
+      (* A value read twice by the same instance is a single dependence. *)
+      let pred_ids = List.sort_uniq Int.compare pred_ids in
+      let id = add_node (Compute (inst.stmt_name, inst.vec)) pred_ids in
+      Hashtbl.replace instance_ids (inst.stmt_name, inst.vec) id;
+      Hashtbl.replace by_stmt inst.stmt_name
+        (id :: (try Hashtbl.find by_stmt inst.stmt_name with Not_found -> []));
+      List.iter
+        (fun (a, cell) -> Hashtbl.replace last_writer (a, cell) id)
+        inst.stores);
+  let kinds = Array.of_list (List.rev !kinds) in
+  let preds = Array.of_list (List.rev_map Array.of_list !preds) in
+  let succs = Array.make (Array.length kinds) [] in
+  Array.iteri
+    (fun id ps -> Array.iter (fun p -> succs.(p) <- id :: succs.(p)) ps)
+    preds;
+  let succs = Array.map (fun l -> Array.of_list (List.rev l)) succs in
+  Hashtbl.iter
+    (fun s ids -> Hashtbl.replace by_stmt s (List.rev ids))
+    (Hashtbl.copy by_stmt);
+  {
+    kinds;
+    preds;
+    succs;
+    order = Array.of_list (List.rev !order);
+    by_stmt;
+    instance_ids;
+    n_inputs = !inputs;
+  }
+
+let n_nodes t = Array.length t.kinds
+let kind t id = t.kinds.(id)
+let preds t id = t.preds.(id)
+let succs t id = t.succs.(id)
+let program_order t = t.order
+
+let nodes_of_stmt t name =
+  try Hashtbl.find t.by_stmt name with Not_found -> []
+
+let node_of_instance t name vec = Hashtbl.find_opt t.instance_ids (name, vec)
+let n_inputs t = t.n_inputs
+let n_computes t = n_nodes t - t.n_inputs
+
+let is_reachable t a b =
+  if a = b then true
+  else begin
+    let visited = Array.make (n_nodes t) false in
+    let queue = Queue.create () in
+    Queue.add a queue;
+    visited.(a) <- true;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun v ->
+          if v = b then found := true
+          else if not visited.(v) then begin
+            visited.(v) <- true;
+            Queue.add v queue
+          end)
+        t.succs.(u)
+    done;
+    !found
+  end
+
+let convex_closure t nodes =
+  (* v is in the closure iff it reaches some member and is reached by some
+     member.  Compute the forward set of [nodes] and the backward set, then
+     intersect. *)
+  let n = n_nodes t in
+  let forward = Array.make n false and backward = Array.make n false in
+  let bfs mark edges starts =
+    let queue = Queue.create () in
+    List.iter
+      (fun s ->
+        if not mark.(s) then begin
+          mark.(s) <- true;
+          Queue.add s queue
+        end)
+      starts;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun v ->
+          if not mark.(v) then begin
+            mark.(v) <- true;
+            Queue.add v queue
+          end)
+        edges.(u)
+    done
+  in
+  bfs forward t.succs nodes;
+  bfs backward t.preds nodes;
+  let out = ref [] in
+  for id = n - 1 downto 0 do
+    if forward.(id) && backward.(id) then out := id :: !out
+  done;
+  !out
+
+let inset t nodes =
+  let member = Hashtbl.create (List.length nodes) in
+  List.iter (fun id -> Hashtbl.replace member id ()) nodes;
+  let outside = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      Array.iter
+        (fun p -> if not (Hashtbl.mem member p) then Hashtbl.replace outside p ())
+        t.preds.(id))
+    nodes;
+  Hashtbl.length outside
+
+let pp_stats fmt t =
+  Format.fprintf fmt "nodes: %d (inputs: %d, computes: %d), edges: %d"
+    (n_nodes t) t.n_inputs (n_computes t)
+    (Array.fold_left (fun acc ps -> acc + Array.length ps) 0 t.preds)

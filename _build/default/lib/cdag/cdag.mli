@@ -1,0 +1,54 @@
+(** Concrete computational DAGs (CDAGs).
+
+    A CDAG instantiates a polyhedral program at concrete parameter values:
+    one node per statement instance (plus one per input cell read before
+    written), one edge per flow (read-after-write) dependence.  This is the
+    board of the red-white pebble game (Section 2 of the paper) and the
+    object on which the hourglass properties are validated empirically. *)
+
+type kind =
+  | Input of string * int array  (** an input array cell *)
+  | Compute of string * int array  (** statement name, iteration vector *)
+
+type t
+
+(** [of_program ~params p] builds the CDAG by abstract execution with
+    last-writer tracking: reads resolve to the most recent write of the same
+    cell in program order, which is the exact flow dependence for these
+    (deterministic, unconditionally executed) programs. *)
+val of_program : params:(string * int) list -> Iolb_ir.Program.t -> t
+
+val n_nodes : t -> int
+val kind : t -> int -> kind
+
+(** Predecessors (the values a node consumes), as node ids. *)
+val preds : t -> int -> int array
+
+val succs : t -> int -> int array
+
+(** Node ids in a valid topological (= program) order, inputs first at their
+    first use point. *)
+val program_order : t -> int array
+
+(** All node ids of instances of the given statement. *)
+val nodes_of_stmt : t -> string -> int list
+
+(** [node_of_instance t name vec] finds the compute node for one instance. *)
+val node_of_instance : t -> string -> int array -> int option
+
+val n_inputs : t -> int
+val n_computes : t -> int
+
+(** [is_reachable t a b]: is there a directed path from [a] to [b]? (BFS) *)
+val is_reachable : t -> int -> int -> bool
+
+(** [convex_closure t nodes] adds every node lying on a directed path
+    between two nodes of [nodes] - the convexity completion used when
+    reasoning about K-bounded sets. *)
+val convex_closure : t -> int list -> int list
+
+(** [inset t nodes] is the number of distinct values consumed by [nodes] but
+    produced outside [nodes] (the InSet of the paper). *)
+val inset : t -> int list -> int
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let palette =
+  [| "lightblue"; "palegreen"; "lightsalmon"; "plum"; "khaki"; "lightcyan";
+     "mistyrose"; "lavender" |]
+
+let emit ?(highlight = []) fmt cdag =
+  let stmt_colors = Hashtbl.create 8 in
+  let color_of stmt =
+    match Hashtbl.find_opt stmt_colors stmt with
+    | Some c -> c
+    | None ->
+        let c = palette.(Hashtbl.length stmt_colors mod Array.length palette) in
+        Hashtbl.add stmt_colors stmt c;
+        c
+  in
+  let in_highlight = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_highlight id ()) highlight;
+  Format.fprintf fmt "digraph cdag {@.  rankdir=TB;@.  node [fontsize=9];@.";
+  let vec_str v =
+    String.concat "," (List.map string_of_int (Array.to_list v))
+  in
+  for id = 0 to Cdag.n_nodes cdag - 1 do
+    let style =
+      if Hashtbl.mem in_highlight id then ", style=filled, penwidth=2"
+      else ", style=filled, penwidth=0.5"
+    in
+    (match Cdag.kind cdag id with
+    | Cdag.Input (arr, cell) ->
+        Format.fprintf fmt
+          "  n%d [label=\"%s[%s]\", shape=box, fillcolor=white%s];@." id arr
+          (vec_str cell) style
+    | Cdag.Compute (stmt, vec) ->
+        Format.fprintf fmt
+          "  n%d [label=\"%s[%s]\", shape=ellipse, fillcolor=%s%s];@." id stmt
+          (vec_str vec) (color_of stmt) style);
+    Array.iter
+      (fun p -> Format.fprintf fmt "  n%d -> n%d;@." p id)
+      (Cdag.preds cdag id)
+  done;
+  Format.fprintf fmt "}@."
+
+let to_file ?highlight path cdag =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  (try emit ?highlight fmt cdag
+   with e ->
+     close_out oc;
+     raise e);
+  Format.pp_print_flush fmt ();
+  close_out oc

@@ -1,0 +1,10 @@
+(** Graphviz (DOT) export of CDAGs, for visual inspection of the hourglass
+    structure on small instances. *)
+
+(** [emit ?highlight fmt cdag] writes a DOT digraph: inputs as boxes,
+    computes as ellipses coloured by statement; node ids in [highlight] are
+    drawn filled (e.g. a convex closure showing the hourglass neck). *)
+val emit : ?highlight:int list -> Format.formatter -> Cdag.t -> unit
+
+(** [to_file ?highlight path cdag] writes the DOT text to [path]. *)
+val to_file : ?highlight:int list -> string -> Cdag.t -> unit

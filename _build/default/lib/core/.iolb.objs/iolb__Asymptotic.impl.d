@@ -1,0 +1,1 @@
+lib/core/asymptotic.ml: Float Iolb_symbolic List

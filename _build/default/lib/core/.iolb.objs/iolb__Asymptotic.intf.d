@@ -1,0 +1,1 @@
+lib/core/asymptotic.mli: Iolb_symbolic

@@ -1,0 +1,1 @@
+lib/core/bl.ml: Array Format Iolb_lp Iolb_util List Printf String

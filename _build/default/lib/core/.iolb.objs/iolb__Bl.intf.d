@@ -1,0 +1,1 @@
+lib/core/bl.mli: Format Iolb_util

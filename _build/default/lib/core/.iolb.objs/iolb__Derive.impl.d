@@ -1,0 +1,1 @@
+lib/core/derive.ml: Bl Format Hourglass Iolb_ir Iolb_poly Iolb_symbolic Iolb_util List Option Phi Printf String

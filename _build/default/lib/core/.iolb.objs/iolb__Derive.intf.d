@@ -1,0 +1,1 @@
+lib/core/derive.mli: Format Hourglass Iolb_ir Iolb_symbolic

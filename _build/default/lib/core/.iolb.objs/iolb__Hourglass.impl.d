@@ -1,0 +1,1 @@
+lib/core/hourglass.ml: Array Format Hashtbl Iolb_cdag Iolb_ir Iolb_poly Iolb_symbolic List Option String

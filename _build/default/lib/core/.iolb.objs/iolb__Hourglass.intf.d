@@ -1,0 +1,1 @@
+lib/core/hourglass.mli: Format Iolb_ir Iolb_poly Iolb_symbolic

@@ -1,0 +1,1 @@
+lib/core/paper_formulas.ml: Iolb_symbolic Iolb_util

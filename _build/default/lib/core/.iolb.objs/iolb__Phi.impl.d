@@ -1,0 +1,1 @@
+lib/core/phi.ml: Format Iolb_ir List String

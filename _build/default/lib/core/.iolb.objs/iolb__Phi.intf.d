@@ -1,0 +1,1 @@
+lib/core/phi.mli: Format Iolb_ir

@@ -1,0 +1,1 @@
+lib/core/report.ml: Derive Format Fun Hourglass Iolb_ir Iolb_kernels Iolb_symbolic Iolb_util List Option Paper_formulas String

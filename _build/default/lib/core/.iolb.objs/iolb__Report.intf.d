@@ -1,0 +1,1 @@
+lib/core/report.mli: Derive Format Hourglass Iolb_ir Iolb_symbolic Paper_formulas

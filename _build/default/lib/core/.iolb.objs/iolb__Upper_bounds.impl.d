@@ -1,0 +1,1 @@
+lib/core/upper_bounds.ml: Iolb_symbolic Iolb_util List

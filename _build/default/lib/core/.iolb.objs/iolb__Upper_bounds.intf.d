@@ -1,0 +1,1 @@
+lib/core/upper_bounds.mli: Iolb_symbolic

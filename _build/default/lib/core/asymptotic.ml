@@ -1,0 +1,40 @@
+module R = Iolb_symbolic.Ratfun
+
+type direction = int -> (string * int) list
+
+let square_small_cache t = [ ("M", 4 * t); ("N", t); ("S", 16) ]
+let square_linear_cache t = [ ("M", 4 * t); ("N", t); ("S", t) ]
+let square_large_cache t = [ ("M", 4 * t); ("N", t); ("S", t * t / 4) ]
+
+let eval_at f params =
+  let env x =
+    match List.assoc_opt x params with
+    | Some v -> float_of_int v
+    | None ->
+        if x = "sqrtS" then
+          match List.assoc_opt "S" params with
+          | Some s -> sqrt (float_of_int s)
+          | None -> raise Not_found
+        else raise Not_found
+  in
+  R.eval_float_env env f
+
+let ratio_limit ?(t0 = 64) ?(steps = 8) ?(tol = 0.05) f g dir =
+  let ratios =
+    List.init steps (fun k ->
+        let t = t0 * (1 lsl k) in
+        let params = dir t in
+        let fv = eval_at f params and gv = eval_at g params in
+        if Float.is_finite fv && Float.is_finite gv && gv <> 0. then
+          Some (fv /. gv)
+        else None)
+  in
+  match List.rev ratios with
+  | Some last :: Some prev :: Some prev2 :: _
+    when Float.is_finite last && last > 0.
+         && Float.abs (last -. prev) <= tol *. Float.abs last
+         && Float.abs (prev -. prev2) <= 2. *. tol *. Float.abs last ->
+      Some last
+  | _ -> None
+
+let theta_equivalent ?tol f g dir = ratio_limit ?tol f g dir <> None

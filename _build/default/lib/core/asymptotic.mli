@@ -1,0 +1,42 @@
+(** Numeric Theta-equivalence checks between bound formulas.
+
+    Two formulas are Theta-equivalent along a direction (a parametric curve
+    through the parameter space, e.g. [M = 4t, N = t, S = t]) when their
+    ratio converges to a finite non-zero constant as the scale grows.  The
+    checker evaluates the ratio at geometrically increasing scales and
+    tests stabilisation; it is how the test suite pins the "same asymptotic
+    shape as the paper" claims of Figure 4. *)
+
+type direction = int -> (string * int) list
+(** A direction maps the scale [t] to concrete parameter values. *)
+
+(** Common directions for (M, N, S) kernels. *)
+val square_small_cache : direction
+(** [M = 4t, N = t, S = 16] - fixed cache. *)
+
+val square_linear_cache : direction
+(** [M = 4t, N = t, S = t] - cache grows with the problem. *)
+
+val square_large_cache : direction
+(** [M = 4t, N = t, S = t^2 / 4] - cache grows quadratically (M << S). *)
+
+(** [ratio_limit f g dir] estimates [lim f/g] along [dir]: evaluates at
+    scales [t0 * 2^k] and returns the last ratio if the final steps agree
+    within [tol] (default 0.05), or [None] if the ratio still drifts
+    (different asymptotic orders) or is not finite/positive. *)
+val ratio_limit :
+  ?t0:int ->
+  ?steps:int ->
+  ?tol:float ->
+  Iolb_symbolic.Ratfun.t ->
+  Iolb_symbolic.Ratfun.t ->
+  direction ->
+  float option
+
+(** [theta_equivalent f g dir] holds when {!ratio_limit} converges. *)
+val theta_equivalent :
+  ?tol:float ->
+  Iolb_symbolic.Ratfun.t ->
+  Iolb_symbolic.Ratfun.t ->
+  direction ->
+  bool

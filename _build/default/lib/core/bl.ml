@@ -1,0 +1,121 @@
+module Rat = Iolb_util.Rat
+module Simplex = Iolb_lp.Simplex
+
+type bounded_proj = {
+  proj_dims : string list;
+  alpha : Rat.t;
+  beta : Rat.t;
+  gamma : Rat.t;
+  label : string;
+}
+
+type solution = {
+  k_exponent : Rat.t;
+  w_exponent : Rat.t;
+  two_exponent : Rat.t;
+  exponents : (string * Rat.t) list;
+}
+
+let proj ?(beta = Rat.zero) ?(gamma = Rat.zero) ~alpha ~label proj_dims =
+  { proj_dims; alpha; beta; gamma; label }
+
+let subsets dims =
+  List.fold_left
+    (fun acc d -> acc @ List.map (fun s -> d :: s) acc)
+    [ [] ] dims
+
+(* The admissibility polytope: for every non-empty subset H of dims,
+   sum_j s_j * |dims_j /\ H| >= |H|, and 0 <= s_j <= 1. *)
+let admissibility_constraints ~dims projs =
+  let n = List.length projs in
+  let cover =
+    List.filter_map
+      (fun h ->
+        if h = [] then None
+        else
+          let coeffs =
+            Array.of_list
+              (List.map
+                 (fun p ->
+                   Rat.of_int
+                     (List.length (List.filter (fun d -> List.mem d h) p.proj_dims)))
+                 projs)
+          in
+          Some
+            Simplex.{ coeffs; rel = Ge; rhs = Rat.of_int (List.length h) })
+      (subsets dims)
+  in
+  let caps =
+    List.mapi
+      (fun j _ ->
+        let coeffs = Array.make n Rat.zero in
+        coeffs.(j) <- Rat.one;
+        Simplex.{ coeffs; rel = Le; rhs = Rat.one })
+      projs
+  in
+  cover @ caps
+
+let dot weights solution =
+  let acc = ref Rat.zero in
+  Array.iteri (fun j s -> acc := Rat.add !acc (Rat.mul weights.(j) s)) solution;
+  !acc
+
+(* Lexicographic minimisation: solve each stage, then pin its optimum as an
+   equality constraint for the next stage. *)
+let lex_minimize ~constraints stages =
+  let rec go constraints = function
+    | [] -> None
+    | [ cost ] -> (
+        match Simplex.minimize ~cost constraints with
+        | Simplex.Optimal { solution; _ } -> Some solution
+        | Simplex.Infeasible | Simplex.Unbounded -> None)
+    | cost :: rest -> (
+        match Simplex.minimize ~cost constraints with
+        | Simplex.Optimal { value; _ } ->
+            let pin = Simplex.{ coeffs = cost; rel = Le; rhs = value } in
+            go (pin :: constraints) rest
+        | Simplex.Infeasible | Simplex.Unbounded -> None)
+  in
+  go constraints stages
+
+let optimize ~dims projs =
+  if projs = [] then None
+  else
+    let constraints = admissibility_constraints ~dims projs in
+    let vec f = Array.of_list (List.map f projs) in
+    let alphas = vec (fun p -> p.alpha)
+    and betas = vec (fun p -> p.beta)
+    and gammas = vec (fun p -> p.gamma) in
+    let stage1 =
+      Array.mapi (fun j a -> Rat.add a (Rat.mul Rat.half betas.(j))) alphas
+    in
+    let stage2 = Array.mapi (fun j a -> Rat.add a betas.(j)) alphas in
+    match lex_minimize ~constraints [ stage1; stage2; gammas ] with
+    | None -> None
+    | Some s ->
+        Some
+          {
+            k_exponent = dot alphas s;
+            w_exponent = dot betas s;
+            two_exponent = dot gammas s;
+            exponents =
+              List.mapi (fun j p -> (p.label, s.(j))) projs
+              |> List.filter (fun (_, e) -> not (Rat.is_zero e));
+          }
+
+let classical ~dims dimsets =
+  let projs =
+    List.mapi
+      (fun j ds ->
+        proj ~alpha:Rat.one ~label:(Printf.sprintf "phi%d_{%s}" j (String.concat "," ds)) ds)
+      dimsets
+  in
+  optimize ~dims projs
+
+let pp_solution fmt s =
+  Format.fprintf fmt "K^%a * W^%a * 2^%a via {%a}" Rat.pp s.k_exponent Rat.pp
+    s.w_exponent Rat.pp s.two_exponent
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (l, e) -> Format.fprintf fmt "%s^%a" l Rat.pp e))
+    s.exponents

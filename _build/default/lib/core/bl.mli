@@ -1,0 +1,55 @@
+(** Brascamp-Lieb exponent optimisation (Theorem 2 of the paper).
+
+    For coordinate projections, the Brascamp-Lieb rank condition only needs
+    to be checked on coordinate subgroups (Christ, Demmel, Knight, Scanlon,
+    Yelick 2013): a family of exponents [s_j] in [0,1] is admissible iff for
+    every subset [H] of the dimensions, [|H| <= sum_j s_j * |dims_j /\ H|].
+    Under admissible exponents, [|E| <= prod_j |phi_j E|^(s_j)].
+
+    Each projection carries a symbolic size bound of the form
+    [K^alpha * W^beta * 2^gamma], where [K] is the K-bounded-set budget,
+    [W] the hourglass width, and the [2] factor comes from the flatness
+    bound of Section 4.3.  The optimiser picks admissible exponents
+    minimising the overall product.  Since [sqrt K <= W <= K] in the regime
+    where the hourglass matters (Section 5.1), writing [W = K^theta] the
+    K-side exponent is [rho_K + theta * rho_W] with [theta] in [[1/2, 1]];
+    by linearity it suffices to minimise lexicographically at the endpoints
+    [theta = 1/2], then [theta = 1], then the constant factor [rho_2]. *)
+
+type bounded_proj = {
+  proj_dims : string list;  (** dimensions projected on *)
+  alpha : Iolb_util.Rat.t;  (** K-exponent of this projection's size bound *)
+  beta : Iolb_util.Rat.t;  (** W-exponent of this projection's size bound *)
+  gamma : Iolb_util.Rat.t;  (** 2-exponent (flatness factors) *)
+  label : string;
+}
+
+type solution = {
+  k_exponent : Iolb_util.Rat.t;  (** [rho_K = sum s_j alpha_j] *)
+  w_exponent : Iolb_util.Rat.t;  (** [rho_W = sum s_j beta_j] *)
+  two_exponent : Iolb_util.Rat.t;  (** [rho_2 = sum s_j gamma_j] *)
+  exponents : (string * Iolb_util.Rat.t) list;  (** [s_j] per label *)
+}
+
+(** [proj ?beta ?gamma ~alpha ~label dims] builds a {!bounded_proj}
+    ([beta], [gamma] default to 0). *)
+val proj :
+  ?beta:Iolb_util.Rat.t ->
+  ?gamma:Iolb_util.Rat.t ->
+  alpha:Iolb_util.Rat.t ->
+  label:string ->
+  string list ->
+  bounded_proj
+
+(** [optimize ~dims projs] minimises lexicographically
+    [(rho_K + rho_W/2, rho_K + rho_W, rho_2)] over admissible exponent
+    families.  Returns [None] when no admissible family exists (some
+    dimension of [dims] is covered by no projection). *)
+val optimize : dims:string list -> bounded_proj list -> solution option
+
+(** [classical ~dims dimsets] is the classical K-partition optimisation:
+    every projection bounded by [K] (alpha 1); minimises the plain exponent
+    sum [rho_K], yielding [|E| <= K^rho_K]. *)
+val classical : dims:string list -> string list list -> solution option
+
+val pp_solution : Format.formatter -> solution -> unit

@@ -1,0 +1,308 @@
+module Rat = Iolb_util.Rat
+module P = Iolb_symbolic.Polynomial
+module R = Iolb_symbolic.Ratfun
+module Affine = Iolb_poly.Affine
+module Program = Iolb_ir.Program
+
+type technique = Classical | Hourglass | Hourglass_small_s
+
+type t = {
+  program : string;
+  stmt : string;
+  technique : technique;
+  formula : R.t;
+  validity : string;
+  s_max : R.t option;
+  log : string list;
+}
+
+let s_var = P.var "S"
+let sqrt_s_var = P.var "sqrtS"
+
+let fmt_rat = Rat.to_string
+
+let classical p ~stmt =
+  let info = Program.find_stmt p stmt in
+  let phis = Phi.of_statement p info in
+  let dimsets = List.map (fun (ph : Phi.t) -> ph.dims) phis in
+  match Bl.classical ~dims:info.dims dimsets with
+  | None -> None
+  | Some sol ->
+      let rho = sol.k_exponent in
+      if Rat.compare rho Rat.one <= 0 then None
+      else
+        let v = Program.cardinal info in
+        let log =
+          [
+            Printf.sprintf "projections: %s"
+              (String.concat " "
+                 (List.map (fun (ph : Phi.t) -> "{" ^ String.concat "," ph.dims ^ "}") phis));
+            Printf.sprintf "Brascamp-Lieb exponent sum rho = %s" (fmt_rat rho);
+            Printf.sprintf "|V| = %s" (P.to_string v);
+          ]
+        in
+        let num_rho = Rat.num rho and den_rho = Rat.den rho in
+        let formula =
+          if den_rho = 1 then begin
+            (* K = p/(p-1) S maximises (K-S)/K^p; all quantities rational. *)
+            let pexp = num_rho in
+            let coeff =
+              Rat.div
+                (Rat.pow (Rat.of_int (pexp - 1)) (pexp - 1))
+                (Rat.pow (Rat.of_int pexp) pexp)
+            in
+            Some
+              (R.make (P.scale coeff v) (P.pow s_var (pexp - 1)))
+          end
+          else if den_rho = 2 then begin
+            (* rho = p/2: choose K = 4S so K^rho = 2^p sqrtS^p stays
+               rational over the auxiliary variable sqrtS (S = sqrtS^2).
+               (K-S) = 3S = 3 sqrtS^2. *)
+            let pexp = num_rho in
+            if pexp < 2 then None
+            else
+              Some
+                (R.make (P.scale (Rat.of_int 3) v)
+                   (P.scale
+                      (Rat.pow Rat.two pexp)
+                      (P.pow sqrt_s_var (pexp - 2))))
+          end
+          else None
+        in
+        Option.map
+          (fun formula ->
+            {
+              program = p.Program.name;
+              stmt;
+              technique = Classical;
+              formula;
+              validity = "any S >= 1";
+              s_max = None;
+              log =
+                log
+                @ [
+                    (if den_rho = 1 then "K = rho/(rho-1) * S"
+                     else "K = 4S (rational-friendly near-optimal choice)");
+                  ];
+            })
+          formula
+
+(* The hourglass derivation, Sections 4.1-4.4. *)
+let hourglass p (h : Hourglass.t) =
+  let info = Program.find_stmt p h.update_stmt in
+  let phis = Phi.of_statement p info in
+  let width = Hourglass.width_poly h in
+  let in_reduction d = List.mem d h.reduction in
+  (* Sharpened projections for I' (Section 4.2).  Each entry records the LP
+     cost (alpha, beta) and the actual symbolic bound as a function of K. *)
+  let iprime_projs =
+    let phi_i =
+      ( Bl.proj ~alpha:Rat.zero ~beta:Rat.one ~label:"phi_I" h.reduction,
+        fun _k -> R.of_poly width )
+    in
+    let others =
+      List.map
+        (fun (ph : Phi.t) ->
+          let a = List.filter in_reduction ph.dims in
+          if a = [] then
+            ( Bl.proj ~alpha:Rat.one ~label:("phi_{" ^ String.concat "," ph.dims ^ "}")
+                ph.dims,
+              fun k -> R.of_poly k )
+          else
+            let x = List.filter (fun d -> not (in_reduction d)) ph.dims in
+            let w_a =
+              List.fold_left
+                (fun acc d -> P.mul acc (Affine.to_polynomial (Program.extent_min info d)))
+                P.one a
+            in
+            ( Bl.proj ~alpha:Rat.one ~beta:Rat.minus_one
+                ~label:("phi_{" ^ String.concat "," x ^ "}<=K/W")
+                x,
+              fun k -> R.make k w_a ))
+        phis
+    in
+    phi_i :: others
+  in
+  match Bl.optimize ~dims:info.dims (List.map fst iprime_projs) with
+  | None -> []
+  | Some sol ->
+      let integral =
+        List.for_all (fun (_, e) -> Rat.is_integer e) sol.exponents
+      in
+      if not integral then []
+      else
+        let iprime_bound k =
+          List.fold_left
+            (fun acc (proj, bound) ->
+              match List.assoc_opt proj.Bl.label sol.exponents with
+              | None -> acc
+              | Some e -> R.mul acc (R.pow (bound k) (Rat.to_int e)))
+            R.one iprime_projs
+        in
+        (* Flat part F (Section 4.3): pick phi_w covering the neutral
+           dimensions; temporal dimensions are covered by the flatness
+           bound (<= 2); any dimension still uncovered is covered by a
+           K-bounded projection from Phi. *)
+        let score (ph : Phi.t) =
+          ( List.length (List.filter (fun d -> List.mem d h.neutral) ph.dims),
+            List.length (List.filter in_reduction ph.dims),
+            -List.length (List.filter (fun d -> List.mem d h.temporal) ph.dims) )
+        in
+        let sorted =
+          List.sort (fun a b -> compare (score b) (score a)) phis
+        in
+        (match sorted with
+        | [] -> []
+        | w :: _ ->
+            let r_factor =
+              List.fold_left
+                (fun acc d ->
+                  if List.mem d w.dims then acc
+                  else P.mul acc (Affine.to_polynomial (Program.extent_max info d)))
+                P.one h.neutral
+            in
+            let covered d =
+              List.mem d h.temporal || List.mem d w.dims
+            in
+            let rec cover uncovered acc =
+              if uncovered = [] then Some acc
+              else
+                let best =
+                  List.fold_left
+                    (fun best (ph : Phi.t) ->
+                      let gain = List.length (List.filter (fun d -> List.mem d ph.dims) uncovered) in
+                      match best with
+                      | Some (_, g) when g >= gain -> best
+                      | _ when gain = 0 -> best
+                      | _ -> Some (ph, gain))
+                    None phis
+                in
+                match best with
+                | None -> None
+                | Some (ph, _) ->
+                    cover
+                      (List.filter (fun d -> not (List.mem d ph.dims)) uncovered)
+                      (ph :: acc)
+            in
+            let uncovered = List.filter (fun d -> not (covered d)) info.dims in
+            (match cover uncovered [] with
+            | None -> []
+            | Some extras ->
+                let n_extra = List.length extras in
+                (* |F| <= 2 * R * K^(n_extra) * K  (slice sum, Section 4.3) *)
+                let f_bound k =
+                  R.of_poly
+                    (P.scale Rat.two (P.mul r_factor (P.pow k (n_extra + 1))))
+                in
+                let v = Program.cardinal info in
+                let e_bound k = R.add (iprime_bound k) (f_bound k) in
+                let base_log =
+                  [
+                    Format.asprintf "%a" Hourglass.pp h;
+                    Printf.sprintf "W = %s" (P.to_string width);
+                    Format.asprintf "I' certificate: %a" Bl.pp_solution sol;
+                    Printf.sprintf "F part: phi_w = {%s}, R = %s, %d extra K-projections"
+                      (String.concat "," w.dims) (P.to_string r_factor) n_extra;
+                    Printf.sprintf "|V| = %s" (P.to_string v);
+                  ]
+                in
+                (* Main bound: K = 2S, T = K - S = S. *)
+                let k_main = P.scale Rat.two s_var in
+                let main =
+                  {
+                    program = p.Program.name;
+                    stmt = h.update_stmt;
+                    technique = Hourglass;
+                    formula = R.div (R.of_poly (P.mul s_var v)) (e_bound k_main);
+                    validity = "any S >= 1";
+                    s_max = None;
+                    log = base_log @ [ "K = 2S" ];
+                  }
+                in
+                (* Small-cache bound: K = W forces I' empty (a spanning
+                   component needs more than W distinct input values in its
+                   inset), so U = |F| bound at K = W; T = W - S.  Valid for
+                   S <= W. *)
+                let small =
+                  {
+                    program = p.Program.name;
+                    stmt = h.update_stmt;
+                    technique = Hourglass_small_s;
+                    formula =
+                      R.div
+                        (R.of_poly (P.mul (P.sub width s_var) v))
+                        (f_bound width);
+                    validity = "S <= W";
+                    s_max = Some (R.of_poly width);
+                    log = base_log @ [ "K = W (I' empty since S <= W)" ];
+                  }
+                in
+                [ main; small ]))
+
+let analyze ~verify_params p =
+  let hgs = Hourglass.detect_verified ~params:verify_params p in
+  let hg_bounds = List.concat_map (hourglass p) hgs in
+  let depth (i : Program.stmt_info) = List.length i.dims in
+  let stmts = Program.statements p in
+  let max_depth = List.fold_left (fun acc i -> max acc (depth i)) 0 stmts in
+  let classical_bounds =
+    List.filter_map
+      (fun (i : Program.stmt_info) ->
+        if depth i = max_depth then classical p ~stmt:i.def.name else None)
+      stmts
+  in
+  hg_bounds @ classical_bounds
+
+let eval b ~params ~s =
+  let env x =
+    if x = "S" then float_of_int s
+    else if x = "sqrtS" then sqrt (float_of_int s)
+    else
+      match List.assoc_opt x params with
+      | Some v -> float_of_int v
+      | None -> raise Not_found
+  in
+  R.eval_float_env env b.formula
+
+let optimize_split b ~param ~candidates ~params ~s =
+  List.fold_left
+    (fun acc v ->
+      let value = eval b ~params:((param, v) :: params) ~s in
+      match acc with
+      | Some (_, best) when best >= value -> acc
+      | _ when value <= 0. -> acc
+      | _ -> Some (v, value))
+    None candidates
+
+let applicable b ~params ~s =
+  match b.s_max with
+  | None -> true
+  | Some limit ->
+      let env x =
+        match List.assoc_opt x params with
+        | Some v -> float_of_int v
+        | None -> raise Not_found
+      in
+      float_of_int s <= R.eval_float_env env limit
+
+let best ~params ~s bounds =
+  List.fold_left
+    (fun acc b ->
+      if not (applicable b ~params ~s) then acc
+      else
+        let v = eval b ~params ~s in
+        match acc with
+        | Some (_, v') when v' >= v -> acc
+        | _ -> Some (b, v))
+    None bounds
+  |> Option.map fst
+
+let pp fmt b =
+  let tech =
+    match b.technique with
+    | Classical -> "classical"
+    | Hourglass -> "hourglass"
+    | Hourglass_small_s -> "hourglass (small cache)"
+  in
+  Format.fprintf fmt "[%s/%s, %s] Q >= %a  (%s)" b.program b.stmt tech R.pp
+    b.formula b.validity

@@ -1,0 +1,77 @@
+(** Automatic derivation of parametric I/O lower bounds.
+
+    Two derivation paths, both instances of the (S+T)-partitioning theorem
+    (Theorem 1 of the paper): a convex K-bounded set has size at most [U],
+    hence [Q >= (K - S) * |V| / U] for the [|V|] instances of the analysed
+    statement.
+
+    - {b Classical} (Section 2): [U = K^rho] with [rho] the optimal
+      Brascamp-Lieb exponent sum over the statement's projections.  [rho] is
+      typically [3/2], making the bound [Theta(|V| / sqrt S)]; the formula
+      is expressed over an auxiliary variable [sqrtS] with [S = sqrtS^2].
+
+    - {b Hourglass} (Section 4): the K-bounded set is split into [I']
+      (components spanning >= 3 temporal iterations, which must contain full
+      reduction lines of width [W]) and the flat part [F].  [|I'|] is
+      bounded through sharpened projections ([|phi_x| <= K/W], Lemma 4) and
+      [|F|] through the flatness bound and the slice-summation argument
+      (Section 4.3), giving [U = K^a W^b + 2 R K^c] with integer exponents.
+      Instantiated at [K = 2S] this yields the main bound; at [K = W] (valid
+      when [S <= W], forcing [I'] empty) the small-cache bound. *)
+
+type technique = Classical | Hourglass | Hourglass_small_s
+
+type t = {
+  program : string;
+  stmt : string;  (** statement whose instances are counted *)
+  technique : technique;
+  formula : Iolb_symbolic.Ratfun.t;
+      (** lower bound on the I/O volume Q, over the program parameters plus
+          [S] (and [sqrtS] for classical bounds, with [S = sqrtS^2]) *)
+  validity : string;  (** human-readable regime of validity *)
+  s_max : Iolb_symbolic.Ratfun.t option;
+      (** when set, the bound only applies for [S <= s_max] (small-cache
+          hourglass bounds); [None] means unconditional *)
+  log : string list;  (** derivation trace, for reports *)
+}
+
+(** [classical p ~stmt] derives the classical K-partition bound for the
+    given statement; [None] when the Brascamp-Lieb step is infeasible or
+    yields [rho <= 1] (no useful bound), or when [rho] has a denominator
+    other than 1 or 2. *)
+val classical : Iolb_ir.Program.t -> stmt:string -> t option
+
+(** [hourglass p h] derives the hourglass bounds (main and small-cache) for
+    a detected pattern.  Returns [[]] if the sharpened Brascamp-Lieb step
+    fails to produce integer exponents. *)
+val hourglass : Iolb_ir.Program.t -> Hourglass.t -> t list
+
+(** [analyze ~verify_params p] runs the full pipeline: hourglass detection
+    (empirically verified at [verify_params]), hourglass derivation on each
+    verified pattern, and the classical derivation on every deepest-loop
+    statement.  Results are sorted: hourglass bounds first. *)
+val analyze : verify_params:(string * int) list -> Iolb_ir.Program.t -> t list
+
+(** [eval b ~params ~s] evaluates the bound numerically ([sqrtS] is bound
+    to [sqrt s]). *)
+val eval : t -> params:(string * int) list -> s:int -> float
+
+(** [optimize_split b ~param ~candidates ~params ~s] instantiates the free
+    split parameter [param] of a bound (e.g. GEHD2's loop-split point, cf
+    Section 5.3 of the paper) at each candidate value and returns the one
+    maximising the bound, with its value.  Returns [None] if no candidate
+    gives a positive bound. *)
+val optimize_split :
+  t ->
+  param:string ->
+  candidates:int list ->
+  params:(string * int) list ->
+  s:int ->
+  (int * float) option
+
+(** [best ~params ~s bounds] picks the bound evaluating highest at the given
+    point, restricted to those applicable there (small-cache bounds require
+    [S <= W]). *)
+val best : params:(string * int) list -> s:int -> t list -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+module P = Iolb_symbolic.Polynomial
+module R = Iolb_symbolic.Ratfun
+module Rat = Iolb_util.Rat
+
+type kernel = Mgs | A2v | V2q | Gebd2 | Gehd2
+
+let kernel_name = function
+  | Mgs -> "mgs"
+  | A2v -> "qr_hh_a2v"
+  | V2q -> "qr_hh_v2q"
+  | Gebd2 -> "gebd2"
+  | Gehd2 -> "gehd2"
+
+let all_kernels = [ Mgs; A2v; V2q; Gebd2; Gehd2 ]
+
+(* Small expression DSL for readable transcriptions. *)
+let m = P.var "M"
+let n = P.var "N"
+let s = P.var "S"
+let sqrt_s = P.var "sqrtS"
+let i k = P.of_int k
+let q a b = P.of_rat (Rat.make a b)
+
+open P.Infix
+
+let ( /: ) num den = R.make num den
+let ( +: ) = R.add
+
+(* Figure 5, old (classical) bounds. *)
+let fig5_old = function
+  | Mgs ->
+      ((i 2 * m) + (i 3 * m * n) + (m * n * n)) /: sqrt_s
+      +: R.of_poly
+           ((i 5 * m) - (m * n) + (q 7 2 * n) - (q 1 2 * n * n) - s - i 6)
+  | A2v ->
+      ((i 3 * m * n * n) + (i 6 * m) + (i 7 * n) - (n * n * n) - (i 9 * m * n) - i 6)
+      /: (i 3 * sqrt_s)
+      +: R.of_poly ((i 5 * m) - (m * n) + (i 5 * n) - s - i 13)
+  | V2q ->
+      ((i 3 * m * n * n) - (n * n * n) + (i 6 * m) + (i 7 * n) - (i 9 * m * n) - i 6)
+      /: (i 3 * sqrt_s)
+      +: R.of_poly
+           ((i 2 * m) + (i 2 * n) + (q 1 2 * n) - (q 1 2 * n * n) - s - i 4)
+  | Gebd2 ->
+      ((i 3 * m * n * n) - (n * n * n) - (i 9 * m * n) + (i 6 * m) + (i 7 * n) - i 6)
+      /: (i 3 * sqrt_s)
+      +: R.of_poly ((i 5 * n) + (i 5 * m) - (m * n) - s - i 13)
+  | Gehd2 ->
+      ((i 5 * n * n * n) - (i 30 * n * n) + (i 55 * n) - i 30) /: (i 3 * sqrt_s)
+      +: R.of_poly ((q 69 2 * n) - (q 9 2 * n * n) - (i 3 * s) - i 56)
+
+(* Figure 5, new (hourglass) bounds.  Denominators of the form
+   c * (1 + S/X) are written as c * (X + S) / X. *)
+let fig5_new = function
+  | Mgs ->
+      ((n * n * m * m) + (i 2 * m * m) - (i 3 * n * m * m)) /: (i 8 * (m + s))
+      +: R.of_poly
+           ((i 5 * m) - (m * n) + (q 7 2 * n) - (q 1 2 * n * n) - s - i 6)
+  | A2v ->
+      (* 24 * (1 + S/(M-N)) = 24 (M - N + S) / (M - N); the paper's row
+         prints (1 - S/(N-M)), the same quantity. *)
+      (((i 3 * m * n * n) - (i 9 * m * n) + (i 7 * n) + (i 6 * m) - i 6
+       - (n * n * n))
+      * (m - n))
+      /: (i 24 * (m - n + s))
+      +: R.of_poly ((i 5 * m) - (m * n) + (i 5 * n) - s - i 13)
+  | V2q ->
+      (((i 3 * m * n * n) - (n * n * n) + (i 6 * m) + (i 7 * n) - (i 9 * m * n)
+       - i 6)
+      * (m - n))
+      /: (i 24 * (m - n + s))
+      +: R.of_poly
+           ((i 2 * m) + (i 2 * n) + (q 1 2 * n) - (q 1 2 * n * n) - s - i 4)
+  | Gebd2 ->
+      (((i 3 * m * n * n) - (n * n * n) + (i 3 * n * n) - (i 15 * m * n)
+       + (i 4 * n) + (i 18 * m) - i 12)
+      * (m - n + i 1))
+      /: (i 24 * (m - n + i 1 + s))
+      +: R.of_poly ((i 5 * n) + (i 7 * m) - (m * n) - s - i 18)
+  | Gehd2 ->
+      (* Split parameter instantiated at M = N/2 - 1 (proof of Theorem 9):
+         N - M - 1 = N/2. *)
+      let w = q 1 2 * n in
+      (((n * n * n) - (i 6 * n * n) + (i 11 * n) - i 6) * w)
+      /: (i 12 * (w + s))
+      +: R.of_poly ((i 12 * n) - (n * n) - s - i 19)
+
+let fig4_old = function
+  | Mgs | A2v | V2q | Gebd2 -> "Omega(M*N^2 / sqrt(S))"
+  | Gehd2 -> "Omega(N^3 / sqrt(S))"
+
+let fig4_new = function
+  | Mgs -> "Omega(M^2*N*(N-1) / (S+M))"
+  | A2v | V2q -> "Omega(M*N^2*(M-N) / (M-N+S))"
+  | Gebd2 -> "Omega(M*N^2*(M-N+1) / (8*(S+M-N+1)))"
+  | Gehd2 -> "Omega(N^4 / (N+2S))"
+
+let theorem_main = function
+  | Mgs -> (m * m * n * (n - i 1)) /: (i 8 * (s + m))
+  | A2v ->
+      (((i 3 * m) - n) * n * n * (m - n) * (m - n))
+      /: (i 24 * ((m * s) + ((m - n) * (m - n))))
+  | V2q ->
+      (n * (n - i 1) * ((i 3 * m) - n - i 1) * (m - n) * (m - n))
+      /: (i 24 * (((m - n) * (m - n)) + (s * m)))
+  | Gebd2 ->
+      (m * n * n * (m - n + i 1)) /: (i 8 * (s + m - n + i 1))
+  | Gehd2 -> (n * n * n * n) /: (i 12 * (n + (i 2 * s)))
+
+let theorem_small = function
+  | Mgs -> Some ((m - s) * n * (n - i 1) /: i 4)
+  | Gehd2 -> Some ((n * n * n) /: i 24)
+  | A2v | V2q | Gebd2 -> None
+
+let eval_at f ~m:mv ~n:nv ~s:sv =
+  let env = function
+    | "M" -> float_of_int mv
+    | "N" -> float_of_int nv
+    | "S" -> float_of_int sv
+    | "sqrtS" -> sqrt (float_of_int sv)
+    | x -> invalid_arg ("Paper_formulas.eval_at: unknown variable " ^ x)
+  in
+  R.eval_float_env env f

@@ -1,0 +1,38 @@
+(** The paper's published bounds, transcribed verbatim for comparison with
+    the engine's automatically derived ones.
+
+    All formulas are rational functions over the parameters [M], [N], [S]
+    and the auxiliary [sqrtS] (= sqrt S).  Where Figure 5 of the paper
+    writes [1 - S/(N-M)] for A2V (with [M > N], a sign slip for
+    [1 + S/(M-N)], the form used in the V2Q row), we transcribe the
+    corrected form and note it in EXPERIMENTS.md. *)
+
+type kernel = Mgs | A2v | V2q | Gebd2 | Gehd2
+
+val kernel_name : kernel -> string
+val all_kernels : kernel list
+
+(** Figure 5, "old bound" column (classical IOLB, with constants). *)
+val fig5_old : kernel -> Iolb_symbolic.Ratfun.t
+
+(** Figure 5, "new bound (hourglass)" column.  For GEHD2, the split
+    parameter [M] of the paper is instantiated at [M = N/2 - 1] as in the
+    proof of Theorem 9, so the formula is over [N] and [S] only. *)
+val fig5_new : kernel -> Iolb_symbolic.Ratfun.t
+
+(** Figure 4, asymptotic leading terms, as display strings. *)
+val fig4_old : kernel -> string
+
+val fig4_new : kernel -> string
+
+(** The theorems' closed-form leading bounds: Theorem 5 (MGS, both
+    regimes), 6 (A2V), 7 (V2Q), 8 (GEBD2), 9 (GEHD2). *)
+val theorem_main : kernel -> Iolb_symbolic.Ratfun.t
+
+(** The small-cache variants where stated: MGS's [(M-S) N (N-1) / 4]
+    (valid for [S <= M]) and GEHD2's [N^3/24] (valid for [N >> S]). *)
+val theorem_small : kernel -> Iolb_symbolic.Ratfun.t option
+
+(** [eval_at f ~m ~n ~s] evaluates a formula (binding [sqrtS] to [sqrt s]).
+    GEHD2 formulas ignore [m]. *)
+val eval_at : Iolb_symbolic.Ratfun.t -> m:int -> n:int -> s:int -> float

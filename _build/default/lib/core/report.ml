@@ -1,0 +1,167 @@
+module P = Iolb_symbolic.Polynomial
+module R = Iolb_symbolic.Ratfun
+module Rat = Iolb_util.Rat
+module K = Iolb_kernels
+
+type entry = {
+  kernel : Paper_formulas.kernel;
+  display : string;
+  program : Iolb_ir.Program.t;
+  verify_params : (string * int) list;
+  grid : (int * int * int) list;
+  finalize : R.t -> R.t;
+}
+
+let default_grid =
+  [
+    (64, 32, 16);
+    (64, 32, 256);
+    (128, 64, 64);
+    (256, 64, 1024);
+    (256, 128, 4096);
+    (512, 128, 1024);
+  ]
+
+(* GEHD2 is square (M is the loop-split point, not a matrix size); its
+   bounds are functions of N and S only after the split parameter is
+   instantiated at M = N/2 - 1 as in the proof of Theorem 9. *)
+let gehd2_split_subst =
+  P.add (P.scale Rat.half (P.var "N")) (P.of_int (-1))
+
+let registry =
+  [
+    {
+      kernel = Paper_formulas.Mgs;
+      display = "MGS";
+      program = K.Mgs.spec;
+      verify_params = [ ("M", 6); ("N", 4) ];
+      grid = default_grid;
+      finalize = Fun.id;
+    };
+    {
+      kernel = Paper_formulas.A2v;
+      display = "QR HH A2V";
+      program = K.Householder.a2v_spec;
+      verify_params = [ ("M", 7); ("N", 4) ];
+      grid = default_grid;
+      finalize = Fun.id;
+    };
+    {
+      kernel = Paper_formulas.V2q;
+      display = "QR HH V2Q";
+      program = K.Householder.v2q_spec;
+      verify_params = [ ("M", 7); ("N", 4) ];
+      grid = default_grid;
+      finalize = Fun.id;
+    };
+    {
+      kernel = Paper_formulas.Gebd2;
+      display = "GEBD2";
+      program = K.Gebd2.spec;
+      verify_params = [ ("M", 7); ("N", 4) ];
+      grid = default_grid;
+      finalize = Fun.id;
+    };
+    {
+      kernel = Paper_formulas.Gehd2;
+      display = "GEHD2";
+      program = K.Gehd2.split_spec;
+      verify_params = [ ("N", 9); ("M", 3) ];
+      grid =
+        [
+          (* m is ignored for GEHD2 (square N x N). *)
+          (0, 64, 16);
+          (0, 64, 128);
+          (0, 128, 64);
+          (0, 256, 1024);
+          (0, 512, 4096);
+        ];
+      finalize = R.subst "M" gehd2_split_subst;
+    };
+  ]
+
+let baselines =
+  [
+    ("gemm", K.Gemm.spec, [ ("M", 4); ("N", 4); ("K", 4) ]);
+    ("cholesky", K.Cholesky.spec, [ ("N", 8) ]);
+    ("lu", K.Lu.spec, [ ("N", 8) ]);
+    ("syrk", K.Syrk.spec, [ ("N", 6); ("K", 5) ]);
+    ("syr2k", K.Syr2k.spec, [ ("N", 6); ("K", 5) ]);
+    ("trsm", K.Trsm.spec, [ ("N", 6); ("M", 4) ]);
+    ("trmm", K.Trmm.spec, [ ("M", 6); ("N", 4) ]);
+    ("atax", K.Atax.spec, [ ("M", 6); ("N", 4) ]);
+    ("jacobi1d", K.Jacobi1d.spec, [ ("T", 4); ("N", 8) ]);
+  ]
+
+let find name =
+  match
+    List.find_opt
+      (fun e ->
+        String.lowercase_ascii e.display = String.lowercase_ascii name
+        || Paper_formulas.kernel_name e.kernel = String.lowercase_ascii name
+        || e.program.Iolb_ir.Program.name = name)
+      registry
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
+type analysis = {
+  entry : entry;
+  hourglasses : Hourglass.t list;
+  bounds : Derive.t list;
+}
+
+let analyze entry =
+  let hourglasses =
+    Hourglass.detect_verified ~params:entry.verify_params entry.program
+  in
+  let bounds =
+    Derive.analyze ~verify_params:entry.verify_params entry.program
+    |> List.map (fun (b : Derive.t) ->
+           {
+             b with
+             Derive.formula = entry.finalize b.Derive.formula;
+             s_max = Option.map entry.finalize b.Derive.s_max;
+           })
+  in
+  { entry; hourglasses; bounds }
+
+let params_of entry ~m ~n =
+  match entry.kernel with
+  | Paper_formulas.Gehd2 -> [ ("N", n) ]
+  | _ -> [ ("M", m); ("N", n) ]
+
+let eval_best a ~technique ~m ~n ~s =
+  let keep (b : Derive.t) =
+    match (technique, b.technique) with
+    | `Classical, Derive.Classical -> true
+    | `Hourglass, (Derive.Hourglass | Derive.Hourglass_small_s) -> true
+    | _ -> false
+  in
+  let params = params_of a.entry ~m ~n in
+  Derive.best ~params ~s (List.filter keep a.bounds)
+  |> Option.map (fun b -> Derive.eval b ~params ~s)
+
+type comparison_row = { m : int; n : int; s : int; engine : float; paper : float }
+
+let compare_with_paper a ~technique =
+  let paper_formula =
+    match technique with
+    | `Classical -> Paper_formulas.fig5_old a.entry.kernel
+    | `Hourglass -> Paper_formulas.fig5_new a.entry.kernel
+  in
+  List.filter_map
+    (fun (m, n, s) ->
+      match eval_best a ~technique ~m ~n ~s with
+      | None -> None
+      | Some engine ->
+          Some { m; n; s; engine; paper = Paper_formulas.eval_at paper_formula ~m ~n ~s })
+    a.entry.grid
+
+let pp_analysis fmt a =
+  Format.fprintf fmt "@[<v>== %s ==@," a.entry.display;
+  (match a.hourglasses with
+  | [] -> Format.fprintf fmt "no verified hourglass pattern@,"
+  | hs -> List.iter (fun h -> Format.fprintf fmt "%a@," Hourglass.pp h) hs);
+  List.iter (fun b -> Format.fprintf fmt "%a@," Derive.pp b) a.bounds;
+  Format.fprintf fmt "@]"

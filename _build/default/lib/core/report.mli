@@ -1,0 +1,66 @@
+(** Kernel registry and end-to-end analyses: ties together the kernel
+    specifications, the derivation engine and the paper's published
+    formulas.  This is the layer the CLI and the benchmark harness print. *)
+
+type entry = {
+  kernel : Paper_formulas.kernel;
+  display : string;
+  program : Iolb_ir.Program.t;
+  verify_params : (string * int) list;
+      (** small concrete sizes for empirical hourglass verification *)
+  grid : (int * int * int) list;
+      (** representative (m, n, s) evaluation points *)
+  finalize : Iolb_symbolic.Ratfun.t -> Iolb_symbolic.Ratfun.t;
+      (** post-processing of derived formulas (e.g. GEHD2 instantiates the
+          loop-split parameter at M = N/2 - 1, as in Theorem 9's proof) *)
+}
+
+(** The five kernels of the paper, in Figure 4/5 order. *)
+val registry : entry list
+
+(** Baseline kernels outside the paper's evaluation (GEMM, Cholesky, LU,
+    SYRK, SYR2K, TRSM, TRMM, ATAX, Jacobi-1D): name, program, and concrete
+    verification parameters.  None of them has a (verified) hourglass;
+    they exercise the classical path and the negative controls. *)
+val baselines : (string * Iolb_ir.Program.t * (string * int) list) list
+
+(** [find name] looks up a paper kernel by kernel/display/program name.
+    @raise Not_found otherwise (baselines are not entries: they have no
+    paper formulas attached; see {!baselines}). *)
+val find : string -> entry
+
+type analysis = {
+  entry : entry;
+  hourglasses : Hourglass.t list;  (** empirically verified patterns *)
+  bounds : Derive.t list;  (** finalized derived bounds *)
+}
+
+val analyze : entry -> analysis
+
+(** Best derived bound of a given technique class, evaluated at a point.
+    [`Hourglass] considers both the main and small-cache variants and
+    returns the best applicable. *)
+val eval_best :
+  analysis ->
+  technique:[ `Classical | `Hourglass ] ->
+  m:int ->
+  n:int ->
+  s:int ->
+  float option
+
+(** Engine-vs-paper ratio table rows: for each grid point, the evaluation
+    of the engine bound, of the paper bound, and their ratio. *)
+type comparison_row = {
+  m : int;
+  n : int;
+  s : int;
+  engine : float;
+  paper : float;
+}
+
+val compare_with_paper :
+  analysis ->
+  technique:[ `Classical | `Hourglass ] ->
+  comparison_row list
+
+val pp_analysis : Format.formatter -> analysis -> unit

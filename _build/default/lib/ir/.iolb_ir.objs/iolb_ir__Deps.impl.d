@@ -1,0 +1,1 @@
+lib/ir/deps.ml: Access Array Format Iolb_poly List Program

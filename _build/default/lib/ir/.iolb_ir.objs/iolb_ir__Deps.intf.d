@@ -1,0 +1,1 @@
+lib/ir/deps.mli: Format Iolb_poly Program

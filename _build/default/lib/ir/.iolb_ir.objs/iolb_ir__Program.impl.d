@@ -1,0 +1,1 @@
+lib/ir/program.ml: Access Array Format Hashtbl Iolb_poly Iolb_symbolic List Printf String

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Access Format Iolb_poly Iolb_symbolic

@@ -1,0 +1,45 @@
+module Affine = Iolb_poly.Affine
+
+type t = { array : string; index : Affine.t list }
+
+let make array index = { array; index }
+let scalar x = { array = x; index = [] }
+
+let eval env a =
+  (a.array, Array.of_list (List.map (Affine.eval env) a.index))
+
+let dims_used a =
+  List.sort_uniq String.compare (List.concat_map Affine.vars a.index)
+
+let selected_dims ~dims a =
+  let exception Not_coordinate in
+  try
+    let seen = Hashtbl.create 4 in
+    let sel =
+      List.filter_map
+        (fun e ->
+          let loop_vars = List.filter (fun x -> List.mem x dims) (Affine.vars e) in
+          match loop_vars with
+          | [] -> None (* constant or parameter-only index *)
+          | [ x ] ->
+              if Affine.coeff x e <> 1 && Affine.coeff x e <> -1 then
+                raise Not_coordinate;
+              if Hashtbl.mem seen x then raise Not_coordinate;
+              Hashtbl.add seen x ();
+              Some x
+          | _ -> raise Not_coordinate)
+        a.index
+    in
+    Some sel
+  with Not_coordinate -> None
+
+let equal a b = a.array = b.array && List.equal Affine.equal a.index b.index
+
+let pp fmt a =
+  if a.index = [] then Format.pp_print_string fmt a.array
+  else
+    Format.fprintf fmt "%s[%a]" a.array
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "][")
+         Affine.pp)
+      a.index

@@ -1,0 +1,32 @@
+(** Affine array accesses.
+
+    An access names an array and gives one affine index expression per array
+    dimension; scalars are zero-dimensional arrays.  The index expressions
+    range over the enclosing loop variables and the program parameters. *)
+
+type t = { array : string; index : Iolb_poly.Affine.t list }
+
+(** [make array index] builds an access. *)
+val make : string -> Iolb_poly.Affine.t list -> t
+
+(** [scalar x] is the access to the scalar variable [x]. *)
+val scalar : string -> t
+
+(** [eval env a] is the concrete cell [(array, indices)] accessed under the
+    (total) environment [env]. *)
+val eval : (string -> int) -> t -> string * int array
+
+(** [dims_used a] is the sorted list of variables occurring in the index
+    expressions. *)
+val dims_used : t -> string list
+
+(** [selected_dims ~dims a] is [Some sel] when every index expression of [a]
+    is of the form [x + c] for a loop variable [x] (each used at most once)
+    or a constant/parameter-only expression; [sel] then lists the loop
+    variables selected, in index order.  This identifies accesses that act
+    as coordinate projections of the iteration vector - the only shape the
+    Brascamp-Lieb step of the derivation consumes. *)
+val selected_dims : dims:string list -> t -> string list option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

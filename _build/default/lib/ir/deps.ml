@@ -1,0 +1,86 @@
+module Affine = Iolb_poly.Affine
+module Constr = Iolb_poly.Constr
+module Iset = Iolb_poly.Iset
+
+type t = {
+  writer : string;
+  reader : string;
+  array : string;
+  relation : Iset.t;
+  writer_dims : string list;
+  reader_dims : string list;
+}
+
+let rename_writer_dim d = "w$" ^ d
+
+let rename_expr dims e =
+  List.fold_left
+    (fun e d -> Affine.subst d (Affine.var (rename_writer_dim d)) e)
+    e dims
+
+let domain_constraints ~rename (info : Program.stmt_info) =
+  List.concat_map
+    (fun (d, lo, hi) ->
+      let dv = if rename then rename_writer_dim d else d in
+      let lo = if rename then rename_expr info.dims lo else lo in
+      let hi = if rename then rename_expr info.dims hi else hi in
+      [ Constr.ge_of (Affine.var dv) lo; Constr.le_of (Affine.var dv) hi ])
+    info.bounds
+
+let relation_of (w : Program.stmt_info) (waccess : Access.t)
+    (r : Program.stmt_info) (raccess : Access.t) =
+  let writer_dims = List.map rename_writer_dim w.dims in
+  let dims = writer_dims @ r.dims in
+  let equalities =
+    List.map2
+      (fun we re -> Constr.eq_of (rename_expr w.dims we) re)
+      waccess.index raccess.index
+  in
+  {
+    writer = w.def.name;
+    reader = r.def.name;
+    array = waccess.array;
+    relation =
+      Iset.make ~dims
+        (domain_constraints ~rename:true w
+        @ domain_constraints ~rename:false r
+        @ equalities);
+    writer_dims;
+    reader_dims = r.dims;
+  }
+
+let relations p =
+  let stmts = Program.statements p in
+  List.concat_map
+    (fun (w : Program.stmt_info) ->
+      List.concat_map
+        (fun (waccess : Access.t) ->
+          List.concat_map
+            (fun (r : Program.stmt_info) ->
+              List.filter_map
+                (fun (raccess : Access.t) ->
+                  if
+                    raccess.array = waccess.array
+                    && List.length raccess.index = List.length waccess.index
+                  then Some (relation_of w waccess r raccess)
+                  else None)
+                r.def.reads)
+            stmts)
+        w.def.writes)
+    stmts
+
+let between p ~writer ~reader =
+  List.filter (fun d -> d.writer = writer && d.reader = reader) (relations p)
+
+let may_depend ~params d = not (Iset.is_empty ~params d.relation)
+
+let instance_pairs ~params d =
+  let nw = List.length d.writer_dims in
+  List.map
+    (fun point ->
+      (Array.sub point 0 nw, Array.sub point nw (Array.length point - nw)))
+    (Iset.enumerate ~params d.relation)
+
+let pp fmt d =
+  Format.fprintf fmt "%s -> %s via %s: %a" d.writer d.reader d.array Iset.pp
+    d.relation

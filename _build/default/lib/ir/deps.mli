@@ -1,0 +1,47 @@
+(** Symbolic (may-)dependence relations between statements.
+
+    For a writer statement [w] and reader statement [r] touching the same
+    array, the relation is the integer set of pairs (writer instance,
+    reader instance) whose accesses address the same cell:
+
+    [{ (src, dst) | w_index(src) = r_index(dst), src in D_w, dst in D_r }]
+
+    over the concatenated dimension spaces (writer dimensions renamed with
+    a [w$] prefix to avoid capture).  This is a {e may}-dependence: it does
+    not apply last-writer killing, so it over-approximates the exact flow
+    dependences of the CDAG - and must contain every CDAG edge, which the
+    test suite checks.  The hourglass detector uses its emptiness/shape
+    questions; the exact dataflow lives in {!Iolb_cdag.Cdag}. *)
+
+type t = {
+  writer : string;
+  reader : string;
+  array : string;
+  (* The relation set: dimensions are the writer's (renamed [w$x]) followed
+     by the reader's. *)
+  relation : Iolb_poly.Iset.t;
+  writer_dims : string list;  (** renamed writer dimensions, in order *)
+  reader_dims : string list;
+}
+
+(** The renaming applied to writer dimensions. *)
+val rename_writer_dim : string -> string
+
+(** [relations p] enumerates all (writer access, reader access) pairs of
+    distinct or equal statements on a common array and builds their
+    relations.  Scalar (0-dimensional) arrays relate all instances, with an
+    unconstrained relation. *)
+val relations : Program.t -> t list
+
+(** [between p ~writer ~reader] filters {!relations} by statement names. *)
+val between : Program.t -> writer:string -> reader:string -> t list
+
+(** [may_depend ~params d] tests non-emptiness at concrete parameters. *)
+val may_depend : params:(string * int) list -> t -> bool
+
+(** [instance_pairs ~params d] enumerates the concrete (writer vec, reader
+    vec) pairs of the relation. *)
+val instance_pairs :
+  params:(string * int) list -> t -> (int array * int array) list
+
+val pp : Format.formatter -> t -> unit

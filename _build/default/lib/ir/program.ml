@@ -1,0 +1,245 @@
+module Affine = Iolb_poly.Affine
+module Iset = Iolb_poly.Iset
+module Constr = Iolb_poly.Constr
+module P = Iolb_symbolic.Polynomial
+
+type stmt = { name : string; writes : Access.t list; reads : Access.t list }
+
+type node =
+  | Loop of {
+      var : string;
+      lo : Affine.t;
+      hi : Affine.t;
+      rev : bool;
+      body : node list;
+    }
+  | Stmt of stmt
+
+type t = {
+  name : string;
+  params : string list;
+  assumptions : Constr.t list;
+  body : node list;
+}
+
+let loop var lo hi body = Loop { var; lo; hi; rev = false; body }
+
+let loop_lt var lo hi_excl body =
+  Loop { var; lo; hi = Affine.sub hi_excl (Affine.const 1); rev = false; body }
+
+let loop_rev var lo hi body = Loop { var; lo; hi; rev = true; body }
+
+let stmt name ~writes ~reads = Stmt { name; writes; reads }
+
+let rec check_node params path seen_names = function
+  | Stmt s ->
+      if List.mem s.name !seen_names then
+        invalid_arg (Printf.sprintf "Program.make: duplicate statement %s" s.name);
+      seen_names := s.name :: !seen_names;
+      let visible = path @ params in
+      let check_access a =
+        List.iter
+          (fun x ->
+            if not (List.mem x visible) then
+              invalid_arg
+                (Printf.sprintf
+                   "Program.make: access %s in statement %s uses unbound %s"
+                   (Format.asprintf "%a" Access.pp a)
+                   s.name x))
+          (Access.dims_used a)
+      in
+      List.iter check_access s.writes;
+      List.iter check_access s.reads
+  | Loop { var; lo; hi; rev = _; body } ->
+      if List.mem var path then
+        invalid_arg (Printf.sprintf "Program.make: loop variable %s shadows" var);
+      let visible = path @ params in
+      List.iter
+        (fun e ->
+          List.iter
+            (fun x ->
+              if not (List.mem x visible) then
+                invalid_arg
+                  (Printf.sprintf "Program.make: loop bound uses unbound %s" x))
+            (Affine.vars e))
+        [ lo; hi ];
+      List.iter (check_node params (var :: path) seen_names) body
+
+let make ~name ~params ~assumptions body =
+  let seen = ref [] in
+  List.iter (check_node params [] seen) body;
+  { name; params; assumptions; body }
+
+type stmt_info = {
+  def : stmt;
+  dims : string list;
+  bounds : (string * Affine.t * Affine.t) list;
+  path : int list;
+}
+
+let statements p =
+  let counter = ref 0 in
+  let rec walk bounds path acc = function
+    | Stmt def ->
+        {
+          def;
+          dims = List.map (fun (v, _, _) -> v) (List.rev bounds);
+          bounds = List.rev bounds;
+          path = List.rev path;
+        }
+        :: acc
+    | Loop { var; lo; hi; rev = _; body } ->
+        let id = !counter in
+        incr counter;
+        List.fold_left (walk ((var, lo, hi) :: bounds) (id :: path)) acc body
+  in
+  List.rev (List.fold_left (fun acc n -> walk [] [] acc n) [] p.body)
+
+let shared_loop_vars a b =
+  let rec go vars pa pb =
+    match (vars, pa, pb) with
+    | v :: vars, ia :: pa, ib :: pb when ia = ib -> v :: go vars pa pb
+    | _ -> []
+  in
+  go a.dims a.path b.path
+
+let find_stmt p name =
+  match List.find_opt (fun i -> i.def.name = name) (statements p) with
+  | Some i -> i
+  | None -> raise Not_found
+
+let domain info =
+  let cons =
+    List.concat_map
+      (fun (v, lo, hi) ->
+        [ Constr.ge_of (Affine.var v) lo; Constr.le_of (Affine.var v) hi ])
+      info.bounds
+  in
+  Iset.make ~dims:info.dims cons
+
+let cardinal info =
+  List.fold_left
+    (fun inner (v, lo, hi) ->
+      P.sum_over v ~lo:(Affine.to_polynomial lo) ~hi:(Affine.to_polynomial hi)
+        inner)
+    P.one (List.rev info.bounds)
+
+let total_instances p =
+  List.fold_left (fun acc i -> P.add acc (cardinal i)) P.zero (statements p)
+
+(* Adversarial substitution of the outer dimensions into an affine
+   expression: replaces each outer variable, innermost first, by whichever
+   of its bounds drives the expression towards its minimum (for
+   [extent_min]) or maximum (for [extent_max]). *)
+let extremize ~minimize info expr =
+  let rec go expr = function
+    | [] -> expr
+    | (v, lo, hi) :: outer_rest ->
+        let c = Affine.coeff v expr in
+        let expr =
+          if c = 0 then expr
+          else
+            let bound =
+              if (c > 0) = minimize then lo else hi
+            in
+            Affine.subst v bound expr
+        in
+        go expr outer_rest
+  in
+  (* bounds are listed outermost first; process innermost first. *)
+  go expr (List.rev info.bounds)
+
+let trip_count (_, lo, hi) =
+  Affine.add (Affine.sub hi lo) (Affine.const 1)
+
+let find_bound info x =
+  match List.find_opt (fun (v, _, _) -> v = x) info.bounds with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Program: %s is not a dimension" x)
+
+let extent_min info x = extremize ~minimize:true info (trip_count (find_bound info x))
+let extent_max info x = extremize ~minimize:false info (trip_count (find_bound info x))
+
+type instance = {
+  stmt_name : string;
+  vec : int array;
+  loads : (string * int array) list;
+  stores : (string * int array) list;
+}
+
+let iter_instances ~params p f =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (x, v) -> Hashtbl.replace env x v) params;
+  let lookup x =
+    match Hashtbl.find_opt env x with
+    | Some v -> v
+    | None -> raise Not_found
+  in
+  let rec exec path = function
+    | Stmt s ->
+        let vec = Array.of_list (List.rev_map lookup path) in
+        f
+          {
+            stmt_name = s.name;
+            vec;
+            loads = List.map (Access.eval lookup) s.reads;
+            stores = List.map (Access.eval lookup) s.writes;
+          }
+    | Loop { var; lo; hi; rev; body } ->
+        let lo = Affine.eval lookup lo and hi = Affine.eval lookup hi in
+        let visit v =
+          Hashtbl.replace env var v;
+          List.iter (exec (var :: path)) body
+        in
+        if rev then
+          for v = hi downto lo do
+            visit v
+          done
+        else
+          for v = lo to hi do
+            visit v
+          done;
+        Hashtbl.remove env var
+  in
+  List.iter (exec []) p.body
+
+let count_instances ~params p =
+  let n = ref 0 in
+  iter_instances ~params p (fun _ -> incr n);
+  !n
+
+let input_arrays ~params p =
+  let written = Hashtbl.create 16 in
+  let inputs = ref [] in
+  iter_instances ~params p (fun inst ->
+      List.iter
+        (fun (a, cell) ->
+          if (not (Hashtbl.mem written (a, cell))) && not (List.mem a !inputs)
+          then inputs := a :: !inputs)
+        inst.loads;
+      List.iter (fun (a, cell) -> Hashtbl.replace written (a, cell) ()) inst.stores);
+  List.rev !inputs
+
+let pp fmt p =
+  let rec pp_node indent fmt = function
+    | Stmt s ->
+        Format.fprintf fmt "%s%s: %a = f(%a)\n" indent s.name
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+             Access.pp)
+          s.writes
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+             Access.pp)
+          s.reads
+    | Loop { var; lo; hi; rev; body } ->
+        if rev then
+          Format.fprintf fmt "%sfor %s = %a downto %a:\n" indent var Affine.pp
+            hi Affine.pp lo
+        else
+          Format.fprintf fmt "%sfor %s = %a .. %a:\n" indent var Affine.pp lo
+            Affine.pp hi;
+        List.iter (pp_node (indent ^ "  ") fmt) body
+  in
+  Format.fprintf fmt "program %s(%s):\n" p.name (String.concat ", " p.params);
+  List.iter (pp_node "  " fmt) p.body

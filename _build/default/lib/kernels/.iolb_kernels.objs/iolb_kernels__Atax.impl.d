@@ -1,0 +1,1 @@
+lib/kernels/atax.ml: Array Constr Matrix Program Shorthand

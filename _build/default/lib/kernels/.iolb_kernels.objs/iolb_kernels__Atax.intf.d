@@ -1,0 +1,1 @@
+lib/kernels/atax.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/cholesky.ml: Constr Matrix Program Shorthand

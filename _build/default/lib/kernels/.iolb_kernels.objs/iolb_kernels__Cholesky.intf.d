@@ -1,0 +1,1 @@
+lib/kernels/cholesky.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/gebd2.ml: Array Constr Householder Matrix Program Shorthand

@@ -1,0 +1,1 @@
+lib/kernels/gebd2.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/gehd2.ml: Array Constr Matrix Program Shorthand

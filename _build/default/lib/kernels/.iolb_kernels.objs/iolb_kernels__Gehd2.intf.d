@@ -1,0 +1,1 @@
+lib/kernels/gehd2.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/gemm.ml: Affine Constr Matrix Printf Program Shorthand

@@ -1,0 +1,1 @@
+lib/kernels/gemm.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/householder.ml: Affine Array Constr List Matrix Printf Program Shorthand

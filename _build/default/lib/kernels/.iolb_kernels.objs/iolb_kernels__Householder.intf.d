@@ -1,0 +1,1 @@
+lib/kernels/householder.mli: Iolb_ir Matrix

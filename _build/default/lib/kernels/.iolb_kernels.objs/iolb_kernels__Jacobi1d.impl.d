@@ -1,0 +1,1 @@
+lib/kernels/jacobi1d.ml: Array Constr Program Shorthand

@@ -1,0 +1,1 @@
+lib/kernels/jacobi1d.mli: Iolb_ir

@@ -1,0 +1,1 @@
+lib/kernels/lu.ml: Constr Matrix Program Shorthand

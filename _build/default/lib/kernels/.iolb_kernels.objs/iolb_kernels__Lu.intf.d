@@ -1,0 +1,1 @@
+lib/kernels/lu.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/matrix.ml: Array Float Format Random

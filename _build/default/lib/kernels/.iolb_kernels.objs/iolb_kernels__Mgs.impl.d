@@ -1,0 +1,1 @@
+lib/kernels/mgs.ml: Affine Constr Matrix Printf Program Shorthand

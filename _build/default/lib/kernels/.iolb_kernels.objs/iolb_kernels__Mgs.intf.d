@@ -1,0 +1,1 @@
+lib/kernels/mgs.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/shorthand.ml: Iolb_ir Iolb_poly

@@ -1,0 +1,1 @@
+lib/kernels/syr2k.ml: Constr Matrix Program Shorthand

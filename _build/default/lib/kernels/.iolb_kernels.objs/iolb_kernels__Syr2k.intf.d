@@ -1,0 +1,1 @@
+lib/kernels/syr2k.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/syrk.ml: Constr Matrix Program Shorthand

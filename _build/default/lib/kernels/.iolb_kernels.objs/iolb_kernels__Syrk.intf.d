@@ -1,0 +1,1 @@
+lib/kernels/syrk.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/trmm.ml: Constr Matrix Program Shorthand

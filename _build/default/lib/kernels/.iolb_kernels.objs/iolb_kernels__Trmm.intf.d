@@ -1,0 +1,1 @@
+lib/kernels/trmm.mli: Iolb_ir Matrix

@@ -1,0 +1,1 @@
+lib/kernels/trsm.ml: Constr Matrix Program Shorthand

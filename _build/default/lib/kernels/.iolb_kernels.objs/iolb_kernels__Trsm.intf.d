@@ -1,0 +1,1 @@
+lib/kernels/trsm.mli: Iolb_ir Matrix

@@ -1,0 +1,67 @@
+open Shorthand
+
+let spec =
+  let n = v "N" in
+  Program.make ~name:"cholesky" ~params:[ "N" ]
+    ~assumptions:[ Constr.ge_of (v "N") (c 1) ]
+    [
+      loop_lt "k" (c 0) n
+        [
+          (* Left-looking: fold the already-computed columns j < k into
+             column k, then scale. *)
+          loop_lt "j" (c 0) (v "k")
+            [
+              loop_lt "i" (v "k") n
+                [
+                  stmt "Sup"
+                    ~writes:[ a2 "A" (v "i") (v "k") ]
+                    ~reads:
+                      [
+                        a2 "A" (v "i") (v "k");
+                        a2 "A" (v "i") (v "j");
+                        a2 "A" (v "k") (v "j");
+                      ];
+                ];
+            ];
+          stmt "Ssq"
+            ~writes:[ a2 "A" (v "k") (v "k") ]
+            ~reads:[ a2 "A" (v "k") (v "k") ];
+          loop_lt "i" (v "k" +! c 1) n
+            [
+              stmt "Sdv"
+                ~writes:[ a2 "A" (v "i") (v "k") ]
+                ~reads:[ a2 "A" (v "i") (v "k"); a2 "A" (v "k") (v "k") ];
+            ];
+        ];
+    ]
+
+let factor a =
+  let n, n' = Matrix.dims a in
+  if n <> n' then invalid_arg "Cholesky.factor: need a square matrix";
+  let l = Matrix.copy a in
+  for k = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      for i = k to n - 1 do
+        Matrix.set l i k (Matrix.get l i k -. (Matrix.get l i j *. Matrix.get l k j))
+      done
+    done;
+    let piv = Matrix.get l k k in
+    if piv <= 0. then invalid_arg "Cholesky.factor: matrix is not SPD";
+    Matrix.set l k k (sqrt piv);
+    for i = k + 1 to n - 1 do
+      Matrix.set l i k (Matrix.get l i k /. Matrix.get l k k)
+    done
+  done;
+  (* Zero the strictly-upper part left over from A. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Matrix.set l i j 0.
+    done
+  done;
+  l
+
+let random_spd ?(seed = 7) n =
+  let a = Matrix.random ~seed n n in
+  let ata = Matrix.mul (Matrix.transpose a) a in
+  Matrix.init n n (fun i j ->
+      Matrix.get ata i j +. if i = j then float_of_int n else 0.)

@@ -1,0 +1,17 @@
+(** Dense matrix multiplication [C = A * B], the classical baseline: its
+    K-partition bound (Theta(MNK / sqrt(S))) has no hourglass improvement,
+    which exercises the classical derivation path of the engine. *)
+
+(** The polyhedral program over [M], [N], [K]:
+    [C(i,j) = sum_k A(i,k) * B(k,j)]. *)
+val spec : Iolb_ir.Program.t
+
+(** [run a b] computes the product with the spec's loop order. *)
+val run : Matrix.t -> Matrix.t -> Matrix.t
+
+(** [tiled_spec ~m ~n ~k ~b] is the classic cubic-blocked ordering as a
+    concrete program for trace generation (all of [b] must divide the
+    corresponding sizes).  With [3 b^2 <= S] its I/O is
+    [~ 2 m n k / b + m n], matching the classical lower bound's
+    [Theta(m n k / sqrt S)] shape. *)
+val tiled_spec : m:int -> n:int -> k:int -> b:int -> Iolb_ir.Program.t

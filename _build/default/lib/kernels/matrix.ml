@@ -1,0 +1,89 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let random ?(seed = 42) rows cols =
+  let state = Random.State.make [| seed; rows; cols |] in
+  init rows cols (fun _ _ -> Random.State.float state 2. -. 1.)
+
+let dims m = (m.rows, m.cols)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let sub a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.sub: dimension mismatch";
+  { a with data = Array.mapi (fun idx v -> v -. b.data.(idx)) a.data }
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. m.data)
+
+let max_abs m = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. m.data
+
+let submatrix m ~row ~col ~rows ~cols =
+  if row < 0 || col < 0 || row + rows > m.rows || col + cols > m.cols then
+    invalid_arg "Matrix.submatrix: out of range";
+  init rows cols (fun i j -> get m (row + i) (col + j))
+
+let rel_error a b =
+  let denom = Float.max 1. (frobenius a) in
+  frobenius (sub a b) /. denom
+
+let orthogonality_error q =
+  let qtq = mul (transpose q) q in
+  frobenius (sub qtq (identity q.cols))
+
+let entrywise_ok pred ?(tol = 1e-10) m =
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      if (not (pred i j)) && Float.abs (get m i j) > tol then ok := false
+    done
+  done;
+  !ok
+
+let is_upper_triangular ?tol m = entrywise_ok (fun i j -> j >= i) ?tol m
+
+let is_upper_bidiagonal ?tol m =
+  entrywise_ok (fun i j -> j = i || j = i + 1) ?tol m
+
+let is_upper_hessenberg ?tol m = entrywise_ok (fun i j -> j >= i - 1) ?tol m
+
+let pp fmt m =
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Format.fprintf fmt "%10.4f " (get m i j)
+    done;
+    Format.pp_print_newline fmt ()
+  done

@@ -1,0 +1,49 @@
+(** Dense row-major float64 matrices: just enough linear algebra to run the
+    paper's kernels and check their numeric correctness. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val copy : t -> t
+val identity : int -> t
+
+(** Deterministic pseudo-random matrix with entries in [-1, 1]. *)
+val random : ?seed:int -> int -> int -> t
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val dims : t -> int * int
+
+(** [mul a b] is the matrix product. @raise Invalid_argument on mismatch. *)
+val mul : t -> t -> t
+
+val transpose : t -> t
+val sub : t -> t -> t
+
+(** Frobenius norm. *)
+val frobenius : t -> float
+
+(** [max_abs m] is the largest absolute entry. *)
+val max_abs : t -> float
+
+(** [submatrix m ~row ~col ~rows ~cols] copies a block. *)
+val submatrix : t -> row:int -> col:int -> rows:int -> cols:int -> t
+
+(** Relative reconstruction error [|a - b| / max(1, |a|)] in Frobenius norm. *)
+val rel_error : t -> t -> float
+
+(** [orthogonality_error q] is [|Q^T Q - I|] (Frobenius), for tall [q]. *)
+val orthogonality_error : t -> float
+
+(** [is_upper_triangular ?tol m] up to [tol] (default 1e-10). *)
+val is_upper_triangular : ?tol:float -> t -> bool
+
+(** [is_upper_bidiagonal ?tol m]: non-zeros only on the diagonal and the
+    first superdiagonal. *)
+val is_upper_bidiagonal : ?tol:float -> t -> bool
+
+(** [is_upper_hessenberg ?tol m]: zeros below the first subdiagonal. *)
+val is_upper_hessenberg : ?tol:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(* Internal shorthands for writing kernel specifications.  Not exported in
+   the library interface; each kernel module opens this locally. *)
+
+module Affine = Iolb_poly.Affine
+module Constr = Iolb_poly.Constr
+module Access = Iolb_ir.Access
+module Program = Iolb_ir.Program
+
+let v = Affine.var
+let c = Affine.const
+let ( +! ) = Affine.add
+let ( -! ) = Affine.sub
+
+(* 2-D, 1-D and scalar accesses. *)
+let a2 name i j = Access.make name [ i; j ]
+let a1 name i = Access.make name [ i ]
+let sc = Access.scalar
+
+let loop = Program.loop
+let loop_lt = Program.loop_lt
+let loop_rev = Program.loop_rev
+let stmt = Program.stmt

@@ -1,0 +1,27 @@
+open Shorthand
+
+let spec =
+  Program.make ~name:"syrk" ~params:[ "N"; "K" ]
+    ~assumptions:[ Constr.ge_of (v "N") (c 1); Constr.ge_of (v "K") (c 1) ]
+    [
+      loop_lt "i" (c 0) (v "N")
+        [
+          loop "j" (c 0) (v "i")
+            [
+              stmt "C0" ~writes:[ a2 "C" (v "i") (v "j") ] ~reads:[];
+              loop_lt "k" (c 0) (v "K")
+                [
+                  stmt "SC"
+                    ~writes:[ a2 "C" (v "i") (v "j") ]
+                    ~reads:
+                      [
+                        a2 "C" (v "i") (v "j");
+                        a2 "A" (v "i") (v "k");
+                        a2 "A" (v "j") (v "k");
+                      ];
+                ];
+            ];
+        ];
+    ]
+
+let run a = Matrix.mul a (Matrix.transpose a)

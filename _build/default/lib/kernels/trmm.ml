@@ -1,0 +1,40 @@
+open Shorthand
+
+let spec =
+  Program.make ~name:"trmm" ~params:[ "M"; "N" ]
+    ~assumptions:[ Constr.ge_of (v "M") (c 1); Constr.ge_of (v "N") (c 1) ]
+    [
+      loop_lt "i" (c 0) (v "M")
+        [
+          loop_lt "j" (c 0) (v "N")
+            [
+              loop_lt "k" (v "i" +! c 1) (v "M")
+                [
+                  stmt "SB"
+                    ~writes:[ a2 "B" (v "i") (v "j") ]
+                    ~reads:
+                      [
+                        a2 "B" (v "i") (v "j");
+                        a2 "A" (v "k") (v "i");
+                        a2 "B" (v "k") (v "j");
+                      ];
+                ];
+            ];
+        ];
+    ]
+
+let run a b =
+  let m, _ = Matrix.dims a in
+  let _, n = Matrix.dims b in
+  let out = Matrix.copy b in
+  (* Rows processed upward-dependency-free: row i only reads rows k > i of
+     the original B, which the i-ascending order leaves... rows k > i are
+     updated after row i, so reading [out] is reading original values. *)
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      for k = i + 1 to m - 1 do
+        Matrix.set out i j (Matrix.get out i j +. (Matrix.get a k i *. Matrix.get out k j))
+      done
+    done
+  done;
+  out

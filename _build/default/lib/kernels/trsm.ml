@@ -1,0 +1,42 @@
+open Shorthand
+
+let spec =
+  Program.make ~name:"trsm" ~params:[ "N"; "M" ]
+    ~assumptions:[ Constr.ge_of (v "N") (c 1); Constr.ge_of (v "M") (c 1) ]
+    [
+      loop_lt "j" (c 0) (v "M")
+        [
+          loop_lt "i" (c 0) (v "N")
+            [
+              loop_lt "k" (c 0) (v "i")
+                [
+                  stmt "SR"
+                    ~writes:[ a2 "B" (v "i") (v "j") ]
+                    ~reads:
+                      [
+                        a2 "B" (v "i") (v "j");
+                        a2 "L" (v "i") (v "k");
+                        a2 "B" (v "k") (v "j");
+                      ];
+                ];
+              stmt "Sdv"
+                ~writes:[ a2 "B" (v "i") (v "j") ]
+                ~reads:[ a2 "B" (v "i") (v "j"); a2 "L" (v "i") (v "i") ];
+            ];
+        ];
+    ]
+
+let solve l b =
+  let n, n' = Matrix.dims l in
+  let n'', m = Matrix.dims b in
+  if n <> n' || n <> n'' then invalid_arg "Trsm.solve: dimension mismatch";
+  let x = Matrix.copy b in
+  for j = 0 to m - 1 do
+    for i = 0 to n - 1 do
+      for k = 0 to i - 1 do
+        Matrix.set x i j (Matrix.get x i j -. (Matrix.get l i k *. Matrix.get x k j))
+      done;
+      Matrix.set x i j (Matrix.get x i j /. Matrix.get l i i)
+    done
+  done;
+  x

@@ -1,0 +1,245 @@
+module Rat = Iolb_util.Rat
+
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : Rat.t array; rel : relation; rhs : Rat.t }
+type objective = Minimize | Maximize
+
+type outcome =
+  | Optimal of { value : Rat.t; solution : Rat.t array }
+  | Unbounded
+  | Infeasible
+
+let constr coeffs rel rhs =
+  {
+    coeffs = Array.of_list (List.map Rat.of_int coeffs);
+    rel;
+    rhs = Rat.of_int rhs;
+  }
+
+(* Dense tableau: [rows] constraint rows over [ncols] structural+slack+
+   artificial columns, plus a right-hand side per row, plus an objective row
+   of reduced costs.  [basis.(i)] is the column basic in row [i]. *)
+type tableau = {
+  rows : Rat.t array array; (* m x ncols *)
+  rhs : Rat.t array; (* m *)
+  obj : Rat.t array; (* ncols, reduced costs *)
+  mutable objval : Rat.t; (* current objective value (to be minimised) *)
+  basis : int array; (* m *)
+}
+
+let pivot t ~row ~col =
+  let m = Array.length t.rows and n = Array.length t.obj in
+  let piv = t.rows.(row).(col) in
+  assert (not (Rat.is_zero piv));
+  let inv = Rat.inv piv in
+  for j = 0 to n - 1 do
+    t.rows.(row).(j) <- Rat.mul t.rows.(row).(j) inv
+  done;
+  t.rhs.(row) <- Rat.mul t.rhs.(row) inv;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = t.rows.(i).(col) in
+      if not (Rat.is_zero f) then begin
+        for j = 0 to n - 1 do
+          t.rows.(i).(j) <-
+            Rat.sub t.rows.(i).(j) (Rat.mul f t.rows.(row).(j))
+        done;
+        t.rhs.(i) <- Rat.sub t.rhs.(i) (Rat.mul f t.rhs.(row))
+      end
+    end
+  done;
+  let f = t.obj.(col) in
+  if not (Rat.is_zero f) then begin
+    for j = 0 to n - 1 do
+      t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul f t.rows.(row).(j))
+    done;
+    t.objval <- Rat.sub t.objval (Rat.mul f t.rhs.(row))
+  end;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering column = lowest-index negative reduced cost among
+   allowed columns; leaving row = lexicographic min ratio with lowest basic
+   index as tie-break.  Returns [Ok ()] at optimality, [Error `Unbounded]. *)
+let optimise t ~allowed =
+  let m = Array.length t.rows and n = Array.length t.obj in
+  let rec loop () =
+    let entering = ref (-1) in
+    (let j = ref 0 in
+     while !entering < 0 && !j < n do
+       if allowed !j && Rat.sign t.obj.(!j) < 0 then entering := !j;
+       incr j
+     done);
+    if !entering < 0 then Ok ()
+    else begin
+      let col = !entering in
+      let leaving = ref (-1) in
+      let best = ref Rat.zero in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if Rat.sign a > 0 then begin
+          let ratio = Rat.div t.rhs.(i) a in
+          if
+            !leaving < 0
+            || Rat.compare ratio !best < 0
+            || (Rat.equal ratio !best && t.basis.(i) < t.basis.(!leaving))
+          then begin
+            leaving := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leaving < 0 then Error `Unbounded
+      else begin
+        pivot t ~row:!leaving ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve ~objective ~cost constraints =
+  let nvars = Array.length cost in
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> nvars then
+        invalid_arg "Simplex.solve: constraint dimension mismatch")
+    constraints;
+  let constraints = Array.of_list constraints in
+  let m = Array.length constraints in
+  (* Normalise rows to non-negative rhs so artificials start feasible. *)
+  let constraints =
+    Array.map
+      (fun (c : constr) ->
+        if Rat.sign c.rhs < 0 then
+          {
+            coeffs = Array.map Rat.neg c.coeffs;
+            rhs = Rat.neg c.rhs;
+            rel = (match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq);
+          }
+        else c)
+      constraints
+  in
+  let n_slack =
+    Array.fold_left
+      (fun acc c -> match c.rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 constraints
+  in
+  (* Every Ge and Eq row needs an artificial; Le rows start basic in their
+     slack. *)
+  let n_art =
+    Array.fold_left
+      (fun acc c -> match c.rel with Ge | Eq -> acc + 1 | Le -> acc)
+      0 constraints
+  in
+  let ncols = nvars + n_slack + n_art in
+  let rows = Array.init m (fun _ -> Array.make ncols Rat.zero) in
+  let rhs = Array.make m Rat.zero in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref nvars in
+  let art_idx = ref (nvars + n_slack) in
+  Array.iteri
+    (fun i c ->
+      Array.blit c.coeffs 0 rows.(i) 0 nvars;
+      rhs.(i) <- c.rhs;
+      (match c.rel with
+      | Le ->
+          rows.(i).(!slack_idx) <- Rat.one;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          rows.(i).(!slack_idx) <- Rat.minus_one;
+          incr slack_idx;
+          rows.(i).(!art_idx) <- Rat.one;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Eq ->
+          rows.(i).(!art_idx) <- Rat.one;
+          basis.(i) <- !art_idx;
+          incr art_idx))
+    constraints;
+  let art_start = nvars + n_slack in
+  (* Phase 1: minimise the sum of artificials. *)
+  let obj1 = Array.make ncols Rat.zero in
+  for j = art_start to ncols - 1 do
+    obj1.(j) <- Rat.one
+  done;
+  let t = { rows; rhs; obj = obj1; objval = Rat.zero; basis } in
+  (* Price out the basic artificials from the phase-1 objective row. *)
+  for i = 0 to m - 1 do
+    if basis.(i) >= art_start then begin
+      for j = 0 to ncols - 1 do
+        t.obj.(j) <- Rat.sub t.obj.(j) t.rows.(i).(j)
+      done;
+      t.objval <- Rat.sub t.objval t.rhs.(i)
+    end
+  done;
+  match optimise t ~allowed:(fun _ -> true) with
+  | Error `Unbounded ->
+      (* Phase-1 objective is bounded below by 0; unreachable. *)
+      assert false
+  | Ok () ->
+      if Rat.sign (Rat.neg t.objval) > 0 then Infeasible
+      else begin
+        (* Drive any artificial still basic (at zero) out of the basis. *)
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= art_start then begin
+            let j = ref 0 in
+            let found = ref false in
+            while (not !found) && !j < art_start do
+              if not (Rat.is_zero t.rows.(i).(!j)) then begin
+                pivot t ~row:i ~col:!j;
+                found := true
+              end;
+              incr j
+            done
+            (* If no pivot exists the row is all zeros: redundant, and the
+               artificial stays basic at value 0, which is harmless as long
+               as it is never allowed to re-enter. *)
+          end
+        done;
+        (* Phase 2: install the real objective (reduced w.r.t. the basis). *)
+        let sign_cost =
+          match objective with Minimize -> cost | Maximize -> Array.map Rat.neg cost
+        in
+        let obj2 = Array.make ncols Rat.zero in
+        Array.blit sign_cost 0 obj2 0 nvars;
+        let objval = ref Rat.zero in
+        for i = 0 to m - 1 do
+          let b = t.basis.(i) in
+          let cb = if b < nvars then sign_cost.(b) else Rat.zero in
+          if not (Rat.is_zero cb) then begin
+            for j = 0 to ncols - 1 do
+              obj2.(j) <- Rat.sub obj2.(j) (Rat.mul cb t.rows.(i).(j))
+            done;
+            objval := Rat.sub !objval (Rat.mul cb t.rhs.(i))
+          end
+        done;
+        let t2 = { t with obj = obj2; objval = !objval } in
+        let allowed j = j < art_start in
+        match optimise t2 ~allowed with
+        | Error `Unbounded -> Unbounded
+        | Ok () ->
+            let solution = Array.make nvars Rat.zero in
+            for i = 0 to m - 1 do
+              if t2.basis.(i) < nvars then solution.(t2.basis.(i)) <- t2.rhs.(i)
+            done;
+            let value = Rat.neg t2.objval in
+            let value =
+              match objective with Minimize -> value | Maximize -> Rat.neg value
+            in
+            Optimal { value; solution }
+      end
+
+let minimize ~cost constraints = solve ~objective:Minimize ~cost constraints
+let maximize ~cost constraints = solve ~objective:Maximize ~cost constraints
+
+let pp_outcome fmt = function
+  | Unbounded -> Format.pp_print_string fmt "unbounded"
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Optimal { value; solution } ->
+      Format.fprintf fmt "optimal %a at (%a)" Rat.pp value
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Rat.pp)
+        (Array.to_list solution)

@@ -1,0 +1,38 @@
+(** Exact rational linear programming by the two-phase simplex method.
+
+    Variables are indexed [0 .. nvars-1] and implicitly constrained to be
+    non-negative.  Bland's anti-cycling rule guarantees termination.  All
+    arithmetic is exact ({!Iolb_util.Rat}), which matters here: the
+    Brascamp-Lieb exponents are small rationals (like 1/2 or 1/3) and the
+    derived I/O bounds change qualitatively if they are off by any epsilon. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : Iolb_util.Rat.t array;  (** length [nvars] *)
+  rel : relation;
+  rhs : Iolb_util.Rat.t;
+}
+
+type objective = Minimize | Maximize
+
+type outcome =
+  | Optimal of { value : Iolb_util.Rat.t; solution : Iolb_util.Rat.t array }
+  | Unbounded
+  | Infeasible
+
+(** [solve ~objective ~cost constraints] optimises [cost . x] over
+    [{ x >= 0 | every constraint holds }].
+    @raise Invalid_argument on inconsistent dimensions. *)
+val solve :
+  objective:objective -> cost:Iolb_util.Rat.t array -> constr list -> outcome
+
+(** Convenience: [minimize ~cost constraints] = [solve ~objective:Minimize]. *)
+val minimize : cost:Iolb_util.Rat.t array -> constr list -> outcome
+
+val maximize : cost:Iolb_util.Rat.t array -> constr list -> outcome
+
+(** [constr coeffs rel rhs] with integer data, for readable call sites. *)
+val constr : int list -> relation -> int -> constr
+
+val pp_outcome : Format.formatter -> outcome -> unit

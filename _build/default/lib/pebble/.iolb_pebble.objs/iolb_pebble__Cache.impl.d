@@ -1,0 +1,1 @@
+lib/pebble/cache.ml: Array Format Hashtbl Iolb_util List Trace

@@ -1,0 +1,1 @@
+lib/pebble/cache.mli: Format Trace

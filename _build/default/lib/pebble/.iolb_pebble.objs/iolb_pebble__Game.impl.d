@@ -1,0 +1,1 @@
+lib/pebble/game.ml: Array Hashtbl Iolb_cdag Iolb_util List Printf Random

@@ -1,0 +1,1 @@
+lib/pebble/game.mli: Iolb_cdag

@@ -1,0 +1,1 @@
+lib/pebble/trace.ml: Array Format Hashtbl Iolb_ir List String

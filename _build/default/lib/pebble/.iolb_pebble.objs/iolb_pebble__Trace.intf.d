@@ -1,0 +1,1 @@
+lib/pebble/trace.mli: Format Iolb_ir

@@ -1,0 +1,192 @@
+type stats = { loads : int; stores : int; read_hits : int; accesses : int }
+
+let io s = s.loads + s.stores
+
+let pp_stats fmt s =
+  Format.fprintf fmt "loads=%d stores=%d hits=%d accesses=%d io=%d" s.loads
+    s.stores s.read_hits s.accesses (io s)
+
+(* Intern cells to dense integers so the simulators run on int keys. *)
+let intern trace =
+  let ids = Hashtbl.create 1024 in
+  let next = ref 0 in
+  let id_of c =
+    match Hashtbl.find_opt ids c with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add ids c i;
+        i
+  in
+  let arr =
+    Array.of_list
+      (List.map
+         (function
+           | Trace.Read c -> (id_of c, false)
+           | Trace.Write c -> (id_of c, true))
+         trace)
+  in
+  (arr, !next)
+
+let cold trace =
+  let arr, ncells = intern trace in
+  let present = Array.make ncells false in
+  let dirty = Array.make ncells false in
+  let loads = ref 0 and read_hits = ref 0 in
+  Array.iter
+    (fun (c, is_write) ->
+      if is_write then begin
+        present.(c) <- true;
+        dirty.(c) <- true
+      end
+      else if present.(c) then incr read_hits
+      else begin
+        incr loads;
+        present.(c) <- true
+      end)
+    arr;
+  let stores = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dirty in
+  {
+    loads = !loads;
+    stores;
+    read_hits = !read_hits;
+    accesses = Array.length arr;
+  }
+
+(* LRU with an intrusive doubly-linked list over cell ids. *)
+let lru ~size ?(flush = true) trace =
+  if size < 1 then invalid_arg "Cache.lru: size < 1";
+  let arr, ncells = intern trace in
+  let prev = Array.make ncells (-1) and next = Array.make ncells (-1) in
+  let in_cache = Array.make ncells false in
+  let dirty = Array.make ncells false in
+  let head = ref (-1) (* most recent *) and tail = ref (-1) (* least recent *) in
+  let count = ref 0 in
+  let unlink c =
+    let p = prev.(c) and n = next.(c) in
+    if p >= 0 then next.(p) <- n else head := n;
+    if n >= 0 then prev.(n) <- p else tail := p;
+    prev.(c) <- -1;
+    next.(c) <- -1
+  in
+  let push_front c =
+    prev.(c) <- -1;
+    next.(c) <- !head;
+    if !head >= 0 then prev.(!head) <- c;
+    head := c;
+    if !tail < 0 then tail := c
+  in
+  let loads = ref 0 and stores = ref 0 and read_hits = ref 0 in
+  let evict_one () =
+    let victim = !tail in
+    unlink victim;
+    in_cache.(victim) <- false;
+    if dirty.(victim) then begin
+      incr stores;
+      dirty.(victim) <- false
+    end;
+    decr count
+  in
+  let touch c =
+    if in_cache.(c) then begin
+      unlink c;
+      push_front c
+    end
+    else begin
+      if !count >= size then evict_one ();
+      in_cache.(c) <- true;
+      incr count;
+      push_front c
+    end
+  in
+  Array.iter
+    (fun (c, is_write) ->
+      if is_write then begin
+        touch c;
+        dirty.(c) <- true
+      end
+      else begin
+        if in_cache.(c) then incr read_hits else incr loads;
+        touch c
+      end)
+    arr;
+  if flush then
+    for c = 0 to ncells - 1 do
+      if in_cache.(c) && dirty.(c) then incr stores
+    done;
+  {
+    loads = !loads;
+    stores = !stores;
+    read_hits = !read_hits;
+    accesses = Array.length arr;
+  }
+
+(* Belady's OPT.  next_read.(i) is the position of the next read of the cell
+   accessed at position i, or max_int if the cell is overwritten (or never
+   touched) before being re-read. *)
+let opt ~size ?(flush = true) trace =
+  if size < 1 then invalid_arg "Cache.opt: size < 1";
+  let arr, ncells = intern trace in
+  let n = Array.length arr in
+  let next_read = Array.make n max_int in
+  let upcoming = Array.make ncells max_int in
+  (* scan backwards: upcoming.(c) = position of next read of c, or max_int
+     if the next access is a write (dead value). *)
+  for i = n - 1 downto 0 do
+    let c, is_write = arr.(i) in
+    next_read.(i) <- upcoming.(c);
+    upcoming.(c) <- (if is_write then max_int else i)
+  done;
+  let in_cache = Array.make ncells false in
+  let dirty = Array.make ncells false in
+  let cur_next = Array.make ncells max_int in
+  (* Max-heap over (next read position, cell), lazily invalidated. *)
+  let heap = Iolb_util.Maxheap.create () in
+  let count = ref 0 in
+  let loads = ref 0 and stores = ref 0 and read_hits = ref 0 in
+  let evict_one () =
+    let rec pick () =
+      let pos, cell = Iolb_util.Maxheap.pop heap in
+      if in_cache.(cell) && cur_next.(cell) = pos then cell else pick ()
+    in
+    let victim = pick () in
+    in_cache.(victim) <- false;
+    if dirty.(victim) then begin
+      incr stores;
+      dirty.(victim) <- false
+    end;
+    decr count
+  in
+  Array.iteri
+    (fun i (c, is_write) ->
+      if is_write then begin
+        if not in_cache.(c) then begin
+          if !count >= size then evict_one ();
+          in_cache.(c) <- true;
+          incr count
+        end;
+        dirty.(c) <- true
+      end
+      else begin
+        if in_cache.(c) then incr read_hits
+        else begin
+          incr loads;
+          if !count >= size then evict_one ();
+          in_cache.(c) <- true;
+          incr count
+        end
+      end;
+      cur_next.(c) <- next_read.(i);
+      Iolb_util.Maxheap.push heap ~pos:next_read.(i) ~payload:c)
+    arr;
+  if flush then
+    for c = 0 to ncells - 1 do
+      if in_cache.(c) && dirty.(c) then incr stores
+    done;
+  {
+    loads = !loads;
+    stores = !stores;
+    read_hits = !read_hits;
+    accesses = Array.length arr;
+  }

@@ -1,0 +1,35 @@
+(** Fully-associative cache simulator at cell granularity.
+
+    This realises the paper's two-level memory model: a fast memory holding
+    at most [size] data elements in front of an unbounded slow memory.
+    Reads of absent cells count as loads; writes allocate in fast memory
+    without a fetch (every write in the paper's kernels fully overwrites the
+    cell); evictions of dirty cells (and the final flush) count as stores.
+
+    Two replacement policies are provided: LRU, and Belady's OPT (evict the
+    line whose next {e read} is farthest, treating lines that are
+    overwritten before being re-read as dead).  OPT is the model-faithful
+    policy for measuring a schedule's intrinsic I/O; LRU shows what a real
+    cache would do. *)
+
+type stats = {
+  loads : int;  (** reads that missed *)
+  stores : int;  (** dirty evictions, plus the final flush if requested *)
+  read_hits : int;
+  accesses : int;
+}
+
+(** Total data movement [loads + stores]. *)
+val io : stats -> int
+
+(** [lru ~size ?flush trace]. [flush] (default [true]) counts dirty lines
+    remaining at the end as stores. @raise Invalid_argument if [size < 1]. *)
+val lru : size:int -> ?flush:bool -> Trace.event list -> stats
+
+(** [opt ~size ?flush trace]: Belady's clairvoyant policy. *)
+val opt : size:int -> ?flush:bool -> Trace.event list -> stats
+
+(** [cold trace] is the compulsory-miss statistics (infinite cache). *)
+val cold : Trace.event list -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,44 @@
+(** The red-white pebble game of the paper (Section 2), executed for a given
+    schedule.
+
+    Inputs start with white pebbles; computing a node requires red pebbles
+    on all its predecessors and places a white and a red pebble on it; red
+    pebbles may be discarded at any time (spills are free, only {b Load}
+    steps are counted, as in the paper).  For a fixed compute order the
+    minimum number of loads is achieved by clairvoyant (Belady) discarding
+    of red pebbles, which is what [run] implements. *)
+
+type result = {
+  loads : int;  (** red pebbles placed on already-white nodes *)
+  peak_red : int;  (** maximum number of simultaneous red pebbles *)
+}
+
+exception Infeasible of string
+(** Raised when some node needs more than [s] red pebbles at once. *)
+
+(** [run cdag ~s ~schedule] plays the game with fast-memory size [s] over
+    the compute nodes in [schedule] order.
+    @raise Infeasible if [s] is too small for some node's fan-in.
+    @raise Invalid_argument if [schedule] is not a valid topological order
+    of the compute nodes. *)
+val run : Iolb_cdag.Cdag.t -> s:int -> schedule:int array -> result
+
+(** The compute nodes in program order (always a valid schedule). *)
+val program_schedule : Iolb_cdag.Cdag.t -> int array
+
+(** [is_topological cdag schedule]: every compute predecessor of a scheduled
+    node appears earlier. *)
+val is_topological : Iolb_cdag.Cdag.t -> int array -> bool
+
+(** [random_topological ?seed cdag] draws a uniform-ish random topological
+    order of the compute nodes (random tie-breaking among ready nodes). *)
+val random_topological : ?seed:int -> Iolb_cdag.Cdag.t -> int array
+
+(** [priority_topological cdag ~priority] builds the topological order that
+    always executes the ready compute node with the smallest [priority]
+    (Kahn's algorithm with a priority queue).  With a locality-aware
+    priority - e.g. grouping a statement's instances by column block - this
+    produces tiled-like schedules whose pebble-game I/O approaches the
+    lower bound from above. *)
+val priority_topological :
+  Iolb_cdag.Cdag.t -> priority:(stmt:string -> vec:int array -> int) -> int array

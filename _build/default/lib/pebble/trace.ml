@@ -1,0 +1,30 @@
+type cell = string * int array
+
+type event = Read of cell | Write of cell
+
+let of_program ~params p =
+  let events = ref [] in
+  Iolb_ir.Program.iter_instances ~params p (fun inst ->
+      List.iter (fun c -> events := Read c :: !events) inst.loads;
+      List.iter (fun c -> events := Write c :: !events) inst.stores);
+  List.rev !events
+
+let footprint events =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let c = match e with Read c | Write c -> c in
+      Hashtbl.replace seen c ())
+    events;
+  Hashtbl.length seen
+
+let length = List.length
+
+let pp_event fmt e =
+  let pp_cell fmt (a, idx) =
+    Format.fprintf fmt "%s(%s)" a
+      (String.concat "," (List.map string_of_int (Array.to_list idx)))
+  in
+  match e with
+  | Read c -> Format.fprintf fmt "R %a" pp_cell c
+  | Write c -> Format.fprintf fmt "W %a" pp_cell c

@@ -1,0 +1,21 @@
+(** Memory access traces.
+
+    A trace is the sequence of cell reads/writes performed by a concrete
+    schedule of a program.  Traces are what the cache simulator consumes;
+    they can come from {!Iolb_ir.Program.iter_instances} (the untiled
+    program order) or from hand-scheduled tiled algorithms (Appendix A of
+    the paper). *)
+
+type cell = string * int array
+
+type event = Read of cell | Write of cell
+
+(** [of_program ~params p] is the trace of the program executed in textual
+    order: for each instance, its reads then its writes. *)
+val of_program : params:(string * int) list -> Iolb_ir.Program.t -> event list
+
+(** Number of distinct cells touched by the trace. *)
+val footprint : event list -> int
+
+val length : event list -> int
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/poly/affine.ml: Format Int Iolb_symbolic Iolb_util List Map String

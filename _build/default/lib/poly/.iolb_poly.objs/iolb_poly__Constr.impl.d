@@ -1,0 +1,1 @@
+lib/poly/constr.ml: Affine Format Stdlib

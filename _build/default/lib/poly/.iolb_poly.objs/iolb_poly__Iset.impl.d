@@ -1,0 +1,1 @@
+lib/poly/iset.ml: Affine Array Constr Format List Printf String

@@ -1,0 +1,1 @@
+lib/poly/iset.mli: Constr Format

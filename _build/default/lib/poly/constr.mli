@@ -1,0 +1,33 @@
+(** Affine constraints: [e >= 0] or [e = 0] for an affine expression [e]. *)
+
+type kind = Ge | Eq
+
+type t = { expr : Affine.t; kind : kind }
+
+(** [ge e] is the constraint [e >= 0]. *)
+val ge : Affine.t -> t
+
+(** [eq e] is the constraint [e = 0]. *)
+val eq : Affine.t -> t
+
+(** [le_of a b] is [a <= b]; [ge_of a b] is [a >= b]; [eq_of a b] is [a = b]. *)
+val le_of : Affine.t -> Affine.t -> t
+
+val ge_of : Affine.t -> Affine.t -> t
+val eq_of : Affine.t -> Affine.t -> t
+
+(** [lt_of a b] is the integer strictness rewrite [a <= b - 1]. *)
+val lt_of : Affine.t -> Affine.t -> t
+
+val satisfied : (string -> int) -> t -> bool
+
+(** [specialize env c] substitutes the variables on which [env] is defined. *)
+val specialize : (string -> int option) -> t -> t
+
+(** [is_trivial c] is [Some true] if [c] holds for every assignment
+    ([Some false] if it holds for none, [None] if it depends). *)
+val is_trivial : t -> bool option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

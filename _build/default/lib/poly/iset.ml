@@ -1,0 +1,202 @@
+type t = { dims : string list; cons : Constr.t list }
+
+let make ~dims cons = { dims; cons }
+let dims s = s.dims
+let constraints s = s.cons
+
+let intersect a b =
+  if a.dims <> b.dims then invalid_arg "Iset.intersect: dimension mismatch";
+  { a with cons = a.cons @ b.cons }
+
+let add_constraints cs s = { s with cons = cs @ s.cons }
+
+let specialize params s =
+  let env x = if List.mem x s.dims then None else List.assoc_opt x params in
+  { s with cons = List.map (Constr.specialize env) s.cons }
+
+let mem ~params s point =
+  let env x =
+    match List.assoc_opt x params with
+    | Some v -> v
+    | None -> (
+        match List.find_index (String.equal x) s.dims with
+        | Some i -> point.(i)
+        | None -> raise Not_found)
+  in
+  List.for_all (Constr.satisfied env) s.cons
+
+(* Fourier-Motzkin elimination of [x].  Equalities with a unit coefficient
+   on [x] are used as substitutions; other equalities are split into two
+   inequalities first. *)
+let fm_eliminate x cons =
+  let cons =
+    List.concat_map
+      (fun (c : Constr.t) ->
+        match c.kind with
+        | Constr.Ge -> [ c ]
+        | Constr.Eq ->
+            let cx = Affine.coeff x c.expr in
+            if cx = 1 || cx = -1 then [ c ]
+            else [ Constr.ge c.expr; Constr.ge (Affine.neg c.expr) ])
+      cons
+  in
+  (* Prefer an exact substitution when an equality pins [x]. *)
+  let subst_eq =
+    List.find_opt
+      (fun (c : Constr.t) ->
+        c.kind = Constr.Eq && abs (Affine.coeff x c.expr) = 1)
+      cons
+  in
+  match subst_eq with
+  | Some c ->
+      (* c.expr = 0 with coeff +-1 on x gives x = value. *)
+      let cx = Affine.coeff x c.expr in
+      let rest = Affine.sub c.expr (Affine.term cx x) in
+      let value = Affine.scale (-cx) rest in
+      List.filter_map
+        (fun (c' : Constr.t) ->
+          if c' == c then None
+          else
+            let e = Affine.subst x value c'.expr in
+            match Constr.is_trivial { c' with expr = e } with
+            | Some true -> None
+            | _ -> Some { c' with expr = e })
+        cons
+  | None ->
+      let lowers, uppers, rest =
+        List.fold_left
+          (fun (lo, up, rest) (c : Constr.t) ->
+            let cx = Affine.coeff x c.expr in
+            if cx > 0 then (c :: lo, up, rest)
+            else if cx < 0 then (lo, c :: up, rest)
+            else (lo, up, c :: rest))
+          ([], [], []) cons
+      in
+      let combined =
+        List.concat_map
+          (fun (l : Constr.t) ->
+            let cl = Affine.coeff x l.expr in
+            List.filter_map
+              (fun (u : Constr.t) ->
+                let cu = Affine.coeff x u.expr in
+                (* cl > 0 > cu: (-cu) * l + cl * u eliminates x. *)
+                let e =
+                  Affine.add (Affine.scale (-cu) l.expr) (Affine.scale cl u.expr)
+                in
+                match Constr.is_trivial (Constr.ge e) with
+                | Some true -> None
+                | _ -> Some (Constr.ge e))
+              uppers)
+          lowers
+      in
+      List.sort_uniq Constr.compare (combined @ List.rev rest)
+
+let project ~onto s =
+  let to_remove = List.filter (fun d -> not (List.mem d onto)) s.dims in
+  let cons = List.fold_left (fun cs d -> fm_eliminate d cs) s.cons to_remove in
+  { dims = onto; cons }
+
+(* Integer bounds of variable [x] in a constraint system where all other
+   dimensions have been eliminated or fixed: scan for lower/upper bounds. *)
+let var_bounds x cons =
+  (* Treat e = 0 as e >= 0 and -e >= 0. *)
+  let ineqs =
+    List.concat_map
+      (fun (c : Constr.t) ->
+        match c.kind with
+        | Constr.Ge -> [ c.expr ]
+        | Constr.Eq -> [ c.expr; Affine.neg c.expr ])
+      cons
+  in
+  let ceil_div q d = if q >= 0 then (q + d - 1) / d else -(-q / d) in
+  let floor_div q d = if q >= 0 then q / d else -(ceil_div (-q) d) in
+  List.fold_left
+    (fun (lo, up) e ->
+      let cx = Affine.coeff x e in
+      if cx = 0 then (lo, up)
+      else
+        let rest = Affine.sub e (Affine.term cx x) in
+        match Affine.is_constant rest with
+        | None -> (lo, up) (* still involves symbols: ignore, checked later *)
+        | Some r ->
+            if cx > 0 then
+              (* cx * x + r >= 0  =>  x >= ceil(-r / cx) *)
+              let b = ceil_div (-r) cx in
+              ((match lo with None -> Some b | Some l -> Some (max l b)), up)
+            else
+              (* cx * x + r >= 0, cx < 0  =>  x <= floor(r / -cx) *)
+              let b = floor_div r (-cx) in
+              (lo, match up with None -> Some b | Some u -> Some (min u b)))
+    (None, None) ineqs
+
+let enumerate ~params s =
+  let s = specialize params s in
+  let n = List.length s.dims in
+  let dims = Array.of_list s.dims in
+  (* levels.(k) = constraints implied by s.cons involving only dims 0..k. *)
+  let levels = Array.make n s.cons in
+  let rec eliminate k cons =
+    if k < 0 then ()
+    else begin
+      levels.(k) <- cons;
+      if k > 0 then eliminate (k - 1) (fm_eliminate dims.(k) cons)
+    end
+  in
+  if n > 0 then eliminate (n - 1) s.cons;
+  let out = ref [] in
+  let point = Array.make n 0 in
+  let rec fill k =
+    if k = n then begin
+      if mem ~params s point then out := Array.copy point :: !out
+    end
+    else begin
+      let env x =
+        match List.find_index (String.equal x) s.dims with
+        | Some i when i < k -> Some point.(i)
+        | _ -> None
+      in
+      let cons_k = List.map (Constr.specialize env) levels.(k) in
+      match var_bounds dims.(k) cons_k with
+      | Some lo, Some up ->
+          for v = lo to up do
+            point.(k) <- v;
+            fill (k + 1)
+          done
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Iset.enumerate: dimension %s is unbounded"
+               dims.(k))
+    end
+  in
+  if n = 0 then (if mem ~params s [||] then [ [||] ] else [])
+  else begin
+    (match
+       List.find_map
+         (fun (c : Constr.t) ->
+           match Constr.is_trivial c with Some false -> Some () | _ -> None)
+         levels.(0)
+     with
+    | Some () -> ()
+    | None -> fill 0);
+    List.rev !out
+  end
+
+let cardinal ~params s = List.length (enumerate ~params s)
+let is_empty ~params s = enumerate ~params s = []
+
+let bounds_of_dim ~params s x =
+  let s = specialize params s in
+  let others = List.filter (fun d -> d <> x) s.dims in
+  let cons = List.fold_left (fun cs d -> fm_eliminate d cs) s.cons others in
+  var_bounds x cons
+
+let pp fmt s =
+  Format.fprintf fmt "{ [%a] : %a }"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Format.pp_print_string)
+    s.dims
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " and ")
+       Constr.pp)
+    s.cons

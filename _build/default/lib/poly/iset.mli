@@ -1,0 +1,58 @@
+(** Parametric integer sets: conjunctions of affine constraints over named
+    dimensions, possibly involving symbolic parameters.
+
+    This is the working substitute for ISL in this reproduction.  The
+    operations that matter to the bound derivation are exact:
+
+    - membership, enumeration and cardinality at {e concrete} parameter
+      values (used to build CDAGs and validate the symbolic derivations);
+    - Fourier-Motzkin elimination, used to compute per-dimension bounds for
+      enumeration and rational projections.
+
+    Fourier-Motzkin computes the rational shadow of a projection; it is an
+    over-approximation of the integer projection in general.  Enumeration
+    remains exact because candidate points are always checked against the
+    original constraints. *)
+
+type t
+
+(** [make ~dims cons] is the set [{ x in Z^dims | cons }].  Constraint
+    variables must be dimensions or parameters. *)
+val make : dims:string list -> Constr.t list -> t
+
+val dims : t -> string list
+val constraints : t -> Constr.t list
+
+(** [intersect a b] requires [dims a = dims b]. @raise Invalid_argument. *)
+val intersect : t -> t -> t
+
+val add_constraints : Constr.t list -> t -> t
+
+(** [specialize params s] substitutes concrete values for the parameters
+    (any variables of the constraints that are not dimensions of [s]). *)
+val specialize : (string * int) list -> t -> t
+
+(** [mem ~params s point] tests membership; [point] follows [dims s]. *)
+val mem : params:(string * int) list -> t -> int array -> bool
+
+(** [enumerate ~params s] lists all integer points (each in [dims] order).
+    Intended for validation-scale sets; cost is output-sensitive with a
+    Fourier-Motzkin preprocessing pass. *)
+val enumerate : params:(string * int) list -> t -> int array list
+
+val cardinal : params:(string * int) list -> t -> int
+val is_empty : params:(string * int) list -> t -> bool
+
+(** [fm_eliminate x cons] removes variable [x] by Fourier-Motzkin; the
+    result is implied by [cons] and involves neither [x] nor new variables. *)
+val fm_eliminate : string -> Constr.t list -> Constr.t list
+
+(** [project ~onto s] is the rational (Fourier-Motzkin) projection onto the
+    listed dimensions, in the given order. *)
+val project : onto:string list -> t -> t
+
+(** [bounds_of_dim ~params s x] is the pair (lower, upper) of integer bounds
+    of dimension [x] over the whole set, if the set is bounded in [x]. *)
+val bounds_of_dim : params:(string * int) list -> t -> string -> int option * int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/symbolic/monomial.ml: Format Int Iolb_util List Map String

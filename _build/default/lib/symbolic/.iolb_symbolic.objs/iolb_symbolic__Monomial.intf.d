@@ -1,0 +1,1 @@
+lib/symbolic/monomial.mli: Format Iolb_util

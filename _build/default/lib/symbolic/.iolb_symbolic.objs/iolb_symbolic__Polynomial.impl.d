@@ -1,0 +1,1 @@
+lib/symbolic/polynomial.ml: Array Format Hashtbl Iolb_util List Map Monomial Set Stdlib String

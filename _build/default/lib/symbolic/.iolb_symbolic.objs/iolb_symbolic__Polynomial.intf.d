@@ -1,0 +1,1 @@
+lib/symbolic/polynomial.mli: Format Iolb_util Monomial

@@ -1,0 +1,1 @@
+lib/symbolic/ratfun.ml: Format Iolb_util List Polynomial String

@@ -1,0 +1,1 @@
+lib/symbolic/ratfun.mli: Format Iolb_util Polynomial

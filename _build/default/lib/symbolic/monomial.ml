@@ -1,0 +1,60 @@
+module Smap = Map.Make (String)
+
+(* Invariant: every stored exponent is > 0. *)
+type t = int Smap.t
+
+let one = Smap.empty
+let var x = Smap.singleton x 1
+
+let of_list l =
+  List.fold_left
+    (fun acc (x, e) ->
+      if e <= 0 then invalid_arg "Monomial.of_list: non-positive exponent";
+      if Smap.mem x acc then invalid_arg "Monomial.of_list: duplicate variable";
+      Smap.add x e acc)
+    Smap.empty l
+
+let to_list m = Smap.bindings m
+
+let mul a b =
+  Smap.union (fun _ ea eb -> Some (ea + eb)) a b
+
+let divide a b =
+  let exception No in
+  try
+    Some
+      (Smap.fold
+         (fun x eb acc ->
+           let ea = try Smap.find x acc with Not_found -> raise No in
+           if ea < eb then raise No
+           else if ea = eb then Smap.remove x acc
+           else Smap.add x (ea - eb) acc)
+         b a)
+  with No -> None
+
+let pow m n =
+  if n < 0 then invalid_arg "Monomial.pow: negative exponent";
+  if n = 0 then one else Smap.map (fun e -> e * n) m
+
+let compare = Smap.compare Int.compare
+let equal = Smap.equal Int.equal
+let degree m = Smap.fold (fun _ e acc -> acc + e) m 0
+let degree_in x m = try Smap.find x m with Not_found -> 0
+let vars m = List.map fst (Smap.bindings m)
+let is_one = Smap.is_empty
+
+let eval env m =
+  Smap.fold
+    (fun x e acc -> Iolb_util.Rat.mul acc (Iolb_util.Rat.pow (env x) e))
+    m Iolb_util.Rat.one
+
+let pp fmt m =
+  if is_one m then Format.pp_print_string fmt "1"
+  else
+    let pp_factor fmt (x, e) =
+      if e = 1 then Format.pp_print_string fmt x
+      else Format.fprintf fmt "%s^%d" x e
+    in
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "*")
+      pp_factor fmt (to_list m)

@@ -1,0 +1,47 @@
+(** Monomials: finite maps from variable names to positive integer exponents.
+
+    The empty monomial is the constant monomial [1].  Monomials are the keys
+    of the polynomial representation, so they come with a total order. *)
+
+type t
+
+val one : t
+
+(** [var x] is the monomial [x^1]. *)
+val var : string -> t
+
+(** [of_list l] builds a monomial from (variable, exponent) pairs; exponents
+    must be positive and variables distinct.
+    @raise Invalid_argument otherwise. *)
+val of_list : (string * int) list -> t
+
+(** [to_list m] lists (variable, exponent) pairs in increasing variable
+    order; all exponents are positive. *)
+val to_list : t -> (string * int) list
+
+val mul : t -> t -> t
+
+(** [divide m1 m2] is [Some m] with [mul m m2 = m1] when [m2] divides [m1]. *)
+val divide : t -> t -> t option
+
+(** [pow m n] raises every exponent to [n * e]; [n] must be non-negative. *)
+val pow : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** [degree m] is the total degree; [degree_in x m] the exponent of [x]. *)
+val degree : t -> int
+
+val degree_in : string -> t -> int
+
+(** [vars m] is the sorted list of variables occurring in [m]. *)
+val vars : t -> string list
+
+val is_one : t -> bool
+
+(** [eval env m] evaluates with [env] giving each variable a rational value.
+    @raise Not_found if a variable is unbound. *)
+val eval : (string -> Iolb_util.Rat.t) -> t -> Iolb_util.Rat.t
+
+val pp : Format.formatter -> t -> unit

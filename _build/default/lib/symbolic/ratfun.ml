@@ -1,0 +1,100 @@
+module Rat = Iolb_util.Rat
+module P = Polynomial
+
+(* Invariant: den is not the zero polynomial; if num is zero, den is one. *)
+type t = { num : P.t; den : P.t }
+
+(* Light normalisation: make the rational content of the denominator 1 and
+   its leading sign positive, so constant denominators disappear. *)
+let normalise num den =
+  if P.is_zero num then { num = P.zero; den = P.one }
+  else
+    match P.is_constant den with
+    | Some c -> { num = P.scale (Rat.inv c) num; den = P.one }
+    | None ->
+        (* Divide both by the gcd of all coefficient numerators over lcm of
+           denominators is overkill; just scale so den's first coefficient
+           (in the canonical term order) is +1 if it is +/-1. *)
+        let den, num =
+          match P.terms den with
+          | (c, _) :: _ when Rat.sign c < 0 -> (P.neg den, P.neg num)
+          | _ -> (den, num)
+        in
+        { num; den }
+
+let make num den =
+  if P.is_zero den then raise Rat.Division_by_zero;
+  normalise num den
+
+let of_poly p = { num = p; den = P.one }
+let of_rat c = of_poly (P.of_rat c)
+let of_int n = of_poly (P.of_int n)
+let var x = of_poly (P.var x)
+let zero = of_int 0
+let one = of_int 1
+let num r = r.num
+let den r = r.den
+let is_zero r = P.is_zero r.num
+
+let add a b =
+  if P.equal a.den b.den then make (P.add a.num b.num) a.den
+  else make (P.add (P.mul a.num b.den) (P.mul b.num a.den)) (P.mul a.den b.den)
+
+let neg r = { r with num = P.neg r.num }
+let sub a b = add a (neg b)
+let mul a b = make (P.mul a.num b.num) (P.mul a.den b.den)
+
+let inv r =
+  if is_zero r then raise Rat.Division_by_zero;
+  make r.den r.num
+
+let div a b = mul a (inv b)
+let scale c r = make (P.scale c r.num) r.den
+
+let pow r n =
+  if n >= 0 then make (P.pow r.num n) (P.pow r.den n)
+  else make (P.pow r.den (-n)) (P.pow r.num (-n))
+
+let equal a b = P.equal (P.mul a.num b.den) (P.mul b.num a.den)
+
+let as_poly r =
+  match P.is_constant r.den with
+  | Some c when not (Rat.is_zero c) -> Some (P.scale (Rat.inv c) r.num)
+  | _ -> None
+
+let eval env r =
+  let d = P.eval env r.den in
+  if Rat.is_zero d then raise Rat.Division_by_zero;
+  Rat.div (P.eval env r.num) d
+
+let eval_int bindings r =
+  let env x =
+    match List.assoc_opt x bindings with
+    | Some v -> Rat.of_int v
+    | None -> raise Not_found
+  in
+  eval env r
+
+let eval_float bindings r =
+  P.eval_float bindings r.num /. P.eval_float bindings r.den
+
+let eval_float_env env r =
+  P.eval_float_env env r.num /. P.eval_float_env env r.den
+let subst x p r = make (P.subst x p r.num) (P.subst x p r.den)
+
+let vars r =
+  List.sort_uniq String.compare (P.vars r.num @ P.vars r.den)
+
+let pp fmt r =
+  match P.is_constant r.den with
+  | Some c when Rat.equal c Rat.one -> P.pp fmt r.num
+  | _ -> Format.fprintf fmt "(%a) / (%a)" P.pp r.num P.pp r.den
+
+let to_string r = Format.asprintf "%a" pp r
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+end

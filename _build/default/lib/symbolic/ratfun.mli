@@ -1,0 +1,69 @@
+(** Rational functions: ratios of multivariate polynomials.
+
+    The lower bounds produced by the hourglass derivation are ratios of
+    polynomials in the program parameters, e.g. [M^2*N*(N-1) / (8*(S+M))].
+    Values are normalised lightly (sign, rational content, common monomial
+    factor); semantic equality is decided by cross-multiplication, which is
+    exact for polynomials. *)
+
+type t
+
+val zero : t
+val one : t
+val of_poly : Polynomial.t -> t
+val of_int : int -> t
+val of_rat : Iolb_util.Rat.t -> t
+val var : string -> t
+
+(** [make num den] is [num/den]. @raise Division_by_zero if [den] is the
+    zero polynomial. *)
+val make : Polynomial.t -> Polynomial.t -> t
+
+val num : t -> Polynomial.t
+val den : t -> Polynomial.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero if the divisor is the zero rational function. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val pow : t -> int -> t
+val scale : Iolb_util.Rat.t -> t -> t
+
+(** Semantic equality ([a/b = c/d] iff [a*d = c*b]). *)
+val equal : t -> t -> bool
+
+val is_zero : t -> bool
+
+(** [as_poly r] is [Some p] if the denominator of [r] is a non-zero constant,
+    in which case [r] equals the polynomial [p]. *)
+val as_poly : t -> Polynomial.t option
+
+(** [eval env r] evaluates exactly.
+    @raise Division_by_zero if the denominator vanishes at [env]. *)
+val eval : (string -> Iolb_util.Rat.t) -> t -> Iolb_util.Rat.t
+
+val eval_int : (string * int) list -> t -> Iolb_util.Rat.t
+val eval_float : (string * int) list -> t -> float
+
+(** [eval_float_env env r] evaluates in floating point with an arbitrary
+    variable environment. *)
+val eval_float_env : (string -> float) -> t -> float
+
+(** [subst x p r] substitutes polynomial [p] for variable [x]. *)
+val subst : string -> Polynomial.t -> t -> t
+
+val vars : t -> string list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+end

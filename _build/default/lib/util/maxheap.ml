@@ -1,0 +1,55 @@
+(* Entries are packed as (pos, payload) pairs in two parallel arrays. *)
+type t = {
+  mutable pos : int array;
+  mutable payload : int array;
+  mutable len : int;
+}
+
+let create () = { pos = Array.make 1024 0; payload = Array.make 1024 0; len = 0 }
+let is_empty h = h.len = 0
+let length h = h.len
+
+let swap h i j =
+  let tp = h.pos.(i) and tl = h.payload.(i) in
+  h.pos.(i) <- h.pos.(j);
+  h.payload.(i) <- h.payload.(j);
+  h.pos.(j) <- tp;
+  h.payload.(j) <- tl
+
+let push h ~pos ~payload =
+  if h.len = Array.length h.pos then begin
+    let np = Array.make (2 * h.len) 0 and nl = Array.make (2 * h.len) 0 in
+    Array.blit h.pos 0 np 0 h.len;
+    Array.blit h.payload 0 nl 0 h.len;
+    h.pos <- np;
+    h.payload <- nl
+  end;
+  h.pos.(h.len) <- pos;
+  h.payload.(h.len) <- payload;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  while !i > 0 && h.pos.((!i - 1) / 2) < h.pos.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.len = 0 then raise Not_found;
+  let top = (h.pos.(0), h.payload.(0)) in
+  h.len <- h.len - 1;
+  h.pos.(0) <- h.pos.(h.len);
+  h.payload.(0) <- h.payload.(h.len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let largest = ref !i in
+    if l < h.len && h.pos.(l) > h.pos.(!largest) then largest := l;
+    if r < h.len && h.pos.(r) > h.pos.(!largest) then largest := r;
+    if !largest <> !i then begin
+      swap h !i !largest;
+      i := !largest
+    end
+    else continue := false
+  done;
+  top

@@ -1,0 +1,16 @@
+(** Binary max-heap of [(priority, payload)] integer pairs, used by the
+    Belady-style eviction loops (cache simulator, pebble game) with lazy
+    invalidation: callers push fresh entries and skip stale ones on pop. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+
+(** [push h ~pos ~payload] inserts an entry with priority [pos]. *)
+val push : t -> pos:int -> payload:int -> unit
+
+(** [pop h] removes and returns the entry with the largest [pos].
+    @raise Not_found on an empty heap. *)
+val pop : t -> int * int

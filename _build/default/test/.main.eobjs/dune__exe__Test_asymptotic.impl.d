@@ -1,0 +1,1 @@
+test/test_asymptotic.ml: Alcotest Iolb Iolb_symbolic List Printf

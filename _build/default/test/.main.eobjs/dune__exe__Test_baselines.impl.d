@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float Iolb Iolb_kernels Iolb_pebble List Printf

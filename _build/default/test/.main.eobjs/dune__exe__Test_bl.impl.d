@@ -1,0 +1,1 @@
+test/test_bl.ml: Alcotest Fun Iolb Iolb_util List Printf QCheck2 QCheck_alcotest String

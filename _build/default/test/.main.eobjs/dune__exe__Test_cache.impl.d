@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Iolb_pebble List QCheck2 QCheck_alcotest

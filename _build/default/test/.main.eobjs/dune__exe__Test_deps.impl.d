@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Array Hashtbl Iolb_cdag Iolb_ir Iolb_kernels List Printf

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest Float Iolb Iolb_cdag Iolb_kernels Iolb_pebble Iolb_symbolic List Option Printf

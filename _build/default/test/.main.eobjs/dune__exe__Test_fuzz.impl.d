@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Hashtbl Iolb Iolb_cdag Iolb_ir Iolb_pebble Iolb_poly Iolb_symbolic Iolb_util List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hourglass.ml: Alcotest Iolb Iolb_kernels Iolb_symbolic List Option Printf

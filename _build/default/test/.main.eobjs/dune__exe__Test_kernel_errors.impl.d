@@ -1,0 +1,1 @@
+test/test_kernel_errors.ml: Alcotest Iolb_ir Iolb_kernels

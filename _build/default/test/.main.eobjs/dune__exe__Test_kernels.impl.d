@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float Gebd2 Gehd2 Gemm Householder Iolb_kernels List Matrix Mgs Printf

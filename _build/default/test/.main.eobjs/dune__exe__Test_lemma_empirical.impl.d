@@ -1,0 +1,1 @@
+test/test_lemma_empirical.ml: Alcotest Array Iolb Iolb_cdag Iolb_symbolic Iolb_util List Printf Random

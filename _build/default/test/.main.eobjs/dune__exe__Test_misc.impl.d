@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Buffer Cache Format Fun Iolb_cdag Iolb_ir Iolb_kernels Iolb_pebble Iolb_poly Iolb_symbolic Iolb_util String Trace

@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Array Iolb_cdag Iolb_ir Iolb_kernels Iolb_pebble List Option Printf

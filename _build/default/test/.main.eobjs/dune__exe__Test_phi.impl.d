@@ -1,0 +1,1 @@
+test/test_phi.ml: Access Affine Alcotest Iolb Iolb_ir Iolb_kernels Iolb_poly List

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Iolb_poly List Printf QCheck2 QCheck_alcotest

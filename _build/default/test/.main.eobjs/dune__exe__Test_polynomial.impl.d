@@ -1,0 +1,1 @@
+test/test_polynomial.ml: Alcotest Iolb_symbolic Iolb_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_program.ml: Access Alcotest Array Iolb_ir Iolb_kernels Iolb_poly Iolb_symbolic Iolb_util List Printf

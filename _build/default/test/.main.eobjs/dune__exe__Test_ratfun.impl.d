@@ -1,0 +1,1 @@
+test/test_ratfun.ml: Alcotest Iolb_symbolic Iolb_util

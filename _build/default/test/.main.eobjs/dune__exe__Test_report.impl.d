@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Iolb Iolb_cdag Iolb_ir Iolb_kernels Iolb_symbolic Iolb_util List Option Printf String

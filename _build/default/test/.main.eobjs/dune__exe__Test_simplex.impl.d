@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Iolb_lp Iolb_util List QCheck2 QCheck_alcotest

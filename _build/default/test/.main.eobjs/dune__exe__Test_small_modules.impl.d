@@ -1,0 +1,1 @@
+test/test_small_modules.ml: Alcotest Array Iolb Iolb_cdag Iolb_ir Iolb_kernels Iolb_pebble Iolb_poly Iolb_symbolic Iolb_util List Printf

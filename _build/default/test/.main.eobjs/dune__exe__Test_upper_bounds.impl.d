@@ -1,0 +1,1 @@
+test/test_upper_bounds.ml: Alcotest Float Iolb Iolb_kernels Iolb_pebble Iolb_symbolic Iolb_util List Printf

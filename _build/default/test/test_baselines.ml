@@ -1,0 +1,228 @@
+(* Baseline kernels (Cholesky, LU, SYRK, TRSM, tiled GEMM): numeric
+   correctness, no-hourglass property, and classical bound shapes. *)
+
+module K = Iolb_kernels
+module Matrix = Iolb_kernels.Matrix
+module D = Iolb.Derive
+module H = Iolb.Hourglass
+
+let check_close ~msg ~tol actual =
+  Alcotest.(check bool) (Printf.sprintf "%s (err=%g)" msg actual) true (actual < tol)
+
+let test_cholesky () =
+  List.iter
+    (fun n ->
+      let a = K.Cholesky.random_spd ~seed:3 n in
+      let l = K.Cholesky.factor a in
+      check_close ~msg:"A = L L^T" ~tol:1e-9
+        (Matrix.rel_error a (Matrix.mul l (Matrix.transpose l)));
+      Alcotest.(check bool) "L lower" true
+        (Matrix.is_upper_triangular (Matrix.transpose l)))
+    [ 1; 4; 9; 16 ]
+
+let test_lu () =
+  List.iter
+    (fun n ->
+      let a = K.Lu.random_dd ~seed:5 n in
+      let l, u = K.Lu.factor a in
+      check_close ~msg:"A = L U" ~tol:1e-9 (Matrix.rel_error a (Matrix.mul l u));
+      Alcotest.(check bool) "U upper" true (Matrix.is_upper_triangular u);
+      Alcotest.(check bool) "L unit lower" true
+        (Matrix.is_upper_triangular (Matrix.transpose l)
+        &&
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if Matrix.get l i i <> 1. then ok := false
+        done;
+        !ok))
+    [ 1; 4; 9; 16 ]
+
+let test_syrk () =
+  let a = Matrix.random ~seed:9 6 4 in
+  let c = K.Syrk.run a in
+  check_close ~msg:"C = A A^T" ~tol:1e-12
+    (Matrix.rel_error c (Matrix.mul a (Matrix.transpose a)))
+
+let test_trsm () =
+  let n = 8 and m = 5 in
+  let spd = K.Cholesky.random_spd ~seed:13 n in
+  let l = K.Cholesky.factor spd in
+  let b = Matrix.random ~seed:15 n m in
+  let x = K.Trsm.solve l b in
+  check_close ~msg:"L X = B" ~tol:1e-9 (Matrix.rel_error b (Matrix.mul l x))
+
+let test_no_hourglass () =
+  (* These kernels have a single update statement, so no (update, reduction)
+     pair exists: the hourglass path must stay silent. *)
+  List.iter
+    (fun (name, prog, params) ->
+      let verified = H.detect_verified ~params prog in
+      Alcotest.(check int) (name ^ " has no verified hourglass") 0
+        (List.length verified))
+    [
+      ("cholesky", K.Cholesky.spec, [ ("N", 8) ]);
+      ("lu", K.Lu.spec, [ ("N", 8) ]);
+      ("syrk", K.Syrk.spec, [ ("N", 6); ("K", 5) ]);
+      ("trsm", K.Trsm.spec, [ ("N", 6); ("M", 4) ]);
+    ]
+
+let test_classical_rho () =
+  (* All four baselines have rho = 3/2 on their deepest statement (three
+     2-D projections), the Theta(.../sqrt S) shape. *)
+  List.iter
+    (fun (name, prog, stmt) ->
+      match D.classical prog ~stmt with
+      | None -> Alcotest.failf "no classical bound for %s" name
+      | Some b ->
+          Alcotest.(check bool)
+            (name ^ " bound is Theta(flops/sqrt S)")
+            true
+            (List.exists
+               (fun l -> l = "Brascamp-Lieb exponent sum rho = 3/2")
+               b.D.log))
+    [
+      ("cholesky", K.Cholesky.spec, "Sup");
+      ("lu", K.Lu.spec, "Sup");
+      ("syrk", K.Syrk.spec, "SC");
+      ("trsm", K.Trsm.spec, "SR");
+    ]
+
+let test_tiled_gemm_io () =
+  (* Blocked gemm at block b with 3b^2 <= S: I/O ~ 2 m n k / b; the
+     unblocked ijk order pays ~ m n k when S is small. *)
+  let m = 16 and n = 16 and k = 16 in
+  let s = 3 * 8 * 8 in
+  let tiled b =
+    let trace =
+      Iolb_pebble.Trace.of_program ~params:[] (K.Gemm.tiled_spec ~m ~n ~k ~b)
+    in
+    (Iolb_pebble.Cache.opt ~size:s trace).Iolb_pebble.Cache.loads
+  in
+  let t2 = tiled 2 and t8 = tiled 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bigger blocks reduce I/O (%d -> %d)" t2 t8)
+    true (t8 < t2);
+  (* Shape: loads(b=8) should be within 2x of 2mnk/b + mn. *)
+  let predicted = (2 * m * n * k / 8) + (m * n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "near prediction (%d vs %d)" t8 predicted)
+    true
+    (float_of_int t8 < 2. *. float_of_int predicted
+    && float_of_int t8 > 0.4 *. float_of_int predicted);
+  (* Sandwich with the classical lower bound. *)
+  let bounds =
+    D.analyze ~verify_params:[ ("M", 4); ("N", 4); ("K", 4) ] K.Gemm.spec
+  in
+  let lb =
+    List.fold_left
+      (fun acc (b : D.t) ->
+        Float.max acc
+          (D.eval b ~params:[ ("M", m); ("N", n); ("K", k) ] ~s))
+      0. bounds
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "lower bound %.0f <= tiled I/O %d" lb t8)
+    true
+    (lb <= float_of_int t8)
+
+let test_tiled_right_mgs_more_writes () =
+  (* The paper's remark: the right-looking tiled variant does asymptotically
+     similar I/O but with more writes than the left-looking one. *)
+  let m = 32 and n = 16 and b = 4 and s = 160 in
+  let stats spec =
+    Iolb_pebble.Cache.opt ~size:s (Iolb_pebble.Trace.of_program ~params:[] spec)
+  in
+  let left = stats (K.Mgs.tiled_spec ~m ~n ~b) in
+  let right = stats (K.Mgs.tiled_right_spec ~m ~n ~b) in
+  Alcotest.(check bool)
+    (Printf.sprintf "right-looking writes more (%d vs %d)"
+       right.Iolb_pebble.Cache.stores left.Iolb_pebble.Cache.stores)
+    true
+    (right.Iolb_pebble.Cache.stores > left.Iolb_pebble.Cache.stores)
+
+let suite0 =
+  [
+    Alcotest.test_case "cholesky factors SPD" `Quick test_cholesky;
+    Alcotest.test_case "lu factors" `Quick test_lu;
+    Alcotest.test_case "syrk" `Quick test_syrk;
+    Alcotest.test_case "trsm solves" `Quick test_trsm;
+    Alcotest.test_case "no hourglass on baselines" `Quick test_no_hourglass;
+    Alcotest.test_case "classical rho = 3/2 on baselines" `Quick
+      test_classical_rho;
+    Alcotest.test_case "tiled gemm I/O shape + sandwich" `Quick
+      test_tiled_gemm_io;
+    Alcotest.test_case "right-looking tiled MGS writes more" `Quick
+      test_tiled_right_mgs_more_writes;
+  ]
+
+(* Polybench-family additions: SYR2K/TRMM exercise the classical 3-D path;
+   ATAX documents the matvec-class negative result. *)
+
+let test_syr2k () =
+  let a = Matrix.random ~seed:21 5 3 and b = Matrix.random ~seed:22 5 3 in
+  let c = K.Syr2k.run a b in
+  let expected =
+    let abt = Matrix.mul a (Matrix.transpose b) in
+    let bat = Matrix.mul b (Matrix.transpose a) in
+    Matrix.init 5 5 (fun i j -> Matrix.get abt i j +. Matrix.get bat i j)
+  in
+  check_close ~msg:"C = AB^T + BA^T" ~tol:1e-12 (Matrix.rel_error expected c);
+  (match D.classical K.Syr2k.spec ~stmt:"SC" with
+  | Some bnd ->
+      Alcotest.(check bool) "syr2k rho = 3/2" true
+        (List.mem "Brascamp-Lieb exponent sum rho = 3/2" bnd.D.log)
+  | None -> Alcotest.fail "syr2k should have a classical bound");
+  Alcotest.(check int) "no hourglass" 0
+    (List.length
+       (H.detect_verified ~params:[ ("N", 5); ("K", 4) ] K.Syr2k.spec))
+
+let test_trmm () =
+  let m = 6 and n = 4 in
+  let a =
+    Matrix.init m m (fun i j ->
+        if i = j then 1. else if j < i then Matrix.get (Matrix.random ~seed:23 m m) i j else 0.)
+  in
+  let b = Matrix.random ~seed:24 m n in
+  let out = K.Trmm.run a b in
+  (* Reference: out = A^T? No - B(i,j) += sum_{k>i} A(k,i) B(k,j) is
+     (A^T B) with unit diagonal, i.e. out = A^T * B for unit-lower A. *)
+  let expected = Matrix.mul (Matrix.transpose a) b in
+  check_close ~msg:"B := A^T B (unit lower A)" ~tol:1e-12
+    (Matrix.rel_error expected out);
+  (match D.classical K.Trmm.spec ~stmt:"SB" with
+  | Some bnd ->
+      Alcotest.(check bool) "trmm rho = 3/2" true
+        (List.mem "Brascamp-Lieb exponent sum rho = 3/2" bnd.D.log)
+  | None -> Alcotest.fail "trmm should have a classical bound");
+  Alcotest.(check int) "no hourglass" 0
+    (List.length
+       (H.detect_verified ~params:[ ("M", 6); ("N", 4) ] K.Trmm.spec))
+
+let test_atax_negative () =
+  let a = Matrix.random ~seed:25 4 3 in
+  let x = [| 1.; -2.; 0.5 |] in
+  let y = K.Atax.run a x in
+  (* Reference via matrices. *)
+  let xm = Matrix.init 3 1 (fun i _ -> x.(i)) in
+  let ym = Matrix.mul (Matrix.transpose a) (Matrix.mul a xm) in
+  Array.iteri
+    (fun j v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "y[%d]" j)
+        true
+        (Float.abs (v -. Matrix.get ym j 0) < 1e-12))
+    y;
+  (* No S-dependent bound: matvec-class kernels have no superlinear reuse. *)
+  Alcotest.(check bool) "no classical bound for St" true
+    (D.classical K.Atax.spec ~stmt:"St" = None);
+  Alcotest.(check bool) "no classical bound for Sy" true
+    (D.classical K.Atax.spec ~stmt:"Sy" = None)
+
+let suite =
+  suite0
+  @ [
+      Alcotest.test_case "syr2k (classical, no hourglass)" `Quick test_syr2k;
+      Alcotest.test_case "trmm (classical, no hourglass)" `Quick test_trmm;
+      Alcotest.test_case "atax (matvec negative control)" `Quick
+        test_atax_negative;
+    ]

@@ -1,0 +1,76 @@
+(* Symbolic may-dependence relations, cross-validated against the exact
+   CDAG dataflow: every CDAG edge must belong to some may-relation of the
+   corresponding (writer, reader, array) triple. *)
+
+module Deps = Iolb_ir.Deps
+module Program = Iolb_ir.Program
+module Cdag = Iolb_cdag.Cdag
+module K = Iolb_kernels
+
+let test_mgs_su_sr_relation () =
+  (* SU[k,j,i] writes A[i][j]; SR[k',j',i'] reads A[i'][j']: the relation
+     pins i' = i, j' = j and leaves k, k' free within their domains. *)
+  let rels = Deps.between K.Mgs.spec ~writer:"SU" ~reader:"SR" in
+  Alcotest.(check int) "one A-relation" 1 (List.length rels);
+  let d = List.hd rels in
+  let params = [ ("M", 3); ("N", 3) ] in
+  Alcotest.(check bool) "non-empty" true (Deps.may_depend ~params d);
+  List.iter
+    (fun (src, dst) ->
+      (* src = (k, j, i) renamed; dst = (k', j', i'); same cell. *)
+      Alcotest.(check int) "same i" src.(2) dst.(2);
+      Alcotest.(check int) "same j" src.(1) dst.(1))
+    (Deps.instance_pairs ~params d)
+
+let test_relations_cover_cdag_edges () =
+  List.iter
+    (fun (prog, params) ->
+      let cdag = Cdag.of_program ~params prog in
+      let rels = Deps.relations prog in
+      (* Index the concrete relation pairs per (writer, reader). *)
+      let table = Hashtbl.create 64 in
+      List.iter
+        (fun (d : Deps.t) ->
+          List.iter
+            (fun (src, dst) ->
+              Hashtbl.replace table (d.writer, src, d.reader, dst) ())
+            (Deps.instance_pairs ~params d))
+        rels;
+      (* Every compute-to-compute CDAG edge must be a may-dependence. *)
+      let missing = ref 0 and total = ref 0 in
+      for id = 0 to Cdag.n_nodes cdag - 1 do
+        match Cdag.kind cdag id with
+        | Cdag.Compute (rname, rvec) ->
+            Array.iter
+              (fun p ->
+                match Cdag.kind cdag p with
+                | Cdag.Compute (wname, wvec) ->
+                    incr total;
+                    if not (Hashtbl.mem table (wname, wvec, rname, rvec)) then
+                      incr missing
+                | Cdag.Input _ -> ())
+              (Cdag.preds cdag id)
+        | Cdag.Input _ -> ()
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: all %d edges covered" prog.Program.name !total)
+        0 !missing)
+    [
+      (K.Mgs.spec, [ ("M", 4); ("N", 3) ]);
+      (K.Householder.a2v_spec, [ ("M", 5); ("N", 3) ]);
+      (K.Lu.spec, [ ("N", 4) ]);
+      (K.Gemm.spec, [ ("M", 2); ("N", 3); ("K", 2) ]);
+    ]
+
+let test_no_spurious_array_pairs () =
+  (* Statements that touch no common array have no relation. *)
+  Alcotest.(check int) "Sq never writes what Snrm reads... (R vs nrm)" 0
+    (List.length (Deps.between K.Mgs.spec ~writer:"Sq" ~reader:"Snrm"))
+
+let suite =
+  [
+    Alcotest.test_case "mgs SU->SR relation" `Quick test_mgs_su_sr_relation;
+    Alcotest.test_case "relations cover all CDAG edges" `Quick
+      test_relations_cover_cdag_edges;
+    Alcotest.test_case "no spurious pairs" `Quick test_no_spurious_array_pairs;
+  ]

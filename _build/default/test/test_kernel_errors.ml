@@ -1,0 +1,73 @@
+(* Input validation of the kernel APIs: shape preconditions must be
+   rejected loudly, not produce garbage. *)
+
+module K = Iolb_kernels
+module Matrix = Iolb_kernels.Matrix
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_shape_preconditions () =
+  let wide = Matrix.random 3 5 in
+  Alcotest.(check bool) "mgs needs m >= n" true
+    (raises_invalid (fun () -> K.Mgs.factor wide));
+  Alcotest.(check bool) "geqr2 needs m >= n" true
+    (raises_invalid (fun () -> K.Householder.geqr2 wide));
+  Alcotest.(check bool) "gebd2 needs m >= n" true
+    (raises_invalid (fun () -> K.Gebd2.reduce wide));
+  Alcotest.(check bool) "gehd2 needs square" true
+    (raises_invalid (fun () -> K.Gehd2.reduce wide));
+  Alcotest.(check bool) "cholesky needs square" true
+    (raises_invalid (fun () -> K.Cholesky.factor wide));
+  Alcotest.(check bool) "lu needs square" true
+    (raises_invalid (fun () -> K.Lu.factor wide));
+  Alcotest.(check bool) "gemm needs compatible dims" true
+    (raises_invalid (fun () -> K.Gemm.run wide wide));
+  Alcotest.(check bool) "trsm needs matching sizes" true
+    (raises_invalid (fun () -> K.Trsm.solve wide wide))
+
+let test_numeric_preconditions () =
+  (* Cholesky on a non-SPD matrix must fail, not return NaNs. *)
+  let not_spd = Matrix.init 3 3 (fun i j -> if i = j then -1. else 0.) in
+  Alcotest.(check bool) "cholesky rejects non-SPD" true
+    (raises_invalid (fun () -> K.Cholesky.factor not_spd));
+  (* LU with a structurally zero pivot. *)
+  let singular = Matrix.create 3 3 in
+  Alcotest.(check bool) "lu rejects zero pivot" true
+    (raises_invalid (fun () -> K.Lu.factor singular))
+
+let test_tiled_spec_preconditions () =
+  Alcotest.(check bool) "tiled mgs: b must divide n" true
+    (raises_invalid (fun () -> K.Mgs.tiled_spec ~m:8 ~n:6 ~b:4));
+  Alcotest.(check bool) "tiled mgs: b >= 1" true
+    (raises_invalid (fun () -> K.Mgs.tiled_spec ~m:8 ~n:6 ~b:0));
+  Alcotest.(check bool) "tiled a2v: b must divide n" true
+    (raises_invalid (fun () -> K.Householder.tiled_spec ~m:8 ~n:6 ~b:4));
+  Alcotest.(check bool) "tiled gemm: b must divide all" true
+    (raises_invalid (fun () -> K.Gemm.tiled_spec ~m:8 ~n:6 ~k:8 ~b:4));
+  Alcotest.(check bool) "tiled right mgs: b must divide n" true
+    (raises_invalid (fun () -> K.Mgs.tiled_right_spec ~m:8 ~n:6 ~b:4))
+
+let test_tiled_block_one_matches_untiled_io_order () =
+  (* b = 1 tiled MGS is the plain left-looking column algorithm: its trace
+     is valid and its CDAG executes the same multiset of statement kinds
+     as b = 2 at the same sizes (same work, different order). *)
+  let count spec =
+    Iolb_ir.Program.count_instances ~params:[] spec
+  in
+  Alcotest.(check int) "same work across block sizes"
+    (count (K.Mgs.tiled_spec ~m:8 ~n:4 ~b:1))
+    (count (K.Mgs.tiled_spec ~m:8 ~n:4 ~b:2))
+
+let suite =
+  [
+    Alcotest.test_case "shape preconditions" `Quick test_shape_preconditions;
+    Alcotest.test_case "numeric preconditions" `Quick test_numeric_preconditions;
+    Alcotest.test_case "tiled spec preconditions" `Quick
+      test_tiled_spec_preconditions;
+    Alcotest.test_case "tiled work invariant across block sizes" `Quick
+      test_tiled_block_one_matches_untiled_io_order;
+  ]

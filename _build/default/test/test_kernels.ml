@@ -1,0 +1,109 @@
+(* Numeric correctness of the kernel implementations: the factorisations
+   must actually factor, before we reason about their data movement. *)
+
+open Iolb_kernels
+
+let check_close ~msg ~tol actual =
+  Alcotest.(check bool) (Printf.sprintf "%s (err=%g)" msg actual) true (actual < tol)
+
+let test_mgs_reconstruction () =
+  List.iter
+    (fun (m, n) ->
+      let a = Matrix.random ~seed:7 m n in
+      let q, r = Mgs.factor a in
+      check_close ~msg:"A = QR" ~tol:1e-10 (Matrix.rel_error a (Matrix.mul q r));
+      check_close ~msg:"Q orthonormal" ~tol:1e-10 (Matrix.orthogonality_error q);
+      Alcotest.(check bool) "R upper triangular" true (Matrix.is_upper_triangular r))
+    [ (5, 3); (8, 8); (12, 5); (20, 17) ]
+
+let test_mgs_tiled_matches () =
+  List.iter
+    (fun (m, n, b) ->
+      let a = Matrix.random ~seed:11 m n in
+      let q1, r1 = Mgs.factor a in
+      let q2, r2 = Mgs.factor_tiled ~b a in
+      check_close ~msg:"tiled Q = untiled Q" ~tol:1e-9 (Matrix.rel_error q1 q2);
+      check_close ~msg:"tiled R = untiled R" ~tol:1e-9 (Matrix.rel_error r1 r2))
+    [ (6, 4, 1); (10, 9, 3); (16, 12, 4); (16, 12, 5) ]
+
+let test_householder_reconstruction () =
+  List.iter
+    (fun (m, n) ->
+      let a = Matrix.random ~seed:3 m n in
+      let q, r = Householder.qr a in
+      check_close ~msg:"A = QR" ~tol:1e-10 (Matrix.rel_error a (Matrix.mul q r));
+      check_close ~msg:"Q orthonormal" ~tol:1e-10 (Matrix.orthogonality_error q);
+      Alcotest.(check bool) "R upper triangular" true (Matrix.is_upper_triangular r))
+    [ (5, 3); (8, 8); (12, 5); (20, 17) ]
+
+let test_householder_tiled_matches () =
+  List.iter
+    (fun (m, n, b) ->
+      let a = Matrix.random ~seed:13 m n in
+      let f1 = Householder.geqr2 a in
+      let f2 = Householder.geqr2_tiled ~b a in
+      check_close ~msg:"tiled VR = untiled VR" ~tol:1e-9
+        (Matrix.rel_error f1.vr f2.vr);
+      Array.iteri
+        (fun i t1 ->
+          Alcotest.(check bool)
+            (Printf.sprintf "tau[%d]" i)
+            true
+            (Float.abs (t1 -. f2.tau.(i)) < 1e-9))
+        f1.tau)
+    [ (6, 4, 1); (10, 9, 3); (16, 12, 4); (16, 12, 5) ]
+
+let test_gebd2 () =
+  List.iter
+    (fun (m, n) ->
+      let a = Matrix.random ~seed:17 m n in
+      let r = Gebd2.reduce a in
+      let b = Gebd2.bidiagonal_of r in
+      Alcotest.(check bool) "B bidiagonal" true (Matrix.is_upper_bidiagonal b);
+      let q = Gebd2.q_of r and p = Gebd2.p_of r in
+      check_close ~msg:"Q orthogonal" ~tol:1e-9 (Matrix.orthogonality_error q);
+      check_close ~msg:"P orthogonal" ~tol:1e-9 (Matrix.orthogonality_error p);
+      (* A = Q * [B; 0] * P^T *)
+      let b_full = Matrix.init m n (fun i j -> if i < n then Matrix.get b i j else 0.) in
+      let recon = Matrix.mul q (Matrix.mul b_full (Matrix.transpose p)) in
+      check_close ~msg:"A = Q B P^T" ~tol:1e-9 (Matrix.rel_error a recon))
+    [ (5, 3); (8, 8); (12, 5); (16, 13) ]
+
+let test_gehd2 () =
+  List.iter
+    (fun n ->
+      let a = Matrix.random ~seed:23 n n in
+      let r = Gehd2.reduce a in
+      let h = Gehd2.hessenberg_of r in
+      Alcotest.(check bool) "H Hessenberg" true (Matrix.is_upper_hessenberg h);
+      let q = Gehd2.q_of r in
+      check_close ~msg:"Q orthogonal" ~tol:1e-9 (Matrix.orthogonality_error q);
+      (* A = Q H Q^T *)
+      let recon = Matrix.mul q (Matrix.mul h (Matrix.transpose q)) in
+      check_close ~msg:"A = Q H Q^T" ~tol:1e-9 (Matrix.rel_error a recon))
+    [ 3; 5; 9; 14 ]
+
+let test_gemm () =
+  let a = Matrix.random ~seed:29 5 7 and b = Matrix.random ~seed:31 7 4 in
+  let c = Gemm.run a b in
+  let c' =
+    Matrix.init 5 4 (fun i j ->
+        let acc = ref 0. in
+        for k = 0 to 6 do
+          acc := !acc +. (Matrix.get a i k *. Matrix.get b k j)
+        done;
+        !acc)
+  in
+  check_close ~msg:"gemm" ~tol:1e-12 (Matrix.rel_error c' c)
+
+let suite =
+  [
+    Alcotest.test_case "mgs reconstructs A" `Quick test_mgs_reconstruction;
+    Alcotest.test_case "tiled mgs = mgs" `Quick test_mgs_tiled_matches;
+    Alcotest.test_case "householder reconstructs A" `Quick
+      test_householder_reconstruction;
+    Alcotest.test_case "tiled a2v = a2v" `Quick test_householder_tiled_matches;
+    Alcotest.test_case "gebd2 bidiagonalises" `Quick test_gebd2;
+    Alcotest.test_case "gehd2 reduces to Hessenberg" `Quick test_gehd2;
+    Alcotest.test_case "gemm multiplies" `Quick test_gemm;
+  ]

@@ -1,0 +1,65 @@
+(* Empirical check of the paper's central inequality (Section 4): for any
+   convex set E of update-statement instances with |InSet(E)| <= K,
+
+       |E| <= K^2 / W + 2K.
+
+   We sample random convex sets (convex closures of random node samples) on
+   concrete CDAGs, measure K as the closure's inset, count the update
+   instances inside, and assert the inequality.  A counterexample would
+   falsify the derivation the bounds rest on. *)
+
+module Cdag = Iolb_cdag.Cdag
+module H = Iolb.Hourglass
+module P = Iolb_symbolic.Polynomial
+
+let check_kernel name params samples =
+  let entry = Iolb.Report.find name in
+  let prog = entry.Iolb.Report.program in
+  let cdag = Cdag.of_program ~params prog in
+  let h =
+    List.find
+      (fun (h : H.t) -> h.reduction = [ "i" ])
+      (H.detect_verified ~params prog)
+  in
+  let w =
+    Iolb_symbolic.Polynomial.eval_int params (H.width_poly h)
+    |> Iolb_util.Rat.to_int
+  in
+  let su_nodes = Array.of_list (Cdag.nodes_of_stmt cdag h.update_stmt) in
+  let state = Random.State.make [| 2024 |] in
+  for sample = 1 to samples do
+    (* Random seed set: 2-4 update instances. *)
+    let k_pick = 2 + Random.State.int state 3 in
+    let seeds =
+      List.init k_pick (fun _ ->
+          su_nodes.(Random.State.int state (Array.length su_nodes)))
+    in
+    let closure = Cdag.convex_closure cdag seeds in
+    let k = Cdag.inset cdag closure in
+    let e_su =
+      List.length
+        (List.filter
+           (fun id ->
+             match Cdag.kind cdag id with
+             | Cdag.Compute (s, _) -> s = h.update_stmt
+             | Cdag.Input _ -> false)
+           closure)
+    in
+    let bound = (float_of_int (k * k) /. float_of_int w) +. (2. *. float_of_int k) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s sample %d: |E_SU|=%d <= K^2/W + 2K = %.1f (K=%d, W=%d)"
+         name sample e_su bound k w)
+      true
+      (float_of_int e_su <= bound +. 1e-9)
+  done
+
+let test_mgs () = check_kernel "mgs" [ ("M", 8); ("N", 6) ] 60
+let test_a2v () = check_kernel "qr_hh_a2v" [ ("M", 9); ("N", 5) ] 60
+let test_gebd2 () = check_kernel "gebd2" [ ("M", 9); ("N", 5) ] 40
+
+let suite =
+  [
+    Alcotest.test_case "|E| <= K^2/W + 2K on MGS" `Quick test_mgs;
+    Alcotest.test_case "|E| <= K^2/W + 2K on A2V" `Quick test_a2v;
+    Alcotest.test_case "|E| <= K^2/W + 2K on GEBD2" `Quick test_gebd2;
+  ]

@@ -1,0 +1,78 @@
+(* Dense matrix substrate. *)
+
+module Matrix = Iolb_kernels.Matrix
+
+let test_accessors () =
+  let m = Matrix.init 2 3 (fun i j -> float_of_int ((10 * i) + j)) in
+  Alcotest.(check (float 0.)) "get" 12. (Matrix.get m 1 2);
+  Matrix.set m 1 2 99.;
+  Alcotest.(check (float 0.)) "set" 99. (Matrix.get m 1 2);
+  Alcotest.(check (pair int int)) "dims" (2, 3) (Matrix.dims m)
+
+let test_mul_identity () =
+  let a = Matrix.random ~seed:1 4 4 in
+  let i4 = Matrix.identity 4 in
+  Alcotest.(check (float 1e-12)) "A * I = A" 0.
+    (Matrix.rel_error a (Matrix.mul a i4));
+  Alcotest.(check (float 1e-12)) "I * A = A" 0.
+    (Matrix.rel_error a (Matrix.mul i4 a))
+
+let test_transpose_involution () =
+  let a = Matrix.random ~seed:2 3 5 in
+  Alcotest.(check (float 0.)) "(A^T)^T = A" 0.
+    (Matrix.rel_error a (Matrix.transpose (Matrix.transpose a)))
+
+let test_mul_transpose_compat () =
+  (* (AB)^T = B^T A^T *)
+  let a = Matrix.random ~seed:3 3 4 and b = Matrix.random ~seed:4 4 2 in
+  Alcotest.(check (float 1e-12)) "(AB)^T = B^T A^T" 0.
+    (Matrix.rel_error
+       (Matrix.transpose (Matrix.mul a b))
+       (Matrix.mul (Matrix.transpose b) (Matrix.transpose a)))
+
+let test_norms () =
+  let m = Matrix.init 2 2 (fun i j -> if i = 0 && j = 0 then 3. else if i = 1 && j = 1 then -4. else 0.) in
+  Alcotest.(check (float 1e-12)) "frobenius" 5. (Matrix.frobenius m);
+  Alcotest.(check (float 0.)) "max_abs" 4. (Matrix.max_abs m)
+
+let test_structure_predicates () =
+  let upper = Matrix.init 3 3 (fun i j -> if j >= i then 1. else 0.) in
+  Alcotest.(check bool) "upper triangular" true (Matrix.is_upper_triangular upper);
+  Alcotest.(check bool) "not bidiagonal" false (Matrix.is_upper_bidiagonal upper);
+  let bidiag = Matrix.init 3 3 (fun i j -> if j = i || j = i + 1 then 1. else 0.) in
+  Alcotest.(check bool) "bidiagonal" true (Matrix.is_upper_bidiagonal bidiag);
+  let hess = Matrix.init 4 4 (fun i j -> if j >= i - 1 then 1. else 0.) in
+  Alcotest.(check bool) "hessenberg" true (Matrix.is_upper_hessenberg hess);
+  Alcotest.(check bool) "full not hessenberg" false
+    (Matrix.is_upper_hessenberg (Matrix.init 4 4 (fun _ _ -> 1.)))
+
+let test_submatrix () =
+  let m = Matrix.init 4 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  let s = Matrix.submatrix m ~row:1 ~col:2 ~rows:2 ~cols:2 in
+  Alcotest.(check (float 0.)) "corner" 12. (Matrix.get s 0 0);
+  Alcotest.(check (float 0.)) "opposite" 23. (Matrix.get s 1 1);
+  Alcotest.(check bool) "out of range raises" true
+    (try
+       ignore (Matrix.submatrix m ~row:3 ~col:3 ~rows:2 ~cols:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_random_deterministic () =
+  let a = Matrix.random ~seed:7 3 3 and b = Matrix.random ~seed:7 3 3 in
+  Alcotest.(check (float 0.)) "same seed same matrix" 0. (Matrix.rel_error a b);
+  let c = Matrix.random ~seed:8 3 3 in
+  Alcotest.(check bool) "different seed differs" true (Matrix.rel_error a c > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "identity laws" `Quick test_mul_identity;
+    Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+    Alcotest.test_case "mul/transpose compatibility" `Quick
+      test_mul_transpose_compat;
+    Alcotest.test_case "norms" `Quick test_norms;
+    Alcotest.test_case "structure predicates" `Quick test_structure_predicates;
+    Alcotest.test_case "submatrix" `Quick test_submatrix;
+    Alcotest.test_case "deterministic randomness" `Quick
+      test_random_deterministic;
+  ]

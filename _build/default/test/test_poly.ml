@@ -1,0 +1,118 @@
+(* Integer sets: membership, enumeration, Fourier-Motzkin soundness. *)
+
+module A = Iolb_poly.Affine
+module C = Iolb_poly.Constr
+module I = Iolb_poly.Iset
+
+let v = A.var
+let c = A.const
+
+let triangle_n =
+  (* { (i, j) | 0 <= i <= j <= N-1 } *)
+  I.make ~dims:[ "i"; "j" ]
+    [
+      C.ge (v "i");
+      C.ge_of (v "j") (v "i");
+      C.le_of (v "j") (A.sub (v "N") (c 1));
+    ]
+
+let test_triangle_cardinal () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "triangle N=%d" n)
+        (n * (n + 1) / 2)
+        (I.cardinal ~params:[ ("N", n) ] triangle_n))
+    [ 1; 2; 5; 10 ]
+
+let test_empty () =
+  Alcotest.(check bool)
+    "N=0 empty" true
+    (I.is_empty ~params:[ ("N", 0) ] triangle_n);
+  let contradictory =
+    I.make ~dims:[ "i" ] [ C.ge (v "i"); C.le_of (v "i") (c (-1)) ]
+  in
+  Alcotest.(check bool) "contradiction" true (I.is_empty ~params:[] contradictory)
+
+let test_membership_matches_enumeration () =
+  let params = [ ("N", 6) ] in
+  let points = I.enumerate ~params triangle_n in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "enumerated point is member" true
+        (I.mem ~params triangle_n p))
+    points;
+  (* And non-members are rejected. *)
+  Alcotest.(check bool) "(3,2) not member" false
+    (I.mem ~params triangle_n [| 3; 2 |]);
+  Alcotest.(check bool) "(0,6) not member" false
+    (I.mem ~params triangle_n [| 0; 6 |])
+
+let test_bounds_of_dim () =
+  let lo, hi = I.bounds_of_dim ~params:[ ("N", 8) ] triangle_n "j" in
+  Alcotest.(check (option int)) "j lower" (Some 0) lo;
+  Alcotest.(check (option int)) "j upper" (Some 7) hi
+
+let test_projection_sound () =
+  (* Every enumerated point of the set projects into the FM projection. *)
+  let params = [ ("N", 7) ] in
+  let proj = I.project ~onto:[ "j" ] triangle_n in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "projection contains shadow" true
+        (I.mem ~params proj [| p.(1) |]))
+    (I.enumerate ~params triangle_n)
+
+(* Random boxes with a random cutting plane: enumeration must agree with
+   brute-force filtering over the box. *)
+let random_set_test =
+  let gen =
+    let open QCheck2.Gen in
+    (* box bounds and one extra constraint a*i + b*j + k >= 0 *)
+    triple (int_range 0 6) (int_range 0 6)
+      (triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-8) 8))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"enumerate = brute force on cut boxes" ~count:200
+       gen
+       (fun (bi, bj, (a, b, k)) ->
+         let set =
+           I.make ~dims:[ "i"; "j" ]
+             [
+               C.ge (v "i");
+               C.le_of (v "i") (c bi);
+               C.ge (v "j");
+               C.le_of (v "j") (c bj);
+               C.ge (A.of_terms [ (a, "i"); (b, "j") ] k);
+             ]
+         in
+         let enumerated = I.enumerate ~params:[] set in
+         let brute = ref [] in
+         for i = 0 to bi do
+           for j = 0 to bj do
+             if (a * i) + (b * j) + k >= 0 then brute := [| i; j |] :: !brute
+           done
+         done;
+         List.sort compare enumerated = List.sort compare (List.rev !brute)))
+
+let test_affine_ops () =
+  let e = A.of_terms [ (2, "i"); (-1, "j") ] 3 in
+  Alcotest.(check int) "eval" 4 (A.eval (function "i" -> 2 | _ -> 3) e);
+  Alcotest.(check int) "coeff i" 2 (A.coeff "i" e);
+  Alcotest.(check int) "coeff absent" 0 (A.coeff "z" e);
+  let e' = A.subst "i" (A.add (v "k") (c 1)) e in
+  (* 2(k+1) - j + 3 = 2k - j + 5 *)
+  Alcotest.(check bool) "subst" true
+    (A.equal e' (A.of_terms [ (2, "k"); (-1, "j") ] 5))
+
+let suite =
+  [
+    Alcotest.test_case "affine expression operations" `Quick test_affine_ops;
+    Alcotest.test_case "triangular cardinality" `Quick test_triangle_cardinal;
+    Alcotest.test_case "emptiness" `Quick test_empty;
+    Alcotest.test_case "membership vs enumeration" `Quick
+      test_membership_matches_enumeration;
+    Alcotest.test_case "per-dimension bounds" `Quick test_bounds_of_dim;
+    Alcotest.test_case "FM projection soundness" `Quick test_projection_sound;
+    random_set_test;
+  ]

@@ -1,0 +1,148 @@
+(* Polynomial ring laws, substitution, and the Faulhaber summation used for
+   symbolic iteration-domain cardinalities. *)
+
+module P = Iolb_symbolic.Polynomial
+module Rat = Iolb_util.Rat
+
+let vars = [ "x"; "y"; "z" ]
+
+let poly_gen =
+  (* Random small polynomials over x, y, z with coefficients in [-5, 5]. *)
+  let open QCheck2.Gen in
+  let monomial =
+    map2
+      (fun coeff exps ->
+        let factors =
+          List.mapi (fun i e -> (List.nth vars i, e)) exps
+          |> List.filter (fun (_, e) -> e > 0)
+        in
+        P.monomial (Rat.of_int coeff) (Iolb_symbolic.Monomial.of_list factors))
+      (int_range (-5) 5)
+      (list_size (return 3) (int_range 0 3))
+  in
+  map (List.fold_left P.add P.zero) (list_size (int_range 0 6) monomial)
+
+let poly = (poly_gen, P.to_string)
+
+let prop name ?(count = 300) gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:(snd gen) (fst gen) f)
+
+let prop2 name ?(count = 300) f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count
+       ~print:(fun (a, b) -> P.to_string a ^ " ; " ^ P.to_string b)
+       QCheck2.Gen.(pair poly_gen poly_gen)
+       f)
+
+let eval_at p (x, y, z) = P.eval_int [ ("x", x); ("y", y); ("z", z) ] p
+
+let points = [ (0, 0, 0); (1, 2, 3); (-2, 5, 1); (7, -3, -4) ]
+
+let semantic_equal a b =
+  List.for_all (fun pt -> Rat.equal (eval_at a pt) (eval_at b pt)) points
+
+let test_faulhaber_known () =
+  (* F_1(n) = n(n+1)/2, F_2(n) = n(n+1)(2n+1)/6. *)
+  let n = P.var "n" in
+  let f1 = P.faulhaber 1 in
+  let expected1 = P.scale Rat.half (P.mul n (P.add n P.one)) in
+  Alcotest.(check bool) "F_1" true (P.equal f1 expected1);
+  let f2 = P.faulhaber 2 in
+  let expected2 =
+    P.scale (Rat.make 1 6)
+      (P.mul n (P.mul (P.add n P.one) (P.add (P.scale Rat.two n) P.one)))
+  in
+  Alcotest.(check bool) "F_2" true (P.equal f2 expected2)
+
+let test_sum_over_brute_force () =
+  (* sum_over agrees with explicit summation on concrete ranges. *)
+  let p =
+    P.add
+      (P.mul (P.var "k") (P.var "k"))
+      (P.add (P.mul (P.var "y") (P.var "k")) P.one)
+  in
+  List.iter
+    (fun (lo, hi, y) ->
+      let s =
+        P.sum_over "k" ~lo:(P.of_int lo) ~hi:(P.of_int hi) p
+        |> P.eval_int [ ("y", y) ]
+      in
+      let expected = ref Rat.zero in
+      for k = lo to hi do
+        expected :=
+          Rat.add !expected (P.eval_int [ ("k", k); ("y", y) ] p)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "sum k=%d..%d (y=%d)" lo hi y)
+        true
+        (Rat.equal s !expected))
+    [ (0, 10, 2); (3, 3, -1); (5, 4, 7) (* empty range -> 0 *); (-4, 6, 0) ]
+
+let test_sum_over_symbolic_bounds () =
+  (* sum_{k=a+1}^{b} 1 = b - a, checked symbolically. *)
+  let s = P.sum_over "k" ~lo:(P.add (P.var "a") P.one) ~hi:(P.var "b") P.one in
+  Alcotest.(check bool)
+    "trip count" true
+    (P.equal s (P.sub (P.var "b") (P.var "a")))
+
+let test_triangular_cardinal () =
+  (* sum_{k=0}^{N-1} sum_{j=k+1}^{N-1} 1 = N(N-1)/2. *)
+  let inner =
+    P.sum_over "j" ~lo:(P.add (P.var "k") P.one) ~hi:(P.sub (P.var "N") P.one)
+      P.one
+  in
+  let total =
+    P.sum_over "k" ~lo:P.zero ~hi:(P.sub (P.var "N") P.one) inner
+  in
+  let expected =
+    P.scale Rat.half (P.mul (P.var "N") (P.sub (P.var "N") P.one))
+  in
+  Alcotest.(check bool) "N(N-1)/2" true (P.equal total expected)
+
+let test_subst () =
+  (* (x^2 + y)[x := y+1] = y^2 + 3y + 1 *)
+  let p = P.add (P.mul (P.var "x") (P.var "x")) (P.var "y") in
+  let q = P.subst "x" (P.add (P.var "y") P.one) p in
+  let expected =
+    P.add
+      (P.mul (P.var "y") (P.var "y"))
+      (P.add (P.scale (Rat.of_int 3) (P.var "y")) P.one)
+  in
+  Alcotest.(check bool) "subst" true (P.equal q expected)
+
+let suite =
+  [
+    Alcotest.test_case "faulhaber F_1, F_2" `Quick test_faulhaber_known;
+    Alcotest.test_case "sum_over = brute force" `Quick test_sum_over_brute_force;
+    Alcotest.test_case "sum_over symbolic bounds" `Quick
+      test_sum_over_symbolic_bounds;
+    Alcotest.test_case "triangular domain cardinal" `Quick
+      test_triangular_cardinal;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    prop2 "addition commutes" (fun (a, b) -> P.equal (P.add a b) (P.add b a));
+    prop2 "multiplication commutes" (fun (a, b) ->
+        P.equal (P.mul a b) (P.mul b a));
+    prop2 "mul distributes over add (semantic)" (fun (a, b) ->
+        semantic_equal
+          (P.mul a (P.add a b))
+          (P.add (P.mul a a) (P.mul a b)));
+    prop "eval is a ring morphism for pow" poly (fun p ->
+        List.for_all
+          (fun pt ->
+            Rat.equal (eval_at (P.pow p 2) pt)
+              (Rat.mul (eval_at p pt) (eval_at p pt)))
+          points);
+    prop "canonical form: structural = semantic zero" poly (fun p ->
+        P.is_zero (P.sub p p));
+    prop "as_univariate reconstructs" poly (fun p ->
+        let coeffs = P.as_univariate "x" p in
+        let rebuilt =
+          List.fold_left
+            (fun (acc, i) c ->
+              (P.add acc (P.mul c (P.pow (P.var "x") i)), i + 1))
+            (P.zero, 0) coeffs
+          |> fst
+        in
+        P.equal p rebuilt);
+  ]

@@ -1,0 +1,121 @@
+(* IR derived views: symbolic cardinalities vs concrete instance counts,
+   extents, execution order, input detection. *)
+
+module Program = Iolb_ir.Program
+module P = Iolb_symbolic.Polynomial
+module K = Iolb_kernels
+
+let count_stmt prog params name =
+  let n = ref 0 in
+  Program.iter_instances ~params prog (fun inst ->
+      if inst.stmt_name = name then incr n);
+  !n
+
+let test_cardinal_matches_concrete () =
+  List.iter
+    (fun (prog, params) ->
+      List.iter
+        (fun (info : Program.stmt_info) ->
+          let symbolic =
+            P.eval_int params (Program.cardinal info) |> Iolb_util.Rat.to_int
+          in
+          let concrete = count_stmt prog params info.def.name in
+          Alcotest.(check int)
+            (Printf.sprintf "%s.%s" prog.Program.name info.def.name)
+            concrete symbolic)
+        (Program.statements prog))
+    [
+      (K.Mgs.spec, [ ("M", 6); ("N", 4) ]);
+      (K.Householder.a2v_spec, [ ("M", 7); ("N", 4) ]);
+      (K.Householder.v2q_spec, [ ("M", 7); ("N", 4) ]);
+      (K.Gebd2.spec, [ ("M", 7); ("N", 4) ]);
+      (K.Gehd2.spec, [ ("N", 7) ]);
+      (K.Gehd2.split_spec, [ ("N", 9); ("M", 3) ]);
+      (K.Gemm.spec, [ ("M", 3); ("N", 4); ("K", 5) ]);
+    ]
+
+let test_total_instances () =
+  let params = [ ("M", 6); ("N", 4) ] in
+  let symbolic =
+    P.eval_int params (Program.total_instances K.Mgs.spec)
+    |> Iolb_util.Rat.to_int
+  in
+  Alcotest.(check int)
+    "total = concrete" symbolic
+    (Program.count_instances ~params K.Mgs.spec)
+
+let test_extents () =
+  let su = Program.find_stmt K.Mgs.spec "SU" in
+  Alcotest.(check string) "min extent of i" "M"
+    (Iolb_poly.Affine.to_string (Program.extent_min su "i"));
+  (* j runs k+1..N-1, so its trip count vanishes at k = N-1. *)
+  Alcotest.(check string) "min extent of j (at k = N-1)" "0"
+    (Iolb_poly.Affine.to_string (Program.extent_min su "j"));
+  Alcotest.(check string) "max extent of j (at k = 0)" "N - 1"
+    (Iolb_poly.Affine.to_string (Program.extent_max su "j"));
+  let su_a2v = Program.find_stmt K.Householder.a2v_spec "SU" in
+  Alcotest.(check string) "a2v min extent of i" "M - N"
+    (Iolb_poly.Affine.to_string (Program.extent_min su_a2v "i"))
+
+let test_inputs () =
+  let inputs = Program.input_arrays ~params:[ ("M", 5); ("N", 3) ] K.Mgs.spec in
+  Alcotest.(check (list string)) "mgs inputs" [ "A" ] inputs;
+  let inputs =
+    Program.input_arrays ~params:[ ("M", 5); ("N", 3) ] K.Householder.v2q_spec
+  in
+  (* V2Q consumes the taus computed by A2V (tau[N-1] first, at the initial
+     descending iteration) and the reflectors stored in A. *)
+  Alcotest.(check (list string)) "v2q inputs" [ "tau"; "A" ] inputs
+
+let test_rev_loop_order () =
+  (* V2Q's outer loop descends: the first SU instance visited has k = N-2. *)
+  let first_su = ref None in
+  Program.iter_instances ~params:[ ("M", 5); ("N", 3) ] K.Householder.v2q_spec
+    (fun inst ->
+      if inst.stmt_name = "SU" && !first_su = None then
+        first_su := Some inst.vec.(0));
+  Alcotest.(check (option int)) "first SU at k=N-2" (Some 1) !first_su
+
+let test_shared_loop_vars () =
+  let sr = Program.find_stmt K.Mgs.spec "SR"
+  and su = Program.find_stmt K.Mgs.spec "SU" in
+  Alcotest.(check (list string))
+    "SR/SU share k,j but not their i loops" [ "k"; "j" ]
+    (Program.shared_loop_vars sr su)
+
+let test_wellformedness_checks () =
+  let open Iolb_ir in
+  let bad_duplicate () =
+    Program.make ~name:"bad" ~params:[] ~assumptions:[]
+      [
+        Program.stmt "S" ~writes:[ Access.scalar "x" ] ~reads:[];
+        Program.stmt "S" ~writes:[ Access.scalar "y" ] ~reads:[];
+      ]
+  in
+  Alcotest.check_raises "duplicate statement name"
+    (Invalid_argument "Program.make: duplicate statement S") (fun () ->
+      ignore (bad_duplicate ()));
+  let bad_unbound () =
+    Program.make ~name:"bad2" ~params:[] ~assumptions:[]
+      [
+        Program.stmt "S"
+          ~writes:[ Access.make "A" [ Iolb_poly.Affine.var "i" ] ]
+          ~reads:[];
+      ]
+  in
+  Alcotest.check_raises "unbound variable in access"
+    (Invalid_argument "Program.make: access A[i] in statement S uses unbound i")
+    (fun () -> ignore (bad_unbound ()))
+
+let suite =
+  [
+    Alcotest.test_case "symbolic cardinal = concrete count" `Quick
+      test_cardinal_matches_concrete;
+    Alcotest.test_case "total instances" `Quick test_total_instances;
+    Alcotest.test_case "extent min/max" `Quick test_extents;
+    Alcotest.test_case "input arrays" `Quick test_inputs;
+    Alcotest.test_case "descending loop order" `Quick test_rev_loop_order;
+    Alcotest.test_case "shared loops distinguish same-named loops" `Quick
+      test_shared_loop_vars;
+    Alcotest.test_case "well-formedness checks" `Quick test_wellformedness_checks;
+  ]

@@ -1,0 +1,72 @@
+(* Exact rational arithmetic: field laws, canonical form, ordering. *)
+
+module Rat = Iolb_util.Rat
+
+let rat_gen =
+  QCheck2.Gen.map2
+    (fun n d -> Rat.make n (if d = 0 then 1 else d))
+    (QCheck2.Gen.int_range (-1000) 1000)
+    (QCheck2.Gen.int_range (-50) 50)
+
+let rat = (rat_gen, Rat.to_string)
+
+let prop name ?(count = 500) gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print:(snd gen) (fst gen) f)
+
+let prop2 name ?(count = 500) f =
+  let g = QCheck2.Gen.pair rat_gen rat_gen in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count
+       ~print:(fun (a, b) -> Rat.to_string a ^ ", " ^ Rat.to_string b)
+       g f)
+
+let prop3 name ?(count = 500) f =
+  let g = QCheck2.Gen.triple rat_gen rat_gen rat_gen in
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count g f)
+
+let unit_tests () =
+  Alcotest.(check bool) "1/2 + 1/2 = 1" true Rat.(equal (add half half) one);
+  Alcotest.(check bool) "2/4 canonical" true Rat.(equal (make 2 4) half);
+  Alcotest.(check bool) "-1/-2 canonical" true Rat.(equal (make (-1) (-2)) half);
+  Alcotest.(check int) "num" 1 (Rat.num (Rat.make 2 4));
+  Alcotest.(check int) "den" 2 (Rat.den (Rat.make 2 4));
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check bool) "pow" true
+    Rat.(equal (pow (make 2 3) 3) (make 8 27));
+  Alcotest.(check bool) "pow negative" true
+    Rat.(equal (pow (make 2 3) (-2)) (make 9 4));
+  Alcotest.(check bool) "div by zero raises" true
+    (try
+       ignore (Rat.div Rat.one Rat.zero);
+       false
+     with Rat.Division_by_zero -> true)
+
+let suite =
+  [
+    Alcotest.test_case "unit identities" `Quick unit_tests;
+    prop2 "addition commutes" (fun (a, b) -> Rat.(equal (add a b) (add b a)));
+    prop2 "multiplication commutes" (fun (a, b) ->
+        Rat.(equal (mul a b) (mul b a)));
+    prop3 "addition associates" (fun (a, b, c) ->
+        Rat.(equal (add a (add b c)) (add (add a b) c)));
+    prop3 "multiplication distributes" (fun (a, b, c) ->
+        Rat.(equal (mul a (add b c)) (add (mul a b) (mul a c))));
+    prop "negation is involutive" rat (fun a -> Rat.(equal (neg (neg a)) a));
+    prop "sub self is zero" rat (fun a -> Rat.(is_zero (sub a a)));
+    prop "inverse multiplies to one" rat (fun a ->
+        Rat.is_zero a || Rat.(equal (mul a (inv a)) one));
+    prop "canonical: gcd(num, den) = 1" rat (fun a ->
+        let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+        Rat.den a > 0 && gcd (abs (Rat.num a)) (Rat.den a) <= 1);
+    prop2 "compare consistent with float order" (fun (a, b) ->
+        let c = Rat.compare a b in
+        let fc = Float.compare (Rat.to_float a) (Rat.to_float b) in
+        fc = 0 || c = fc);
+    prop "floor <= q < floor + 1" rat (fun a ->
+        let f = Rat.floor a in
+        Rat.(compare (of_int f) a) <= 0 && Rat.(compare a (of_int (f + 1))) < 0);
+  ]

@@ -1,0 +1,77 @@
+(* Rational functions: field laws via cross-multiplication equality, exact
+   evaluation, substitution. *)
+
+module P = Iolb_symbolic.Polynomial
+module R = Iolb_symbolic.Ratfun
+module Rat = Iolb_util.Rat
+
+let x = P.var "x"
+let y = P.var "y"
+
+let test_construction () =
+  (* (x^2 - 1)/(x - 1) equals (x + 1) semantically. *)
+  let f = R.make (P.sub (P.mul x x) P.one) (P.sub x P.one) in
+  let g = R.of_poly (P.add x P.one) in
+  Alcotest.(check bool) "cross-multiplied equality" true (R.equal f g);
+  (* But as_poly only recognises syntactic constant denominators. *)
+  Alcotest.(check bool) "as_poly on true ratio" true (R.as_poly f = None);
+  Alcotest.(check bool) "as_poly on poly" true (R.as_poly g <> None)
+
+let test_arithmetic () =
+  (* 1/x + 1/y = (x + y)/(x y) *)
+  let f = R.add (R.make P.one x) (R.make P.one y) in
+  let g = R.make (P.add x y) (P.mul x y) in
+  Alcotest.(check bool) "sum of reciprocals" true (R.equal f g);
+  (* f - f = 0 *)
+  Alcotest.(check bool) "sub self" true (R.is_zero (R.sub f f));
+  (* f * inv f = 1 *)
+  Alcotest.(check bool) "mul inverse" true (R.equal (R.mul f (R.inv f)) R.one);
+  (* pow with negative exponent *)
+  let h = R.make x y in
+  Alcotest.(check bool) "pow -2" true
+    (R.equal (R.pow h (-2)) (R.make (P.mul y y) (P.mul x x)))
+
+let test_eval () =
+  let f = R.make (P.add (P.mul x x) P.one) (P.sub y P.one) in
+  (* (x^2+1)/(y-1) at x=3, y=5 -> 10/4 = 5/2 *)
+  Alcotest.(check string) "eval_int" "5/2"
+    (Rat.to_string (R.eval_int [ ("x", 3); ("y", 5) ] f));
+  Alcotest.(check bool) "eval at pole raises" true
+    (try
+       ignore (R.eval_int [ ("x", 0); ("y", 1) ] f);
+       false
+     with Rat.Division_by_zero -> true);
+  Alcotest.(check (float 1e-9)) "eval_float" 2.5
+    (R.eval_float [ ("x", 3); ("y", 5) ] f)
+
+let test_subst () =
+  (* (M/(S+M))[M := 2S] = 2S/3S = 2/3 *)
+  let f = R.make (P.var "M") (P.add (P.var "S") (P.var "M")) in
+  let g = R.subst "M" (P.scale Rat.two (P.var "S")) f in
+  Alcotest.(check bool) "subst" true (R.equal g (R.of_rat (Rat.make 2 3)))
+
+let test_division_by_zero_poly () =
+  Alcotest.(check bool) "make with zero denominator raises" true
+    (try
+       ignore (R.make P.one P.zero);
+       false
+     with Rat.Division_by_zero -> true);
+  Alcotest.(check bool) "inv zero raises" true
+    (try
+       ignore (R.inv R.zero);
+       false
+     with Rat.Division_by_zero -> true)
+
+let test_vars () =
+  let f = R.make (P.var "M") (P.add (P.var "S") P.one) in
+  Alcotest.(check (list string)) "vars" [ "M"; "S" ] (R.vars f)
+
+let suite =
+  [
+    Alcotest.test_case "construction and equality" `Quick test_construction;
+    Alcotest.test_case "field arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero_poly;
+    Alcotest.test_case "variables" `Quick test_vars;
+  ]

@@ -5,17 +5,24 @@
    iolb bounds --all                  formulas for every kernel
    iolb eval mgs -m 128 -n 64 -s 256  numeric bounds at a concrete point
    iolb simulate mgs -m 12 -n 8 -s 16 pebble-game I/O vs the bounds
-   iolb tile mgs -m 48 -n 16 -s 400   tiled-ordering cache simulation *)
+   iolb tile mgs -m 48 -n 16 -s 400   tiled-ordering cache simulation
+
+   Exit codes: 0 success, 2 invalid input, 3 budget exhausted,
+   4 unsupported, 5 internal error (124/125 are cmdliner's own). *)
 
 open Cmdliner
 
 module Report = Iolb.Report
 module D = Iolb.Derive
+module Budget = Iolb_util.Budget
+module Engine_error = Iolb_util.Engine_error
 module Cdag = Iolb_cdag.Cdag
 module Game = Iolb_pebble.Game
 module Cache = Iolb_pebble.Cache
 module Trace = Iolb_pebble.Trace
 module K = Iolb_kernels
+
+let ( let* ) = Result.bind
 
 let kernel_arg =
   let doc = "Kernel name: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2." in
@@ -27,15 +34,58 @@ let n_arg = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Columns N.")
 let s_arg =
   Arg.(value & opt int 256 & info [ "s" ] ~docv:"S" ~doc:"Fast memory size S.")
 
-let find_entry name =
-  match Report.find name with
-  | entry -> Ok entry
-  | exception Not_found ->
-      Error
-        (`Msg
-          (Printf.sprintf
-             "unknown kernel %S (try: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2)"
-             name))
+(* Resource-budget flags, shared by every analysing command. *)
+let budget_args =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget in milliseconds.  A passed deadline always \
+             fails the command with exit code 3.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Cap on total engine work steps.  Analyses degrade to weaker \
+             bounds when a derivation rung exceeds it.")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Cap on the size of any built structure (CDAG nodes, trace \
+             events, enumerated points).")
+  in
+  let tuple t s n = (t, s, n) in
+  Term.(const tuple $ timeout_arg $ max_steps_arg $ max_nodes_arg)
+
+let make_budget (timeout_ms, max_steps, max_nodes) =
+  Engine_error.guard (fun () ->
+      Budget.make ?timeout_ms ?max_steps ?max_nodes ())
+
+(* Error boundary for command bodies: print one clean line on stderr and
+   map the typed error to its exit code. *)
+let run_checked f =
+  match f () with
+  | Ok () -> 0
+  | Error e ->
+      Format.eprintf "iolb: error: %a@." Engine_error.pp e;
+      Engine_error.exit_code e
+
+let engine_exits =
+  Cmd.Exit.info 2 ~doc:"on invalid input (unknown kernel, bad sizes)."
+  :: Cmd.Exit.info 3
+       ~doc:"on budget exhaustion ($(b,--timeout-ms)/$(b,--max-steps)/$(b,--max-nodes))."
+  :: Cmd.Exit.info 4 ~doc:"on well-formed but unsupported requests."
+  :: Cmd.Exit.info 5 ~doc:"on internal errors."
+  :: Cmd.Exit.defaults
 
 let list_cmd =
   let run () =
@@ -49,7 +99,8 @@ let list_cmd =
     Printf.printf "baselines (classical path / negative controls):\n";
     List.iter
       (fun (name, _, _) -> Printf.printf "  %s\n" name)
-      Report.baselines
+      Report.baselines;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List the built-in kernels")
     Term.(const run $ const ())
@@ -62,10 +113,12 @@ let analyze_cmd =
         List.iter (fun l -> Format.printf "    | %s@." l) b.log)
       bounds
   in
-  let run name =
-    match find_entry name with
+  let run name budget_spec =
+    run_checked @@ fun () ->
+    let* budget = make_budget budget_spec in
+    match Report.find_checked name with
     | Ok entry ->
-        let a = Report.analyze entry in
+        let* a = Report.analyze_checked ~budget entry in
         Format.printf "%a@." Report.pp_analysis a;
         Ok (show_bounds a.bounds)
     | Error _ as err -> (
@@ -74,129 +127,187 @@ let analyze_cmd =
           List.find_opt (fun (n, _, _) -> n = name) Report.baselines
         with
         | Some (_, prog, verify_params) ->
-            let bounds = D.analyze ~verify_params prog in
-            if bounds = [] then
+            let* (o : D.outcome) =
+              D.analyze_ladder ~budget ~verify_params prog
+            in
+            (match o.degradation with
+            | Some why -> Format.printf "degraded: %s@." why
+            | None -> ());
+            if o.bounds = [] && o.degradation = None then
               Format.printf
-                "no bound derivable (no hourglass; Brascamp-Lieb exponent <=                  1)@.";
-            Ok (show_bounds bounds)
+                "no bound derivable (no hourglass; Brascamp-Lieb exponent <= 1)@.";
+            Ok (show_bounds o.bounds)
         | None -> err)
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Derivation report for one kernel")
-    Term.(term_result (const run $ kernel_arg))
+    (Cmd.info "analyze" ~doc:"Derivation report for one kernel"
+       ~exits:engine_exits)
+    Term.(const run $ kernel_arg $ budget_args)
 
 let bounds_cmd =
-  let run () =
-    List.iter
-      (fun entry ->
-        let a = Report.analyze entry in
-        Format.printf "%a@." Report.pp_analysis a)
-      Report.registry
+  let run budget_spec =
+    run_checked @@ fun () ->
+    let* budget = make_budget budget_spec in
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        let* a = Report.analyze_checked ~budget entry in
+        Ok (Format.printf "%a@." Report.pp_analysis a))
+      (Ok ()) Report.registry
   in
   Cmd.v
-    (Cmd.info "bounds" ~doc:"Derived bound formulas for every kernel")
-    Term.(const run $ const ())
+    (Cmd.info "bounds" ~doc:"Derived bound formulas for every kernel"
+       ~exits:engine_exits)
+    Term.(const run $ budget_args)
 
 let eval_cmd =
-  let run name m n s =
-    Result.map
-      (fun (entry : Report.entry) ->
-        let a = Report.analyze entry in
-        Printf.printf "%s at m=%d n=%d s=%d:\n" entry.display m n s;
-        List.iter
-          (fun tech ->
-            let label =
-              match tech with
-              | `Classical -> "classical"
-              | `Hourglass -> "hourglass"
-            in
-            match Report.eval_best a ~technique:tech ~m ~n ~s with
-            | Some v -> Printf.printf "  %-10s Q >= %.1f\n" label v
-            | None -> Printf.printf "  %-10s (no bound)\n" label)
-          [ `Classical; `Hourglass ];
-        Printf.printf "  %-10s %s\n" "paper"
-          (Printf.sprintf "Q >= %.1f (theorem formula)"
-             (Iolb.Paper_formulas.eval_at
-                (Iolb.Paper_formulas.theorem_main entry.kernel)
-                ~m ~n ~s)))
-      (find_entry name)
+  let run name m n s budget_spec =
+    run_checked @@ fun () ->
+    let* budget = make_budget budget_spec in
+    let* entry = Report.find_checked name in
+    let* a = Report.analyze_checked ~budget entry in
+    Printf.printf "%s at m=%d n=%d s=%d:\n" entry.display m n s;
+    (match a.degradation with
+    | Some why -> Printf.printf "  degraded: %s\n" why
+    | None -> ());
+    List.iter
+      (fun tech ->
+        let label =
+          match tech with
+          | `Classical -> "classical"
+          | `Hourglass -> "hourglass"
+        in
+        match Report.eval_best a ~technique:tech ~m ~n ~s with
+        | Some v -> Printf.printf "  %-10s Q >= %.1f\n" label v
+        | None -> Printf.printf "  %-10s (no bound)\n" label)
+      [ `Classical; `Hourglass ];
+    Printf.printf "  %-10s %s\n" "paper"
+      (Printf.sprintf "Q >= %.1f (theorem formula)"
+         (Iolb.Paper_formulas.eval_at
+            (Iolb.Paper_formulas.theorem_main entry.kernel)
+            ~m ~n ~s));
+    Ok ()
   in
   Cmd.v
-    (Cmd.info "eval" ~doc:"Evaluate the bounds at a concrete point")
-    Term.(term_result (const run $ kernel_arg $ m_arg $ n_arg $ s_arg))
+    (Cmd.info "eval" ~doc:"Evaluate the bounds at a concrete point"
+       ~exits:engine_exits)
+    Term.(const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ budget_args)
 
 let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random schedule seed.")
   in
-  let run name m n s seed =
-    Result.map
-      (fun (entry : Report.entry) ->
-        let params =
-          match entry.kernel with
-          | Iolb.Paper_formulas.Gehd2 -> [ ("N", n); ("M", (n / 2) - 1) ]
-          | _ -> [ ("M", m); ("N", n) ]
-        in
-        let cdag = Cdag.of_program ~params entry.program in
-        Format.printf "%a@." Cdag.pp_stats cdag;
-        let a = Report.analyze entry in
-        let program = Game.run cdag ~s ~schedule:(Game.program_schedule cdag) in
-        let random =
-          Game.run cdag ~s ~schedule:(Game.random_topological ~seed cdag)
-        in
-        Printf.printf "pebble game at S=%d:\n" s;
-        Printf.printf "  program order : %d loads (peak red %d)\n"
-          program.Game.loads program.Game.peak_red;
-        Printf.printf "  random order  : %d loads (peak red %d)\n"
-          random.Game.loads random.Game.peak_red;
-        List.iter
-          (fun tech ->
-            match Report.eval_best a ~technique:tech ~m ~n ~s with
-            | Some v ->
-                Printf.printf "  lower bound (%s): %.1f\n"
-                  (match tech with
-                  | `Classical -> "classical"
-                  | `Hourglass -> "hourglass")
-                  v
-            | None -> ())
-          [ `Classical; `Hourglass ])
-      (find_entry name)
+  let run name m n s seed budget_spec =
+    run_checked @@ fun () ->
+    let* budget = make_budget budget_spec in
+    let* entry = Report.find_checked name in
+    let* params = Report.concrete_params entry ~m ~n in
+    let* cdag = Cdag.of_program_checked ~budget ~params entry.Report.program in
+    Format.printf "%a@." Cdag.pp_stats cdag;
+    let* a = Report.analyze_checked ~budget entry in
+    (match a.degradation with
+    | Some why -> Printf.printf "degraded: %s\n" why
+    | None -> ());
+    let* program =
+      Game.run_checked ~budget cdag ~s ~schedule:(Game.program_schedule cdag)
+    in
+    let* random =
+      Game.run_checked ~budget cdag ~s
+        ~schedule:(Game.random_topological ~seed cdag)
+    in
+    Printf.printf "pebble game at S=%d:\n" s;
+    Printf.printf "  program order : %d loads (peak red %d)\n"
+      program.Game.loads program.Game.peak_red;
+    Printf.printf "  random order  : %d loads (peak red %d)\n" random.Game.loads
+      random.Game.peak_red;
+    List.iter
+      (fun tech ->
+        match Report.eval_best a ~technique:tech ~m ~n ~s with
+        | Some v ->
+            Printf.printf "  lower bound (%s): %.1f\n"
+              (match tech with
+              | `Classical -> "classical"
+              | `Hourglass -> "hourglass")
+              v
+        | None -> ())
+      [ `Classical; `Hourglass ];
+    Ok ()
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Play the red-white pebble game and compare with the bounds")
-    Term.(term_result (const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg))
+       ~doc:"Play the red-white pebble game and compare with the bounds"
+       ~exits:engine_exits)
+    Term.(
+      const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg $ budget_args)
 
 let tile_cmd =
   let b_arg =
     Arg.(value & opt int 0 & info [ "b" ] ~doc:"Block size (0 = paper choice).")
   in
-  let run name m n s b =
-    let b = if b > 0 then b else max 1 ((s / m) - 1) in
-    let b = if n mod b = 0 then b else 1 in
+  let run name m n s b budget_spec =
+    run_checked @@ fun () ->
+    let* budget = make_budget budget_spec in
+    let* () =
+      if m < 1 || n < 1 || s < 1 then
+        Error
+          (Engine_error.Invalid_input
+             (Printf.sprintf "need m, n, s >= 1, got m=%d n=%d s=%d" m n s))
+      else Ok ()
+    in
+    (* Block size: an explicit -b must divide n (no silent fallback); the
+       paper's automatic choice degrades to b=1 with a warning when it does
+       not divide. *)
+    let* b =
+      if b > 0 then
+        if n mod b = 0 then Ok b
+        else
+          Error
+            (Engine_error.Invalid_input
+               (Printf.sprintf
+                  "block size b=%d does not divide n=%d (pick b with n mod b \
+                   = 0)"
+                  b n))
+      else
+        let auto = max 1 ((s / m) - 1) in
+        if n mod auto = 0 then Ok auto
+        else (
+          Printf.eprintf
+            "iolb: warning: paper block size b=%d does not divide n=%d; \
+             falling back to b=1 (untiled)\n"
+            auto n;
+          Ok 1)
+    in
+    let simulate label spec predicted =
+      let* trace =
+        Engine_error.guard (fun () -> Trace.of_program ~budget ~params:[] spec)
+      in
+      let* opt = Cache.opt_checked ~budget ~size:s trace in
+      let* lru = Cache.lru_checked ~budget ~size:s trace in
+      Printf.printf "tiled %s m=%d n=%d s=%d b=%d: opt=%d lru=%d%s\n" label m n
+        s b opt.Cache.loads lru.Cache.loads
+        (match predicted with
+        | Some p -> Printf.sprintf " predicted=%.0f" p
+        | None -> "");
+      Ok ()
+    in
     match name with
     | "mgs" ->
-        let trace = Trace.of_program ~params:[] (K.Mgs.tiled_spec ~m ~n ~b) in
-        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
-        Printf.printf "tiled MGS m=%d n=%d s=%d b=%d: opt=%d lru=%d predicted=%.0f\n"
-          m n s b opt.Cache.loads lru.Cache.loads
-          ((0.5 *. float_of_int (m * n * n) /. float_of_int b)
-          +. float_of_int (m * n));
-        Ok ()
+        simulate "MGS"
+          (K.Mgs.tiled_spec ~m ~n ~b)
+          (Some
+             ((0.5 *. float_of_int (m * n * n) /. float_of_int b)
+             +. float_of_int (m * n)))
     | "qr_hh_a2v" | "a2v" ->
-        let trace =
-          Trace.of_program ~params:[] (K.Householder.tiled_spec ~m ~n ~b)
-        in
-        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
-        Printf.printf "tiled A2V m=%d n=%d s=%d b=%d: opt=%d lru=%d\n" m n s b
-          opt.Cache.loads lru.Cache.loads;
-        Ok ()
+        simulate "A2V" (K.Householder.tiled_spec ~m ~n ~b) None
     | other ->
-        Error (`Msg (Printf.sprintf "no tiled ordering for %S (mgs, a2v)" other))
+        Error
+          (Engine_error.Unsupported
+             (Printf.sprintf "no tiled ordering for %S (mgs, a2v)" other))
   in
   Cmd.v
-    (Cmd.info "tile" ~doc:"Cache-simulate a tiled ordering (Appendix A)")
-    Term.(term_result (const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ b_arg))
+    (Cmd.info "tile" ~doc:"Cache-simulate a tiled ordering (Appendix A)"
+       ~exits:engine_exits)
+    Term.(const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ b_arg $ budget_args)
 
 let dot_cmd =
   let out_arg =
@@ -206,31 +317,28 @@ let dot_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output DOT file.")
   in
   let run name m n out =
-    Result.map
-      (fun (entry : Report.entry) ->
-        let params =
-          match entry.kernel with
-          | Iolb.Paper_formulas.Gehd2 -> [ ("N", n); ("M", (n / 2) - 1) ]
-          | _ -> [ ("M", m); ("N", n) ]
-        in
-        let cdag = Cdag.of_program ~params entry.program in
-        Iolb_cdag.Dot.to_file out cdag;
-        Printf.printf "wrote %s (%d nodes)\n" out (Cdag.n_nodes cdag))
-      (find_entry name)
+    run_checked @@ fun () ->
+    let* entry = Report.find_checked name in
+    let* params = Report.concrete_params entry ~m ~n in
+    let* cdag = Cdag.of_program_checked ~params entry.Report.program in
+    Iolb_cdag.Dot.to_file out cdag;
+    Printf.printf "wrote %s (%d nodes)\n" out (Cdag.n_nodes cdag);
+    Ok ()
   in
   let small_m = Arg.(value & opt int 6 & info [ "m" ] ~docv:"M" ~doc:"Rows M.") in
   let small_n =
     Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Columns N.")
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Export a small concrete CDAG to Graphviz")
-    Term.(term_result (const run $ kernel_arg $ small_m $ small_n $ out_arg))
+    (Cmd.info "dot" ~doc:"Export a small concrete CDAG to Graphviz"
+       ~exits:engine_exits)
+    Term.(const run $ kernel_arg $ small_m $ small_n $ out_arg)
 
 let () =
   let doc = "Automatic I/O lower bounds via the hourglass dependency pattern" in
-  let info = Cmd.info "iolb" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "iolb" ~version:"1.0.0" ~doc ~exits:engine_exits in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             list_cmd;

@@ -17,6 +17,7 @@ let tech_name = function
   | D.Classical -> "classical"
   | D.Hourglass -> "hourglass"
   | D.Hourglass_small_s -> "hourglass small-S"
+  | D.Trivial -> "trivial (input footprint)"
 
 (* Keep the strongest bound per technique, judged at a generic reference
    point (every parameter 64, S = 16). *)

@@ -38,6 +38,7 @@ let () =
         | Iolb.Derive.Classical -> "classical bound"
         | Iolb.Derive.Hourglass -> "hourglass bound"
         | Iolb.Derive.Hourglass_small_s -> "hourglass bound (small S)"
+        | Iolb.Derive.Trivial -> "trivial bound (input footprint)"
       in
       let v = Iolb.Derive.eval b ~params ~s in
       (* The small-cache variant only applies when S <= W = M. *)

@@ -1,4 +1,5 @@
 module Program = Iolb_ir.Program
+module Budget = Iolb_util.Budget
 
 type kind =
   | Input of string * int array
@@ -14,7 +15,7 @@ type t = {
   n_inputs : int;
 }
 
-let of_program ~params p =
+let of_program ?(budget = Budget.unlimited) ~params p =
   let kinds = ref [] and preds = ref [] in
   let n = ref 0 in
   let order = ref [] in
@@ -25,12 +26,14 @@ let of_program ~params p =
   let add_node kind pred_list =
     let id = !n in
     incr n;
+    Budget.check_node_cap budget Budget.Cdag_build !n;
     kinds := kind :: !kinds;
     preds := pred_list :: !preds;
     order := id :: !order;
     id
   in
   Program.iter_instances ~params p (fun inst ->
+      Budget.checkpoint budget Budget.Cdag_build;
       let pred_ids =
         List.map
           (fun (a, cell) ->
@@ -71,6 +74,9 @@ let of_program ~params p =
     instance_ids;
     n_inputs = !inputs;
   }
+
+let of_program_checked ?budget ~params p =
+  Iolb_util.Engine_error.guard (fun () -> of_program ?budget ~params p)
 
 let n_nodes t = Array.length t.kinds
 let kind t id = t.kinds.(id)

@@ -15,8 +15,21 @@ type t
 (** [of_program ~params p] builds the CDAG by abstract execution with
     last-writer tracking: reads resolve to the most recent write of the same
     cell in program order, which is the exact flow dependence for these
-    (deterministic, unconditionally executed) programs. *)
-val of_program : params:(string * int) list -> Iolb_ir.Program.t -> t
+    (deterministic, unconditionally executed) programs.
+
+    One [Cdag_build] budget checkpoint is accounted per statement instance,
+    and the budget's node cap bounds the total node count of this CDAG.
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val of_program :
+  ?budget:Iolb_util.Budget.t -> params:(string * int) list -> Iolb_ir.Program.t -> t
+
+(** [of_program_checked] is {!of_program} behind the no-raise boundary:
+    budget exhaustion and malformed inputs come back as typed errors. *)
+val of_program_checked :
+  ?budget:Iolb_util.Budget.t ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  (t, Iolb_util.Engine_error.t) result
 
 val n_nodes : t -> int
 val kind : t -> int -> kind

@@ -1,10 +1,13 @@
 module Rat = Iolb_util.Rat
+module Budget = Iolb_util.Budget
+module Engine_error = Iolb_util.Engine_error
 module P = Iolb_symbolic.Polynomial
 module R = Iolb_symbolic.Ratfun
 module Affine = Iolb_poly.Affine
+module Access = Iolb_ir.Access
 module Program = Iolb_ir.Program
 
-type technique = Classical | Hourglass | Hourglass_small_s
+type technique = Classical | Hourglass | Hourglass_small_s | Trivial
 
 type t = {
   program : string;
@@ -21,9 +24,11 @@ let sqrt_s_var = P.var "sqrtS"
 
 let fmt_rat = Rat.to_string
 
-let classical p ~stmt =
+let classical ?(budget = Budget.unlimited) p ~stmt =
+  Budget.checkpoint budget Budget.Derivation;
   let info = Program.find_stmt p stmt in
   let phis = Phi.of_statement p info in
+  List.iter (fun _ -> Budget.checkpoint budget Budget.Derivation) phis;
   let dimsets = List.map (fun (ph : Phi.t) -> ph.dims) phis in
   match Bl.classical ~dims:info.dims dimsets with
   | None -> None
@@ -88,7 +93,8 @@ let classical p ~stmt =
           formula
 
 (* The hourglass derivation, Sections 4.1-4.4. *)
-let hourglass p (h : Hourglass.t) =
+let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
+  Budget.checkpoint budget Budget.Derivation;
   let info = Program.find_stmt p h.update_stmt in
   let phis = Phi.of_statement p info in
   let width = Hourglass.width_poly h in
@@ -165,6 +171,7 @@ let hourglass p (h : Hourglass.t) =
               List.mem d h.temporal || List.mem d w.dims
             in
             let rec cover uncovered acc =
+              Budget.checkpoint budget Budget.Derivation;
               if uncovered = [] then Some acc
               else
                 let best =
@@ -239,19 +246,131 @@ let hourglass p (h : Hourglass.t) =
                 in
                 [ main; small ]))
 
-let analyze ~verify_params p =
-  let hgs = Hourglass.detect_verified ~params:verify_params p in
-  let hg_bounds = List.concat_map (hourglass p) hgs in
+(* Last rung of the degradation ladder: every distinct input cell must be
+   loaded at least once, so Q >= (number of distinct input cells).  An
+   array counts as an input when it is never written, or when every write
+   to it is a read-modify-write of the same cell (the statement also reads
+   the cell it writes): then the first access to any of its cells involves
+   a read with no prior producer, i.e. an input node of the CDAG.  The
+   footprint of an input array is underapproximated by the image of a
+   single coordinate read access: an access selecting dimensions D touches
+   at least prod_{d in D} extent_min(d) distinct cells.  Much weaker than
+   the partitioning bounds (no S dependence at all) but always sound, and
+   O(program text) to compute - it needs no CDAG, no LP and no projection,
+   so it survives any work budget. *)
+let trivial p =
+  let stmts = Program.statements p in
+  (* Arrays with at least one write that is NOT a same-cell RMW. *)
+  let overwritten =
+    List.concat_map
+      (fun (i : Program.stmt_info) ->
+        List.filter_map
+          (fun (w : Access.t) ->
+            if List.exists (Access.equal w) i.def.reads then None
+            else Some w.array)
+          i.def.writes)
+      stmts
+  in
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun (info : Program.stmt_info) ->
+      List.iter
+        (fun (a : Access.t) ->
+          if not (List.mem a.array overwritten) then
+            match Access.selected_dims ~dims:info.dims a with
+            | None -> ()
+            | Some sel ->
+                let footprint =
+                  List.fold_left
+                    (fun acc d ->
+                      P.mul acc
+                        (Affine.to_polynomial (Program.extent_min info d)))
+                    P.one sel
+                in
+                let rank = List.length sel in
+                (match Hashtbl.find_opt best a.array with
+                | Some (r, _) when r >= rank -> ()
+                | _ -> Hashtbl.replace best a.array (rank, footprint)))
+        info.def.reads)
+    stmts;
+  let arrays =
+    Hashtbl.fold (fun arr (_, fp) acc -> (arr, fp) :: acc) best []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match arrays with
+  | [] -> None
+  | _ ->
+      let total =
+        List.fold_left (fun acc (_, fp) -> P.add acc fp) P.zero arrays
+      in
+      Some
+        {
+          program = p.Program.name;
+          stmt = "inputs";
+          technique = Trivial;
+          formula = R.of_poly total;
+          validity = "any S >= 1";
+          s_max = None;
+          log =
+            Printf.sprintf "input arrays: %s"
+              (String.concat ", " (List.map fst arrays))
+            :: [ "Q >= distinct input cells (each loaded at least once)" ];
+        }
+
+let classical_deepest ?budget p =
   let depth (i : Program.stmt_info) = List.length i.dims in
   let stmts = Program.statements p in
   let max_depth = List.fold_left (fun acc i -> max acc (depth i)) 0 stmts in
-  let classical_bounds =
-    List.filter_map
-      (fun (i : Program.stmt_info) ->
-        if depth i = max_depth then classical p ~stmt:i.def.name else None)
-      stmts
+  List.filter_map
+    (fun (i : Program.stmt_info) ->
+      if depth i = max_depth then classical ?budget p ~stmt:i.def.name
+      else None)
+    stmts
+
+let analyze ?budget ~verify_params p =
+  let hgs = Hourglass.detect_verified ?budget ~params:verify_params p in
+  let hg_bounds = List.concat_map (hourglass ?budget p) hgs in
+  hg_bounds @ classical_deepest ?budget p
+
+type outcome = { bounds : t list; degradation : string option }
+
+let analyze_ladder ?(budget = Budget.unlimited) ~verify_params p =
+  Engine_error.protect @@ fun () ->
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let collected () =
+    match List.rev !notes with [] -> None | ns -> Some (String.concat "; " ns)
   in
-  hg_bounds @ classical_bounds
+  let attempt label f =
+    match f () with
+    | bounds -> bounds
+    | exception Budget.Exhausted stage ->
+        note "%s rung aborted (budget exhausted during %s)" label
+          (Budget.stage_name stage);
+        []
+  in
+  let hg_bounds =
+    attempt "hourglass" (fun () ->
+        let hgs = Hourglass.detect_verified ~budget ~params:verify_params p in
+        List.concat_map (hourglass ~budget p) hgs)
+  in
+  let classical_bounds =
+    attempt "classical" (fun () -> classical_deepest ~budget p)
+  in
+  let bounds = hg_bounds @ classical_bounds in
+  (* A rung finishing under the step caps may still have crossed the
+     wall-clock deadline between two sparse checks; a timed-out analysis
+     must not report success. *)
+  Budget.check_deadline budget Budget.Derivation;
+  if bounds <> [] then Ok { bounds; degradation = collected () }
+  else
+    match trivial p with
+    | Some b ->
+        note "degraded to the trivial input-footprint bound";
+        Ok { bounds = [ b ]; degradation = collected () }
+    | None ->
+        note "no bound derivable (no hourglass; Brascamp-Lieb exponent <= 1; no recognizable input array)";
+        Ok { bounds = []; degradation = collected () }
 
 let eval b ~params ~s =
   let env x =
@@ -303,6 +422,7 @@ let pp fmt b =
     | Classical -> "classical"
     | Hourglass -> "hourglass"
     | Hourglass_small_s -> "hourglass (small cache)"
+    | Trivial -> "trivial"
   in
   Format.fprintf fmt "[%s/%s, %s] Q >= %a  (%s)" b.program b.stmt tech R.pp
     b.formula b.validity

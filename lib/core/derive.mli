@@ -17,9 +17,14 @@
       [|F|] through the flatness bound and the slice-summation argument
       (Section 4.3), giving [U = K^a W^b + 2 R K^c] with integer exponents.
       Instantiated at [K = 2S] this yields the main bound; at [K = W] (valid
-      when [S <= W], forcing [I'] empty) the small-cache bound. *)
+      when [S <= W], forcing [I'] empty) the small-cache bound.
 
-type technique = Classical | Hourglass | Hourglass_small_s
+    A third, last-resort technique backs the degradation ladder
+    ({!analyze_ladder}): the {b trivial} input-footprint bound
+    [Q >= distinct input cells], S-independent but unconditionally sound
+    and computable without CDAGs, projections or LPs. *)
+
+type technique = Classical | Hourglass | Hourglass_small_s | Trivial
 
 type t = {
   program : string;
@@ -38,19 +43,53 @@ type t = {
 (** [classical p ~stmt] derives the classical K-partition bound for the
     given statement; [None] when the Brascamp-Lieb step is infeasible or
     yields [rho <= 1] (no useful bound), or when [rho] has a denominator
-    other than 1 or 2. *)
-val classical : Iolb_ir.Program.t -> stmt:string -> t option
+    other than 1 or 2.
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val classical :
+  ?budget:Iolb_util.Budget.t -> Iolb_ir.Program.t -> stmt:string -> t option
 
 (** [hourglass p h] derives the hourglass bounds (main and small-cache) for
     a detected pattern.  Returns [[]] if the sharpened Brascamp-Lieb step
-    fails to produce integer exponents. *)
-val hourglass : Iolb_ir.Program.t -> Hourglass.t -> t list
+    fails to produce integer exponents.
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val hourglass :
+  ?budget:Iolb_util.Budget.t -> Iolb_ir.Program.t -> Hourglass.t -> t list
+
+(** [trivial p] is the input-footprint bound [Q >= distinct input cells]:
+    each never-written array contributes the image cardinality of one of
+    its read accesses, underapproximated via minimal extents.  [None] only
+    when no input array is recognizable. *)
+val trivial : Iolb_ir.Program.t -> t option
 
 (** [analyze ~verify_params p] runs the full pipeline: hourglass detection
     (empirically verified at [verify_params]), hourglass derivation on each
     verified pattern, and the classical derivation on every deepest-loop
-    statement.  Results are sorted: hourglass bounds first. *)
-val analyze : verify_params:(string * int) list -> Iolb_ir.Program.t -> t list
+    statement.  Results are sorted: hourglass bounds first.
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val analyze :
+  ?budget:Iolb_util.Budget.t ->
+  verify_params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  t list
+
+(** Result of the graceful-degradation ladder: the bounds of the deepest
+    rung reached, and - when any rung was skipped or aborted - a
+    human-readable account of why. [degradation = None] means the full
+    pipeline ran. *)
+type outcome = { bounds : t list; degradation : string option }
+
+(** [analyze_ladder ~budget ~verify_params p] is the resilient entry point:
+    attempt the hourglass derivation, fall back to the classical
+    Brascamp-Lieb bound when the hourglass rung exhausts its budget (or
+    detects nothing), and fall back to the {!trivial} input-footprint bound
+    when both partitioning rungs fail.  Never raises: budget exhaustion
+    that not even the trivial rung survives (a passed wall-clock deadline)
+    and internal failures come back as typed errors. *)
+val analyze_ladder :
+  ?budget:Iolb_util.Budget.t ->
+  verify_params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  (outcome, Iolb_util.Engine_error.t) result
 
 (** [eval b ~params ~s] evaluates the bound numerically ([sqrtS] is bound
     to [sqrt s]). *)

@@ -132,8 +132,8 @@ let detect p =
     [] candidates
   |> List.rev
 
-let verify ~params p h =
-  let cdag = Cdag.of_program ~params p in
+let verify ?(budget = Iolb_util.Budget.unlimited) ~params p h =
+  let cdag = Cdag.of_program ~budget ~params p in
   let info = Program.find_stmt p h.update_stmt in
   let dim_index d =
     match List.find_index (String.equal d) info.dims with
@@ -188,6 +188,8 @@ let verify ~params p h =
                 (fun src ->
                   List.iter
                     (fun dst ->
+                      Iolb_util.Budget.checkpoint budget
+                        Iolb_util.Budget.Derivation;
                       incr checked;
                       if not (Cdag.is_reachable cdag src dst) then
                         forward_ok := false;
@@ -198,8 +200,8 @@ let verify ~params p h =
     groups;
   (!forward_ok || !backward_ok) && !checked > 0
 
-let detect_verified ~params p =
-  List.filter (verify ~params p) (detect p)
+let detect_verified ?budget ~params p =
+  List.filter (verify ?budget ~params p) (detect p)
 
 let pp fmt h =
   Format.fprintf fmt

@@ -43,13 +43,18 @@ val detect : Iolb_ir.Program.t -> t list
     This is the production entry point: {!detect} generates candidates from
     access shapes, the pebble-level check prunes the spurious ones. *)
 val detect_verified :
-  params:(string * int) list -> Iolb_ir.Program.t -> t list
+  ?budget:Iolb_util.Budget.t -> params:(string * int) list -> Iolb_ir.Program.t -> t list
 
 (** [verify ~params p h] checks the pattern empirically on the concrete
     CDAG: for instances of the update statement with equal neutral
     coordinates and consecutive temporal coordinates, there is a dependence
     path from the earlier to the later instance for every pair of reduction
     coordinates sampled.  Returns false if any sampled pair lacks a path. *)
-val verify : params:(string * int) list -> Iolb_ir.Program.t -> t -> bool
+val verify :
+  ?budget:Iolb_util.Budget.t ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  t ->
+  bool
 
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,8 @@
 module P = Iolb_symbolic.Polynomial
 module R = Iolb_symbolic.Ratfun
 module Rat = Iolb_util.Rat
+module Budget = Iolb_util.Budget
+module Engine_error = Iolb_util.Engine_error
 module K = Iolb_kernels
 
 type entry = {
@@ -105,31 +107,84 @@ let find name =
   | Some e -> e
   | None -> raise Not_found
 
+let find_checked name =
+  match find name with
+  | e -> Ok e
+  | exception Not_found ->
+      Error
+        (Engine_error.Invalid_input
+           (Printf.sprintf
+              "unknown kernel %S (try: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2)"
+              name))
+
 type analysis = {
   entry : entry;
   hourglasses : Hourglass.t list;
   bounds : Derive.t list;
+  degradation : string option;
 }
 
-let analyze entry =
+let analyze_checked ?(budget = Budget.unlimited) entry =
+  Engine_error.protect @@ fun () ->
+  (* Detection for display only: if it blows the budget here, the ladder
+     below records the abort; an empty pattern list is an honest display. *)
   let hourglasses =
-    Hourglass.detect_verified ~params:entry.verify_params entry.program
+    match
+      Hourglass.detect_verified ~budget ~params:entry.verify_params
+        entry.program
+    with
+    | hgs -> hgs
+    | exception Budget.Exhausted _ -> []
   in
-  let bounds =
-    Derive.analyze ~verify_params:entry.verify_params entry.program
-    |> List.map (fun (b : Derive.t) ->
-           {
-             b with
-             Derive.formula = entry.finalize b.Derive.formula;
-             s_max = Option.map entry.finalize b.Derive.s_max;
-           })
-  in
-  { entry; hourglasses; bounds }
+  Result.map
+    (fun (o : Derive.outcome) ->
+      {
+        entry;
+        hourglasses;
+        bounds =
+          List.map
+            (fun (b : Derive.t) ->
+              {
+                b with
+                Derive.formula = entry.finalize b.Derive.formula;
+                s_max = Option.map entry.finalize b.Derive.s_max;
+              })
+            o.bounds;
+        degradation = o.degradation;
+      })
+    (Derive.analyze_ladder ~budget ~verify_params:entry.verify_params
+       entry.program)
+
+let analyze ?budget entry =
+  match analyze_checked ?budget entry with
+  | Ok a -> a
+  | Error e -> Engine_error.raise_error e
 
 let params_of entry ~m ~n =
   match entry.kernel with
   | Paper_formulas.Gehd2 -> [ ("N", n) ]
   | _ -> [ ("M", m); ("N", n) ]
+
+(* Concrete instantiation parameters for CDAG/trace building.  GEHD2 is
+   square: N is the matrix size and M the loop-split point, pinned at
+   M = N/2 - 1 as in the proof of Theorem 9 - which requires n >= 4 for the
+   split domain to be non-degenerate. *)
+let concrete_params entry ~m ~n =
+  match entry.kernel with
+  | Paper_formulas.Gehd2 ->
+      if n < 4 then
+        Error
+          (Engine_error.Invalid_input
+             (Printf.sprintf
+                "GEHD2 needs n >= 4 (loop split M = n/2 - 1 must be >= 1), got n = %d"
+                n))
+      else Ok [ ("N", n); ("M", (n / 2) - 1) ]
+  | _ ->
+      if m < 1 || n < 1 then
+        Error
+          (Engine_error.Invalid_input
+             (Printf.sprintf "need m >= 1 and n >= 1, got m = %d, n = %d" m n))
+      else Ok [ ("M", m); ("N", n) ]
 
 let eval_best a ~technique ~m ~n ~s =
   let keep (b : Derive.t) =
@@ -163,5 +218,8 @@ let pp_analysis fmt a =
   (match a.hourglasses with
   | [] -> Format.fprintf fmt "no verified hourglass pattern@,"
   | hs -> List.iter (fun h -> Format.fprintf fmt "%a@," Hourglass.pp h) hs);
+  (match a.degradation with
+  | None -> ()
+  | Some why -> Format.fprintf fmt "degraded: %s@," why);
   List.iter (fun b -> Format.fprintf fmt "%a@," Derive.pp b) a.bounds;
   Format.fprintf fmt "@]"

@@ -29,13 +29,41 @@ val baselines : (string * Iolb_ir.Program.t * (string * int) list) list
     paper formulas attached; see {!baselines}). *)
 val find : string -> entry
 
+(** Like {!find}, but returns [Invalid_input] (listing the known kernels)
+    instead of raising. *)
+val find_checked : string -> (entry, Iolb_util.Engine_error.t) result
+
 type analysis = {
   entry : entry;
   hourglasses : Hourglass.t list;  (** empirically verified patterns *)
   bounds : Derive.t list;  (** finalized derived bounds *)
+  degradation : string option;
+      (** [None] when the full pipeline ran; otherwise which ladder rungs
+          were skipped or aborted and why (see {!Derive.analyze_ladder}) *)
 }
 
-val analyze : entry -> analysis
+(** Resilient analysis through {!Derive.analyze_ladder}: under budget
+    pressure falls back to weaker (but sound) bounds, recording the
+    degradation; never raises. *)
+val analyze_checked :
+  ?budget:Iolb_util.Budget.t ->
+  entry ->
+  (analysis, Iolb_util.Engine_error.t) result
+
+(** Raising variant of {!analyze_checked} (kept for in-process callers and
+    tests); under the default unlimited budget it never degrades and
+    behaves as the original full pipeline. *)
+val analyze : ?budget:Iolb_util.Budget.t -> entry -> analysis
+
+(** Concrete instantiation parameters for CDAG building / trace simulation
+    at size (m, n).  GEHD2 is square: [m] is ignored, [n >= 4] is required,
+    and the loop split is pinned at [M = n/2 - 1] (Theorem 9's choice).
+    All other kernels require [m, n >= 1] and map to [("M", m); ("N", n)]. *)
+val concrete_params :
+  entry ->
+  m:int ->
+  n:int ->
+  ((string * int) list, Iolb_util.Engine_error.t) result
 
 (** Best derived bound of a given technique class, evaluated at a point.
     [`Hourglass] considers both the main and small-cache variants and

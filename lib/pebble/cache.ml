@@ -1,3 +1,5 @@
+module Budget = Iolb_util.Budget
+
 type stats = { loads : int; stores : int; read_hits : int; accesses : int }
 
 let io s = s.loads + s.stores
@@ -55,7 +57,7 @@ let cold trace =
   }
 
 (* LRU with an intrusive doubly-linked list over cell ids. *)
-let lru ~size ?(flush = true) trace =
+let lru ?(budget = Budget.unlimited) ~size ?(flush = true) trace =
   if size < 1 then invalid_arg "Cache.lru: size < 1";
   let arr, ncells = intern trace in
   let prev = Array.make ncells (-1) and next = Array.make ncells (-1) in
@@ -102,6 +104,7 @@ let lru ~size ?(flush = true) trace =
   in
   Array.iter
     (fun (c, is_write) ->
+      Budget.checkpoint budget Budget.Cache_sim;
       if is_write then begin
         touch c;
         dirty.(c) <- true
@@ -125,7 +128,7 @@ let lru ~size ?(flush = true) trace =
 (* Belady's OPT.  next_read.(i) is the position of the next read of the cell
    accessed at position i, or max_int if the cell is overwritten (or never
    touched) before being re-read. *)
-let opt ~size ?(flush = true) trace =
+let opt ?(budget = Budget.unlimited) ~size ?(flush = true) trace =
   if size < 1 then invalid_arg "Cache.opt: size < 1";
   let arr, ncells = intern trace in
   let n = Array.length arr in
@@ -160,6 +163,7 @@ let opt ~size ?(flush = true) trace =
   in
   Array.iteri
     (fun i (c, is_write) ->
+      Budget.checkpoint budget Budget.Cache_sim;
       if is_write then begin
         if not in_cache.(c) then begin
           if !count >= size then evict_one ();
@@ -190,3 +194,9 @@ let opt ~size ?(flush = true) trace =
     read_hits = !read_hits;
     accesses = Array.length arr;
   }
+
+let lru_checked ?budget ~size ?flush trace =
+  Iolb_util.Engine_error.guard (fun () -> lru ?budget ~size ?flush trace)
+
+let opt_checked ?budget ~size ?flush trace =
+  Iolb_util.Engine_error.guard (fun () -> opt ?budget ~size ?flush trace)

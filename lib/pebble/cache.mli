@@ -23,11 +23,31 @@ type stats = {
 val io : stats -> int
 
 (** [lru ~size ?flush trace]. [flush] (default [true]) counts dirty lines
-    remaining at the end as stores. @raise Invalid_argument if [size < 1]. *)
-val lru : size:int -> ?flush:bool -> Trace.event list -> stats
+    remaining at the end as stores.  One [Cache_sim] budget checkpoint per
+    trace event. @raise Invalid_argument if [size < 1].
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val lru :
+  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.event list -> stats
 
-(** [opt ~size ?flush trace]: Belady's clairvoyant policy. *)
-val opt : size:int -> ?flush:bool -> Trace.event list -> stats
+(** [opt ~size ?flush trace]: Belady's clairvoyant policy.  Budget as
+    {!lru}. *)
+val opt :
+  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.event list -> stats
+
+(** No-raise variants of {!lru} and {!opt}. *)
+val lru_checked :
+  ?budget:Iolb_util.Budget.t ->
+  size:int ->
+  ?flush:bool ->
+  Trace.event list ->
+  (stats, Iolb_util.Engine_error.t) result
+
+val opt_checked :
+  ?budget:Iolb_util.Budget.t ->
+  size:int ->
+  ?flush:bool ->
+  Trace.event list ->
+  (stats, Iolb_util.Engine_error.t) result
 
 (** [cold trace] is the compulsory-miss statistics (infinite cache). *)
 val cold : Trace.event list -> stats

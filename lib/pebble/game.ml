@@ -1,4 +1,5 @@
 module Cdag = Iolb_cdag.Cdag
+module Budget = Iolb_util.Budget
 
 type result = { loads : int; peak_red : int }
 
@@ -110,7 +111,7 @@ let priority_topological cdag ~priority =
   done;
   Array.of_list (List.rev !out)
 
-let run cdag ~s ~schedule =
+let run ?(budget = Budget.unlimited) cdag ~s ~schedule =
   if not (is_topological cdag schedule) then
     invalid_arg "Game.run: schedule is not a topological order of computes";
   let n = Cdag.n_nodes cdag in
@@ -179,6 +180,7 @@ let run cdag ~s ~schedule =
   in
   Array.iteri
     (fun t id ->
+      Budget.checkpoint budget Budget.Pebble_game;
       let preds = Cdag.preds cdag id in
       let needed = Array.length preds + 1 in
       if needed > s then
@@ -210,3 +212,9 @@ let run cdag ~s ~schedule =
       set_red id (next_use_after id t))
     schedule;
   { loads = !loads; peak_red = !peak }
+
+let run_checked ?budget cdag ~s ~schedule =
+  match run ?budget cdag ~s ~schedule with
+  | r -> Ok r
+  | exception Infeasible msg -> Error (Iolb_util.Engine_error.Invalid_input msg)
+  | exception e -> Error (Iolb_util.Engine_error.of_exn e)

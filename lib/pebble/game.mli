@@ -17,11 +17,23 @@ exception Infeasible of string
 (** Raised when some node needs more than [s] red pebbles at once. *)
 
 (** [run cdag ~s ~schedule] plays the game with fast-memory size [s] over
-    the compute nodes in [schedule] order.
+    the compute nodes in [schedule] order.  One [Pebble_game] budget
+    checkpoint is accounted per scheduled node.
     @raise Infeasible if [s] is too small for some node's fan-in.
+    @raise Iolb_util.Budget.Exhausted when the budget runs out.
     @raise Invalid_argument if [schedule] is not a valid topological order
     of the compute nodes. *)
-val run : Iolb_cdag.Cdag.t -> s:int -> schedule:int array -> result
+val run :
+  ?budget:Iolb_util.Budget.t -> Iolb_cdag.Cdag.t -> s:int -> schedule:int array -> result
+
+(** [run_checked] is {!run} behind the no-raise boundary ([Infeasible] and
+    bad schedules map to [Invalid_input]). *)
+val run_checked :
+  ?budget:Iolb_util.Budget.t ->
+  Iolb_cdag.Cdag.t ->
+  s:int ->
+  schedule:int array ->
+  (result, Iolb_util.Engine_error.t) Stdlib.result
 
 (** The compute nodes in program order (always a valid schedule). *)
 val program_schedule : Iolb_cdag.Cdag.t -> int array

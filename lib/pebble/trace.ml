@@ -2,9 +2,13 @@ type cell = string * int array
 
 type event = Read of cell | Write of cell
 
-let of_program ~params p =
+let of_program ?(budget = Iolb_util.Budget.unlimited) ~params p =
   let events = ref [] in
+  let n = ref 0 in
   Iolb_ir.Program.iter_instances ~params p (fun inst ->
+      Iolb_util.Budget.checkpoint budget Iolb_util.Budget.Cdag_build;
+      incr n;
+      Iolb_util.Budget.check_node_cap budget Iolb_util.Budget.Cdag_build !n;
       List.iter (fun c -> events := Read c :: !events) inst.loads;
       List.iter (fun c -> events := Write c :: !events) inst.stores);
   List.rev !events

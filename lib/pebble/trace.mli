@@ -11,8 +11,15 @@ type cell = string * int array
 type event = Read of cell | Write of cell
 
 (** [of_program ~params p] is the trace of the program executed in textual
-    order: for each instance, its reads then its writes. *)
-val of_program : params:(string * int) list -> Iolb_ir.Program.t -> event list
+    order: for each instance, its reads then its writes.  Instantiation is
+    accounted against the budget's [Cdag_build] stage (one checkpoint per
+    instance, node cap on the instance count).
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val of_program :
+  ?budget:Iolb_util.Budget.t ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  event list
 
 (** Number of distinct cells touched by the trace. *)
 val footprint : event list -> int

@@ -1,3 +1,5 @@
+module Budget = Iolb_util.Budget
+
 type t = { dims : string list; cons : Constr.t list }
 
 let make ~dims cons = { dims; cons }
@@ -28,7 +30,7 @@ let mem ~params s point =
 (* Fourier-Motzkin elimination of [x].  Equalities with a unit coefficient
    on [x] are used as substitutions; other equalities are split into two
    inequalities first. *)
-let fm_eliminate x cons =
+let fm_eliminate ?(budget = Budget.unlimited) x cons =
   let cons =
     List.concat_map
       (fun (c : Constr.t) ->
@@ -78,6 +80,7 @@ let fm_eliminate x cons =
             let cl = Affine.coeff x l.expr in
             List.filter_map
               (fun (u : Constr.t) ->
+                Budget.checkpoint budget Budget.Poly_projection;
                 let cu = Affine.coeff x u.expr in
                 (* cl > 0 > cu: (-cu) * l + cl * u eliminates x. *)
                 let e =
@@ -91,9 +94,11 @@ let fm_eliminate x cons =
       in
       List.sort_uniq Constr.compare (combined @ List.rev rest)
 
-let project ~onto s =
+let project ?(budget = Budget.unlimited) ~onto s =
   let to_remove = List.filter (fun d -> not (List.mem d onto)) s.dims in
-  let cons = List.fold_left (fun cs d -> fm_eliminate d cs) s.cons to_remove in
+  let cons =
+    List.fold_left (fun cs d -> fm_eliminate ~budget d cs) s.cons to_remove
+  in
   { dims = onto; cons }
 
 (* Integer bounds of variable [x] in a constraint system where all other
@@ -129,7 +134,7 @@ let var_bounds x cons =
               (lo, match up with None -> Some b | Some u -> Some (min u b)))
     (None, None) ineqs
 
-let enumerate ~params s =
+let enumerate ?(budget = Budget.unlimited) ~params s =
   let s = specialize params s in
   let n = List.length s.dims in
   let dims = Array.of_list s.dims in
@@ -139,15 +144,21 @@ let enumerate ~params s =
     if k < 0 then ()
     else begin
       levels.(k) <- cons;
-      if k > 0 then eliminate (k - 1) (fm_eliminate dims.(k) cons)
+      if k > 0 then eliminate (k - 1) (fm_eliminate ~budget dims.(k) cons)
     end
   in
   if n > 0 then eliminate (n - 1) s.cons;
   let out = ref [] in
+  let count = ref 0 in
   let point = Array.make n 0 in
   let rec fill k =
     if k = n then begin
-      if mem ~params s point then out := Array.copy point :: !out
+      Budget.checkpoint budget Budget.Poly_projection;
+      if mem ~params s point then begin
+        incr count;
+        Budget.check_node_cap budget Budget.Poly_projection !count;
+        out := Array.copy point :: !out
+      end
     end
     else begin
       let env x =
@@ -181,13 +192,15 @@ let enumerate ~params s =
     List.rev !out
   end
 
-let cardinal ~params s = List.length (enumerate ~params s)
-let is_empty ~params s = enumerate ~params s = []
+let cardinal ?budget ~params s = List.length (enumerate ?budget ~params s)
+let is_empty ?budget ~params s = enumerate ?budget ~params s = []
 
-let bounds_of_dim ~params s x =
+let bounds_of_dim ?(budget = Budget.unlimited) ~params s x =
   let s = specialize params s in
   let others = List.filter (fun d -> d <> x) s.dims in
-  let cons = List.fold_left (fun cs d -> fm_eliminate d cs) s.cons others in
+  let cons =
+    List.fold_left (fun cs d -> fm_eliminate ~budget d cs) s.cons others
+  in
   var_bounds x cons
 
 let pp fmt s =

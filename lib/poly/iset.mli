@@ -37,22 +37,35 @@ val mem : params:(string * int) list -> t -> int array -> bool
 
 (** [enumerate ~params s] lists all integer points (each in [dims] order).
     Intended for validation-scale sets; cost is output-sensitive with a
-    Fourier-Motzkin preprocessing pass. *)
-val enumerate : params:(string * int) list -> t -> int array list
+    Fourier-Motzkin preprocessing pass.
 
-val cardinal : params:(string * int) list -> t -> int
-val is_empty : params:(string * int) list -> t -> bool
+    All the Fourier-Motzkin-backed operations below accept a [?budget];
+    they account one [Poly_projection] checkpoint per constraint
+    combination and per candidate point, and [enumerate] additionally
+    honours the budget's node cap on the number of points produced.
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val enumerate :
+  ?budget:Iolb_util.Budget.t -> params:(string * int) list -> t -> int array list
+
+val cardinal : ?budget:Iolb_util.Budget.t -> params:(string * int) list -> t -> int
+val is_empty : ?budget:Iolb_util.Budget.t -> params:(string * int) list -> t -> bool
 
 (** [fm_eliminate x cons] removes variable [x] by Fourier-Motzkin; the
     result is implied by [cons] and involves neither [x] nor new variables. *)
-val fm_eliminate : string -> Constr.t list -> Constr.t list
+val fm_eliminate :
+  ?budget:Iolb_util.Budget.t -> string -> Constr.t list -> Constr.t list
 
 (** [project ~onto s] is the rational (Fourier-Motzkin) projection onto the
     listed dimensions, in the given order. *)
-val project : onto:string list -> t -> t
+val project : ?budget:Iolb_util.Budget.t -> onto:string list -> t -> t
 
 (** [bounds_of_dim ~params s x] is the pair (lower, upper) of integer bounds
     of dimension [x] over the whole set, if the set is bounded in [x]. *)
-val bounds_of_dim : params:(string * int) list -> t -> string -> int option * int option
+val bounds_of_dim :
+  ?budget:Iolb_util.Budget.t ->
+  params:(string * int) list ->
+  t ->
+  string ->
+  int option * int option
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type stage =
+  | Poly_projection
+  | Cdag_build
+  | Pebble_game
+  | Cache_sim
+  | Derivation
+
+let stage_name = function
+  | Poly_projection -> "polyhedral projection"
+  | Cdag_build -> "CDAG construction"
+  | Pebble_game -> "pebble game"
+  | Cache_sim -> "cache simulation"
+  | Derivation -> "bound derivation"
+
+let pp_stage fmt s = Format.pp_print_string fmt (stage_name s)
+
+let stage_index = function
+  | Poly_projection -> 0
+  | Cdag_build -> 1
+  | Pebble_game -> 2
+  | Cache_sim -> 3
+  | Derivation -> 4
+
+let n_stages = 5
+
+type t = {
+  max_steps : int option;
+  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  max_nodes : int option;
+  fault : (stage * int) option;
+  mutable steps : int;
+  stage_counts : int array;
+}
+
+exception Exhausted of stage
+
+let unlimited =
+  {
+    max_steps = None;
+    deadline = None;
+    max_nodes = None;
+    fault = None;
+    steps = 0;
+    stage_counts = Array.make n_stages 0;
+  }
+
+let make ?max_steps ?timeout_ms ?max_nodes ?fault () =
+  (match max_steps with
+  | Some m when m < 0 -> invalid_arg "Budget.make: max_steps < 0"
+  | _ -> ());
+  (match timeout_ms with
+  | Some m when m < 0 -> invalid_arg "Budget.make: timeout_ms < 0"
+  | _ -> ());
+  (match max_nodes with
+  | Some m when m < 0 -> invalid_arg "Budget.make: max_nodes < 0"
+  | _ -> ());
+  (match fault with
+  | Some (_, k) when k < 1 -> invalid_arg "Budget.make: fault index < 1"
+  | _ -> ());
+  {
+    max_steps;
+    deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        timeout_ms;
+    max_nodes;
+    fault;
+    steps = 0;
+    stage_counts = Array.make n_stages 0;
+  }
+
+let is_unlimited t =
+  t.max_steps = None && t.deadline = None && t.max_nodes = None
+  && t.fault = None
+
+let check_deadline t stage =
+  match t.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise (Exhausted stage)
+  | _ -> ()
+
+let checkpoint t stage =
+  if not (is_unlimited t) then begin
+    t.steps <- t.steps + 1;
+    let i = stage_index stage in
+    t.stage_counts.(i) <- t.stage_counts.(i) + 1;
+    (match t.fault with
+    | Some (s, k) when s = stage && t.stage_counts.(i) = k ->
+        raise (Exhausted stage)
+    | _ -> ());
+    (match t.max_steps with
+    | Some m when t.steps > m -> raise (Exhausted stage)
+    | _ -> ());
+    if t.steps land 63 = 0 then check_deadline t stage
+  end
+
+let check_node_cap t stage count =
+  match t.max_nodes with
+  | Some m when count > m -> raise (Exhausted stage)
+  | _ -> ()
+
+let steps t = t.steps
+let stage_steps t stage = t.stage_counts.(stage_index stage)

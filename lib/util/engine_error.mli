@@ -1,0 +1,48 @@
+(** Typed errors for the engine's public entry points.
+
+    Instead of leaking [Invalid_argument], [Not_found], or an uncaught
+    [Budget.Exhausted] to callers, result-returning entry points
+    ([Derive.analyze_ladder], [Report.analyze_checked], the [_checked]
+    variants of the simulators, and the CLI) classify every failure into
+    one of four constructors with a stable exit-code contract:
+
+    - [Invalid_input]: the request itself is malformed (unknown kernel,
+      incompatible sizes, block size not dividing the matrix, ...).
+      Retrying without changing the input cannot succeed.  Exit code 2.
+    - [Budget_exhausted]: the work or deadline budget ran out in the given
+      stage.  Retrying with a larger budget may succeed.  Exit code 3.
+    - [Unsupported]: the input is well-formed but outside the engine's
+      scope (e.g. no derivable bound of the requested kind).  Exit code 4.
+    - [Internal]: an invariant was violated; a bug.  Exit code 5. *)
+
+type t =
+  | Budget_exhausted of Budget.stage
+  | Invalid_input of string
+  | Unsupported of string
+  | Internal of string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Process exit code for the CLI: 2, 3, 4, 5 as documented above
+    (0 is success; 124/125 are cmdliner's own CLI-parse errors). *)
+val exit_code : t -> int
+
+(** Exception carrier for the raising compatibility entry points; {!guard}
+    and {!protect} unwrap it back into the typed error. *)
+exception Error of t
+
+val raise_error : t -> 'a
+
+(** Classify an exception: [Budget.Exhausted] to [Budget_exhausted],
+    [Invalid_argument]/[Not_found] to [Invalid_input], everything else
+    (including [Stack_overflow] and [Out_of_memory]) to [Internal]. *)
+val of_exn : exn -> t
+
+(** [guard f] runs [f] and catches any exception into [Error (of_exn e)].
+    The no-raise boundary for public entry points. *)
+val guard : (unit -> 'a) -> ('a, t) result
+
+(** [protect f] is [guard] for functions that already return a result
+    (joins the two error layers). *)
+val protect : (unit -> ('a, t) result) -> ('a, t) result

@@ -9,6 +9,7 @@ let () =
       ("program", Test_program.suite);
       ("kernels", Test_kernels.suite);
       ("kernel-errors", Test_kernel_errors.suite);
+      ("fault-injection", Test_fault_injection.suite);
       ("hourglass", Test_hourglass.suite);
       ("cache", Test_cache.suite);
       ("pebble", Test_pebble.suite);

@@ -1,8 +1,13 @@
 (* Input validation of the kernel APIs: shape preconditions must be
-   rejected loudly, not produce garbage. *)
+   rejected loudly, not produce garbage - and the engine's _checked entry
+   points must classify failures into the exact Engine_error constructor
+   the exit-code contract promises. *)
 
 module K = Iolb_kernels
 module Matrix = Iolb_kernels.Matrix
+module Report = Iolb.Report
+module Budget = Iolb_util.Budget
+module EE = Iolb_util.Engine_error
 
 let raises_invalid f =
   try
@@ -18,6 +23,8 @@ let test_shape_preconditions () =
     (raises_invalid (fun () -> K.Householder.geqr2 wide));
   Alcotest.(check bool) "gebd2 needs m >= n" true
     (raises_invalid (fun () -> K.Gebd2.reduce wide));
+  Alcotest.(check bool) "gebd2 needs n >= 1" true
+    (raises_invalid (fun () -> K.Gebd2.reduce (Matrix.create 3 0)));
   Alcotest.(check bool) "gehd2 needs square" true
     (raises_invalid (fun () -> K.Gehd2.reduce wide));
   Alcotest.(check bool) "cholesky needs square" true
@@ -27,7 +34,27 @@ let test_shape_preconditions () =
   Alcotest.(check bool) "gemm needs compatible dims" true
     (raises_invalid (fun () -> K.Gemm.run wide wide));
   Alcotest.(check bool) "trsm needs matching sizes" true
-    (raises_invalid (fun () -> K.Trsm.solve wide wide))
+    (raises_invalid (fun () -> K.Trsm.solve wide wide));
+  Alcotest.(check bool) "atax needs matching vector" true
+    (raises_invalid (fun () -> K.Atax.run wide [| 1.; 2. |]));
+  Alcotest.(check bool) "org2r needs matching rows" true
+    (raises_invalid (fun () ->
+         K.Householder.org2r (K.Householder.geqr2 (Matrix.random 5 3)) ~rows:4));
+  Alcotest.(check bool) "geqr2_tiled needs m >= n" true
+    (raises_invalid (fun () -> K.Householder.geqr2_tiled ~b:1 wide));
+  Alcotest.(check bool) "factor_tiled needs m >= n" true
+    (raises_invalid (fun () -> K.Mgs.factor_tiled ~b:1 wide))
+
+let test_matrix_preconditions () =
+  Alcotest.(check bool) "create rejects negative dims" true
+    (raises_invalid (fun () -> Matrix.create (-1) 3));
+  Alcotest.(check bool) "mul rejects mismatched dims" true
+    (raises_invalid (fun () -> Matrix.mul (Matrix.create 2 3) (Matrix.create 2 3)));
+  Alcotest.(check bool) "sub rejects mismatched dims" true
+    (raises_invalid (fun () -> Matrix.sub (Matrix.create 2 3) (Matrix.create 3 2)));
+  Alcotest.(check bool) "submatrix rejects out-of-range" true
+    (raises_invalid (fun () ->
+         Matrix.submatrix (Matrix.create 3 3) ~row:2 ~col:0 ~rows:2 ~cols:1))
 
 let test_numeric_preconditions () =
   (* Cholesky on a non-SPD matrix must fail, not return NaNs. *)
@@ -46,10 +73,87 @@ let test_tiled_spec_preconditions () =
     (raises_invalid (fun () -> K.Mgs.tiled_spec ~m:8 ~n:6 ~b:0));
   Alcotest.(check bool) "tiled a2v: b must divide n" true
     (raises_invalid (fun () -> K.Householder.tiled_spec ~m:8 ~n:6 ~b:4));
+  Alcotest.(check bool) "tiled a2v: b >= 1" true
+    (raises_invalid (fun () -> K.Householder.tiled_spec ~m:8 ~n:6 ~b:0));
   Alcotest.(check bool) "tiled gemm: b must divide all" true
     (raises_invalid (fun () -> K.Gemm.tiled_spec ~m:8 ~n:6 ~k:8 ~b:4));
+  Alcotest.(check bool) "tiled gemm: b >= 1" true
+    (raises_invalid (fun () -> K.Gemm.tiled_spec ~m:8 ~n:6 ~k:8 ~b:0));
   Alcotest.(check bool) "tiled right mgs: b must divide n" true
-    (raises_invalid (fun () -> K.Mgs.tiled_right_spec ~m:8 ~n:6 ~b:4))
+    (raises_invalid (fun () -> K.Mgs.tiled_right_spec ~m:8 ~n:6 ~b:4));
+  Alcotest.(check bool) "tiled right mgs: b >= 1" true
+    (raises_invalid (fun () -> K.Mgs.tiled_right_spec ~m:8 ~n:6 ~b:0));
+  Alcotest.(check bool) "geqr2_tiled: b >= 1" true
+    (raises_invalid (fun () ->
+         K.Householder.geqr2_tiled ~b:0 (Matrix.random 5 3)));
+  Alcotest.(check bool) "factor_tiled: b >= 1" true
+    (raises_invalid (fun () -> K.Mgs.factor_tiled ~b:0 (Matrix.random 5 3)))
+
+(* The typed-error layer: exact constructors, not just "some failure". *)
+let test_typed_error_paths () =
+  (match Report.find_checked "no-such-kernel" with
+  | Error (EE.Invalid_input _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "find_checked: expected Invalid_input");
+  (match Report.find_checked "mgs" with
+  | Ok e -> Alcotest.(check string) "find_checked resolves" "MGS" e.display
+  | Error _ -> Alcotest.fail "find_checked rejected a known kernel");
+  let gehd2 = Report.find "gehd2" in
+  (match Report.concrete_params gehd2 ~m:0 ~n:3 with
+  | Error (EE.Invalid_input _) -> ()
+  | Ok _ | Error _ ->
+      Alcotest.fail "concrete_params: gehd2 n < 4 must be Invalid_input");
+  (match Report.concrete_params gehd2 ~m:0 ~n:9 with
+  | Ok params ->
+      Alcotest.(check (list (pair string int)))
+        "gehd2 split pinned at M = n/2 - 1"
+        [ ("N", 9); ("M", 3) ]
+        params
+  | Error e -> Alcotest.failf "concrete_params gehd2: %s" (EE.to_string e));
+  (match Report.concrete_params (Report.find "mgs") ~m:0 ~n:4 with
+  | Error (EE.Invalid_input _) -> ()
+  | Ok _ | Error _ ->
+      Alcotest.fail "concrete_params: m < 1 must be Invalid_input");
+  (* Budget construction validates its inputs... *)
+  (match EE.guard (fun () -> Budget.make ~max_steps:(-1) ()) with
+  | Error (EE.Invalid_input _) -> ()
+  | Ok _ | Error _ ->
+      Alcotest.fail "Budget.make: negative cap must be Invalid_input");
+  (* ... and the no-raise simulation boundaries classify their failures. *)
+  let cdag =
+    Iolb_cdag.Cdag.of_program
+      ~params:[ ("M", 4); ("N", 3) ]
+      Iolb_kernels.Mgs.spec
+  in
+  let schedule = Iolb_pebble.Game.program_schedule cdag in
+  (match Iolb_pebble.Game.run_checked cdag ~s:1 ~schedule with
+  | Error (EE.Invalid_input _) -> ()
+  | Ok _ | Error _ ->
+      Alcotest.fail "run_checked: infeasible S must be Invalid_input");
+  (match
+     Iolb_pebble.Cache.lru_checked ~size:0
+       (Iolb_pebble.Trace.of_program ~params:[]
+          (K.Mgs.tiled_spec ~m:4 ~n:2 ~b:1))
+   with
+  | Error (EE.Invalid_input _) -> ()
+  | Ok _ | Error _ ->
+      Alcotest.fail "lru_checked: size < 1 must be Invalid_input");
+  (* The exit-code contract is part of the CLI's public interface. *)
+  Alcotest.(check (list int))
+    "exit codes" [ 2; 3; 4; 5 ]
+    (List.map EE.exit_code
+       [
+         EE.Invalid_input "x";
+         EE.Budget_exhausted Budget.Derivation;
+         EE.Unsupported "x";
+         EE.Internal "x";
+       ]);
+  (* Exception classification at the no-raise boundary. *)
+  (match EE.of_exn (Budget.Exhausted Budget.Cache_sim) with
+  | EE.Budget_exhausted Budget.Cache_sim -> ()
+  | _ -> Alcotest.fail "of_exn: Budget.Exhausted must keep its stage");
+  match EE.of_exn (Failure "boom") with
+  | EE.Internal _ -> ()
+  | _ -> Alcotest.fail "of_exn: Failure must be Internal"
 
 let test_tiled_block_one_matches_untiled_io_order () =
   (* b = 1 tiled MGS is the plain left-looking column algorithm: its trace
@@ -65,9 +169,11 @@ let test_tiled_block_one_matches_untiled_io_order () =
 let suite =
   [
     Alcotest.test_case "shape preconditions" `Quick test_shape_preconditions;
+    Alcotest.test_case "matrix preconditions" `Quick test_matrix_preconditions;
     Alcotest.test_case "numeric preconditions" `Quick test_numeric_preconditions;
     Alcotest.test_case "tiled spec preconditions" `Quick
       test_tiled_spec_preconditions;
+    Alcotest.test_case "typed error paths" `Quick test_typed_error_paths;
     Alcotest.test_case "tiled work invariant across block sizes" `Quick
       test_tiled_block_one_matches_untiled_io_order;
   ]

@@ -5,7 +5,17 @@
 
    Absolute constants are not expected to match the authors' testbed; the
    shapes are: who wins, by what parametric factor, and where the regimes
-   cross over.  EXPERIMENTS.md records the outcome per section. *)
+   cross over.  EXPERIMENTS.md records the outcome per section.
+
+   Usage: main.exe [SECTION ...] [--jobs N] [--json PATH]
+
+   --jobs N     fan independent work (registry analyses, validation games,
+                cache-simulation sweeps, split searches) across N domains.
+                Defaults to IOLB_JOBS or the recommended domain count.
+                Section output is byte-identical for every N.
+   --json PATH  additionally write a machine-readable report: per-section
+                wall time, throughput and key result metrics (the BENCH_*
+                baseline files; schema documented in README "Performance"). *)
 
 module D = Iolb.Derive
 module PF = Iolb.Paper_formulas
@@ -19,6 +29,8 @@ module Cdag = Iolb_cdag.Cdag
 module Game = Iolb_pebble.Game
 module Cache = Iolb_pebble.Cache
 module Trace = Iolb_pebble.Trace
+module Pool = Iolb_util.Pool
+module Json = Iolb_util.Json
 module K = Iolb_kernels
 module Matrix = Iolb_kernels.Matrix
 
@@ -26,6 +38,19 @@ let section name =
   Printf.printf "\n==================== %s ====================\n" name
 
 let pf = Printf.printf
+
+(* Worker count for every fan-out below; set once at startup. *)
+let jobs = ref 1
+
+let pmap f xs = Pool.map ~jobs:!jobs f xs
+
+(* Metrics collected by the running section, emitted into the --json
+   report.  Purely additive: stdout is independent of the collector. *)
+let current_metrics : (string * Json.t) list ref = ref []
+let metric_i key v = current_metrics := (key, Json.Int v) :: !current_metrics
+let metric_f key v = current_metrics := (key, Json.Float v) :: !current_metrics
+
+let now = Unix.gettimeofday
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: asymptotic lower bounds, old vs new.                      *)
@@ -46,7 +71,7 @@ let fig4 () =
   pf "\nEngine-derived formulas (leading terms):\n";
   List.iter
     (fun entry ->
-      let a = Report.analyze entry in
+      let a = Report.analyze_cached entry in
       let show tech label =
         match List.find_opt (fun (b : D.t) -> b.technique = tech) a.bounds with
         | None -> ()
@@ -62,7 +87,7 @@ let fig4 () =
     "M/sqrt(S)";
   List.iter
     (fun entry ->
-      let a = Report.analyze entry in
+      let a = Report.analyze_cached entry in
       List.iter
         (fun (m, n, s) ->
           match
@@ -77,7 +102,8 @@ let fig4 () =
                 n s (hg /. cl) scale
           | _ -> ())
         (List.filteri (fun i _ -> i < 3) entry.Report.grid))
-    Report.registry
+    Report.registry;
+  metric_i "kernels" (List.length Report.registry)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: full parametric formulas, engine vs paper, numerically.   *)
@@ -90,7 +116,7 @@ let fig5 () =
      sizes)\n";
   List.iter
     (fun entry ->
-      let a = Report.analyze entry in
+      let a = Report.analyze_cached entry in
       pf "\n%s:\n" entry.Report.display;
       pf "  %8s %8s %8s | %12s %12s | %12s %12s\n" "m" "n" "s" "cls engine"
         "cls ratio" "hg engine" "hg ratio";
@@ -117,7 +143,7 @@ let fig5 () =
 
 let thm5 () =
   section "THM5: MGS closed forms and regimes (Section 5.1)";
-  let a = Report.analyze (Report.find "mgs") in
+  let a = Report.analyze_cached (Report.find "mgs") in
   let main = List.find (fun (b : D.t) -> b.technique = D.Hourglass) a.bounds in
   let small =
     List.find (fun (b : D.t) -> b.technique = D.Hourglass_small_s) a.bounds
@@ -152,7 +178,7 @@ let thm5 () =
 
 let thm_table name kernel =
   let entry = Report.find (PF.kernel_name kernel) in
-  let a = Report.analyze entry in
+  let a = Report.analyze_cached entry in
   pf "\n%s (engine best hourglass vs paper theorem):\n" name;
   pf "  %8s %8s %8s | %12s %12s %8s\n" "m" "n" "s" "engine" "paper" "ratio";
   List.iter
@@ -208,10 +234,12 @@ let thm9 () =
       pf "  %8d %8d | %12.4g %12.4g %8.3f\n" n s best paper (best /. paper))
     [ (256, 4); (512, 8); (1024, 16); (4096, 32) ];
   (* Automatic split search: the engine picks the split point maximising
-     its own symbolic bound, recovering the paper's two hand choices. *)
+     its own symbolic bound, recovering the paper's two hand choices.  The
+     candidate evaluations fan out across the domain pool. *)
   pf "\nautomatic split search (argmax over M of the engine bound):\n";
   pf "  %8s %8s | %10s %12s | %14s %14s\n" "n" "s" "best M" "bound"
     "paper N/2-1" "paper N-S-2";
+  let candidates_evaluated = ref 0 in
   List.iter
     (fun (n, s) ->
       let best =
@@ -220,9 +248,11 @@ let thm9 () =
             if b.technique <> D.Hourglass then acc
             else
               let candidates = List.init (n - 3) (fun i -> i + 1) in
+              candidates_evaluated :=
+                !candidates_evaluated + List.length candidates;
               match
-                D.optimize_split b ~param:"M" ~candidates ~params:[ ("N", n) ]
-                  ~s
+                D.optimize_split ~jobs:!jobs b ~param:"M" ~candidates
+                  ~params:[ ("N", n) ] ~s
               with
               | Some (m, v) -> (
                   match acc with
@@ -236,54 +266,79 @@ let thm9 () =
           pf "  %8d %8d | %10d %12.4g | %14d %14d\n" n s m v ((n / 2) - 1)
             (n - s - 2)
       | None -> pf "  %8d %8d | (no bound)\n" n s)
-    [ (64, 4); (64, 16); (64, 256); (128, 8); (128, 1024) ]
+    [ (64, 4); (64, 16); (64, 256); (128, 8); (128, 1024) ];
+  metric_i "split_candidates" !candidates_evaluated
 
 (* ------------------------------------------------------------------ *)
 (* Appendix A.1: tiled MGS upper bound.                                *)
 
 let pick_block ~m ~n ~s =
   (* The paper's block choice B = floor(S/M) - 1, clamped to a divisor of n
-     (the trace generator needs B | N). *)
+     (the trace generator needs B | N): the largest divisor of n that is
+     <= bmax. *)
   let bmax = max 1 ((s / m) - 1) in
-  let divisors = List.filter (fun b -> n mod b = 0) [ 1; 2; 4; 8; 16; 32 ] in
-  List.fold_left (fun acc d -> if d <= bmax then max acc d else acc) 1 divisors
+  let best = ref 1 in
+  for d = 2 to min n bmax do
+    if n mod d = 0 then best := d
+  done;
+  !best
 
 let appendix_a1 () =
   section "APPENDIX A1: tiled MGS, measured I/O vs predicted (1/2) M N^2 / B";
-  let mgs_analysis = Report.analyze (Report.find "mgs") in
+  let mgs_analysis = Report.analyze_cached (Report.find "mgs") in
   pf "%6s %6s %6s %4s | %9s %9s | %10s %10s | %9s | %8s\n" "m" "n" "s" "b"
     "opt loads" "lru loads" "pred reads" "lower bnd" "untiled" "no-spill";
-  List.iter
-    (fun (m, n, s) ->
-      let b = pick_block ~m ~n ~s in
-      let spec = K.Mgs.tiled_spec ~m ~n ~b in
-      let trace = Trace.of_program ~params:[] spec in
-      let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
-      (* Predicted dominant read cost (Appendix A.1): (1/2) M N^2 / B for
-         streaming the left columns, plus M N for reading the blocks. *)
-      let predicted =
-        (0.5 *. float_of_int (m * n * n) /. float_of_int b)
-        +. float_of_int (m * n)
-      in
-      let lower =
-        Option.get
-          (Report.eval_best mgs_analysis ~technique:`Hourglass ~m ~n ~s)
-      in
-      let untiled =
-        let trace =
-          Trace.of_program ~params:[ ("M", m); ("N", n) ] K.Mgs.spec
-        in
-        (Cache.opt ~size:s trace).Cache.loads
-      in
-      let no_spill = (m + 1) * b < s in
-      pf "%6d %6d %6d %4d | %9d %9d | %10.0f %10.0f | %9d | %8b\n" m n s b
-        opt.Cache.loads lru.Cache.loads predicted lower untiled no_spill)
+  let grid =
     [
       (16, 8, 40); (16, 8, 80); (16, 8, 160);
       (32, 16, 80); (32, 16, 160); (32, 16, 320);
       (48, 16, 120); (48, 16, 400); (48, 16, 800);
       (64, 32, 150); (64, 32, 600);
-    ];
+    ]
+  in
+  (* The untiled reference trace depends only on (m, n); build each once
+     and share it (read-only) across the S-sweep. *)
+  let shapes = List.sort_uniq compare (List.map (fun (m, n, _) -> (m, n)) grid) in
+  let untiled_traces =
+    pmap
+      (fun (m, n) ->
+        ((m, n), Trace.of_program ~params:[ ("M", m); ("N", n) ] K.Mgs.spec))
+      shapes
+  in
+  let t0 = now () in
+  let rows =
+    pmap
+      (fun (m, n, s) ->
+        let b = pick_block ~m ~n ~s in
+        let spec = K.Mgs.tiled_spec ~m ~n ~b in
+        let trace = Trace.of_program ~params:[] spec in
+        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
+        (* Predicted dominant read cost (Appendix A.1): (1/2) M N^2 / B for
+           streaming the left columns, plus M N for reading the blocks. *)
+        let predicted =
+          (0.5 *. float_of_int (m * n * n) /. float_of_int b)
+          +. float_of_int (m * n)
+        in
+        let lower =
+          Option.get
+            (Report.eval_best mgs_analysis ~technique:`Hourglass ~m ~n ~s)
+        in
+        let untiled_trace = List.assoc (m, n) untiled_traces in
+        let untiled = (Cache.opt ~size:s untiled_trace).Cache.loads in
+        let no_spill = (m + 1) * b < s in
+        let row =
+          Printf.sprintf "%6d %6d %6d %4d | %9d %9d | %10.0f %10.0f | %9d | %8b"
+            m n s b opt.Cache.loads lru.Cache.loads predicted lower untiled
+            no_spill
+        in
+        (row, opt.Cache.accesses + lru.Cache.accesses + Trace.length untiled_trace))
+      grid
+  in
+  let dt = now () -. t0 in
+  List.iter (fun (row, _) -> pf "%s\n" row) rows;
+  let accesses = List.fold_left (fun acc (_, a) -> acc + a) 0 rows in
+  metric_i "cache_accesses" accesses;
+  if dt > 0. then metric_f "cache_accesses_per_s" (float_of_int accesses /. dt);
   pf
     "\nShape check: tiled loads track (1/2)MN^2/B; the untiled ordering pays\n\
      ~B times more when S >> M; the lower bound stays below both.\n"
@@ -294,34 +349,46 @@ let appendix_a1 () =
 let appendix_a2 () =
   section
     "APPENDIX A2: tiled A2V, measured I/O vs predicted (M N^2 - N^3/3)/(2B)";
-  let a2v_analysis = Report.analyze (Report.find "qr_hh_a2v") in
+  let a2v_analysis = Report.analyze_cached (Report.find "qr_hh_a2v") in
   pf "%6s %6s %6s %4s | %9s %9s | %10s %10s | %8s\n" "m" "n" "s" "b"
     "opt loads" "lru loads" "pred reads" "lower bnd" "no-spill";
-  List.iter
-    (fun (m, n, s) ->
-      let b = pick_block ~m ~n ~s in
-      let spec = K.Householder.tiled_spec ~m ~n ~b in
-      let trace = Trace.of_program ~params:[] spec in
-      let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
-      let predicted =
-        (0.5
-         *. (float_of_int (m * n * n) -. (float_of_int (n * n * n) /. 3.))
-         /. float_of_int b)
-        +. (2. *. float_of_int (m * n))
-      in
-      let lower =
-        Option.get
-          (Report.eval_best a2v_analysis ~technique:`Hourglass ~m ~n ~s)
-      in
-      let no_spill = (m + 1) * b < s in
-      pf "%6d %6d %6d %4d | %9d %9d | %10.0f %10.0f | %8b\n" m n s b
-        opt.Cache.loads lru.Cache.loads predicted lower no_spill)
+  let grid =
     [
       (16, 8, 40); (16, 8, 80); (16, 8, 160);
       (32, 16, 80); (32, 16, 160); (32, 16, 320);
       (48, 16, 120); (48, 16, 400);
       (64, 32, 150); (64, 32, 600);
     ]
+  in
+  let t0 = now () in
+  let rows =
+    pmap
+      (fun (m, n, s) ->
+        let b = pick_block ~m ~n ~s in
+        let spec = K.Householder.tiled_spec ~m ~n ~b in
+        let trace = Trace.of_program ~params:[] spec in
+        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
+        let predicted =
+          (0.5
+           *. (float_of_int (m * n * n) -. (float_of_int (n * n * n) /. 3.))
+           /. float_of_int b)
+          +. (2. *. float_of_int (m * n))
+        in
+        let lower =
+          Option.get
+            (Report.eval_best a2v_analysis ~technique:`Hourglass ~m ~n ~s)
+        in
+        let no_spill = (m + 1) * b < s in
+        ( Printf.sprintf "%6d %6d %6d %4d | %9d %9d | %10.0f %10.0f | %8b" m n s
+            b opt.Cache.loads lru.Cache.loads predicted lower no_spill,
+          opt.Cache.accesses + lru.Cache.accesses ))
+      grid
+  in
+  let dt = now () -. t0 in
+  List.iter (fun (row, _) -> pf "%s\n" row) rows;
+  let accesses = List.fold_left (fun acc (_, a) -> acc + a) 0 rows in
+  metric_i "cache_accesses" accesses;
+  if dt > 0. then metric_f "cache_accesses_per_s" (float_of_int accesses /. dt)
 
 (* ------------------------------------------------------------------ *)
 (* Validation: derived lower bounds vs pebble-game measured I/O.       *)
@@ -330,31 +397,7 @@ let validation () =
   section "VALIDATION: derived bound <= pebble-game loads for valid schedules";
   pf "%-12s %6s %6s %6s | %10s | %9s %9s %9s\n" "kernel" "m" "n" "s" "best LB"
     "program" "random1" "random2";
-  List.iter
-    (fun (name, params, m, n, ss) ->
-      let entry = Report.find name in
-      let a = Report.analyze entry in
-      let cdag = Cdag.of_program ~params entry.Report.program in
-      List.iter
-        (fun s ->
-          let loads schedule = (Game.run cdag ~s ~schedule).Game.loads in
-          let prog = loads (Game.program_schedule cdag) in
-          let r1 = loads (Game.random_topological ~seed:1 cdag) in
-          let r2 = loads (Game.random_topological ~seed:2 cdag) in
-          let lb =
-            List.fold_left
-              (fun acc tech ->
-                match Report.eval_best a ~technique:tech ~m ~n ~s with
-                | Some v -> Float.max acc v
-                | None -> acc)
-              0.
-              [ `Classical; `Hourglass ]
-          in
-          let ok = lb <= float_of_int (min prog (min r1 r2)) +. 1e-9 in
-          pf "%-12s %6d %6d %6d | %10.1f | %9d %9d %9d %s\n" name m n s lb prog
-            r1 r2
-            (if ok then "" else "  *** VIOLATION ***"))
-        ss)
+  let grid =
     [
       ("mgs", [ ("M", 12); ("N", 8) ], 12, 8, [ 12; 16; 32 ]);
       ("qr_hh_a2v", [ ("M", 12); ("N", 8) ], 12, 8, [ 12; 16; 32 ]);
@@ -362,6 +405,73 @@ let validation () =
       ("gebd2", [ ("M", 12); ("N", 8) ], 12, 8, [ 12; 16; 32 ]);
       ("gehd2", [ ("N", 12); ("M", 5) ], 0, 12, [ 12; 16; 32 ]);
     ]
+  in
+  let t0 = now () in
+  (* Per-kernel preparation fans out across the pool: the (memoized)
+     symbolic analysis, the CDAG, and one reusable plan per schedule (the
+     use-position tables are S-independent). *)
+  let prepped =
+    pmap
+      (fun (name, params, m, n, ss) ->
+        let entry = Report.find name in
+        let a = Report.analyze_cached entry in
+        let cdag = Cdag.of_program ~params entry.Report.program in
+        let plans =
+          List.map
+            (fun schedule -> Game.plan cdag ~schedule)
+            [
+              Game.program_schedule cdag;
+              Game.random_topological ~seed:1 cdag;
+              Game.random_topological ~seed:2 cdag;
+            ]
+        in
+        (name, a, Cdag.n_computes cdag, m, n, ss, plans))
+      grid
+  in
+  (* One task per (kernel, S) point; order is preserved, so the printed
+     table is byte-identical to the sequential one. *)
+  let tasks =
+    List.concat_map
+      (fun (name, a, n_computes, m, n, ss, plans) ->
+        List.map (fun s -> (name, a, n_computes, m, n, plans, s)) ss)
+      prepped
+  in
+  let rows =
+    pmap
+      (fun (name, a, n_computes, m, n, plans, s) ->
+        let loads =
+          List.map (fun plan -> (Game.run_plan plan ~s).Game.loads) plans
+        in
+        let prog, r1, r2 =
+          match loads with [ a; b; c ] -> (a, b, c) | _ -> assert false
+        in
+        let lb =
+          List.fold_left
+            (fun acc tech ->
+              match Report.eval_best a ~technique:tech ~m ~n ~s with
+              | Some v -> Float.max acc v
+              | None -> acc)
+            0.
+            [ `Classical; `Hourglass ]
+        in
+        let ok = lb <= float_of_int (min prog (min r1 r2)) +. 1e-9 in
+        ( Printf.sprintf "%-12s %6d %6d %6d | %10.1f | %9d %9d %9d %s" name m n
+            s lb prog r1 r2
+            (if ok then "" else "  *** VIOLATION ***"),
+          3 * n_computes,
+          ok ))
+      tasks
+  in
+  let dt = now () -. t0 in
+  List.iter (fun (row, _, _) -> pf "%s\n" row) rows;
+  let events = List.fold_left (fun acc (_, e, _) -> acc + e) 0 rows in
+  let violations =
+    List.fold_left (fun acc (_, _, ok) -> if ok then acc else acc + 1) 0 rows
+  in
+  metric_i "pebble_games" (List.length rows * 3);
+  metric_i "pebble_events" events;
+  if dt > 0. then metric_f "pebble_events_per_s" (float_of_int events /. dt);
+  metric_i "violations" violations
 
 (* ------------------------------------------------------------------ *)
 (* Baselines: the classical path across the kernel library.             *)
@@ -369,36 +479,41 @@ let validation () =
 let baselines () =
   section "BASELINES: classical bounds on the non-hourglass kernels";
   pf "%-10s | %-44s | %s\n" "kernel" "derived bound (leading term)" "sandwich";
-  List.iter
-    (fun (name, prog, verify_params) ->
-      let bounds = D.analyze ~verify_params prog in
-      match bounds with
-      | [] -> pf "%-10s | %-44s |\n" name "(none: matvec/stencil class)"
-      | _ ->
-          let best =
-            List.fold_left
-              (fun acc (b : D.t) ->
-                let v =
-                  try D.eval b ~params:verify_params ~s:16 with _ -> 0.
-                in
-                match acc with
-                | Some (_, v') when v' >= v -> acc
-                | _ -> Some (b, v))
-              None bounds
-          in
-          let b, _ = Option.get best in
-          (* Sandwich at the verification sizes: bound <= pebble loads. *)
-          let cdag = Cdag.of_program ~params:verify_params prog in
-          let measured =
-            (Game.run cdag ~s:16 ~schedule:(Game.program_schedule cdag))
-              .Game.loads
-          in
-          let lb = D.eval b ~params:verify_params ~s:16 in
-          pf "%-10s | %-44s | LB %.1f <= %d %s\n" name
-            (R.to_string (leading_term b.formula))
-            lb measured
-            (if lb <= float_of_int measured then "ok" else "VIOLATION"))
-    Report.baselines
+  let rows =
+    pmap
+      (fun (name, prog, verify_params) ->
+        let bounds = D.analyze ~verify_params prog in
+        match bounds with
+        | [] ->
+            Printf.sprintf "%-10s | %-44s |" name "(none: matvec/stencil class)"
+        | _ ->
+            let best =
+              List.fold_left
+                (fun acc (b : D.t) ->
+                  let v =
+                    try D.eval b ~params:verify_params ~s:16 with _ -> 0.
+                  in
+                  match acc with
+                  | Some (_, v') when v' >= v -> acc
+                  | _ -> Some (b, v))
+                None bounds
+            in
+            let b, _ = Option.get best in
+            (* Sandwich at the verification sizes: bound <= pebble loads. *)
+            let cdag = Cdag.of_program ~params:verify_params prog in
+            let measured =
+              (Game.run cdag ~s:16 ~schedule:(Game.program_schedule cdag))
+                .Game.loads
+            in
+            let lb = D.eval b ~params:verify_params ~s:16 in
+            Printf.sprintf "%-10s | %-44s | LB %.1f <= %d %s" name
+              (R.to_string (leading_term b.formula))
+              lb measured
+              (if lb <= float_of_int measured then "ok" else "VIOLATION"))
+      Report.baselines
+  in
+  List.iter (fun row -> pf "%s\n" row) rows;
+  metric_i "kernels" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
 (* Tightness: symbolic upper-bound models vs the lower bounds.          *)
@@ -442,7 +557,7 @@ let schedules () =
   section "SCHEDULES: pebble-game I/O vs the bound (MGS 16x10)";
   let m = 16 and n = 10 in
   let entry = Report.find "mgs" in
-  let a = Report.analyze entry in
+  let a = Report.analyze_cached entry in
   let cdag = Cdag.of_program ~params:[ ("M", m); ("N", n) ] entry.Report.program in
   let blocked b ~stmt ~vec =
     match (stmt, vec) with
@@ -454,24 +569,48 @@ let schedules () =
   in
   pf "%6s | %9s %9s %9s %9s | %9s\n" "S" "program" "random" "blocked2"
     "blocked4" "best LB";
-  List.iter
-    (fun s ->
-      let loads schedule = (Game.run cdag ~s ~schedule).Game.loads in
-      let prog = loads (Game.program_schedule cdag) in
-      let rand = loads (Game.random_topological ~seed:3 cdag) in
-      let b2 = loads (Game.priority_topological cdag ~priority:(blocked 2)) in
-      let b4 = loads (Game.priority_topological cdag ~priority:(blocked 4)) in
-      let lb =
-        List.fold_left
-          (fun acc tech ->
-            match Report.eval_best a ~technique:tech ~m ~n ~s with
-            | Some v -> Float.max acc v
-            | None -> acc)
-          0.
-          [ `Classical; `Hourglass ]
-      in
-      pf "%6d | %9d %9d %9d %9d | %9.1f\n" s prog rand b2 b4 lb)
-    [ 20; 32; 48; 64; 96; 128; 176 ]
+  (* Four plans built once; the S-sweep fans out over the pool, each run
+     keeping its pebble state private. *)
+  let plans =
+    List.map
+      (fun schedule -> Game.plan cdag ~schedule)
+      [
+        Game.program_schedule cdag;
+        Game.random_topological ~seed:3 cdag;
+        Game.priority_topological cdag ~priority:(blocked 2);
+        Game.priority_topological cdag ~priority:(blocked 4);
+      ]
+  in
+  let ss = [ 20; 32; 48; 64; 96; 128; 176 ] in
+  let t0 = now () in
+  let rows =
+    pmap
+      (fun s ->
+        let loads =
+          List.map (fun plan -> (Game.run_plan plan ~s).Game.loads) plans
+        in
+        let prog, rand, b2, b4 =
+          match loads with
+          | [ a; b; c; d ] -> (a, b, c, d)
+          | _ -> assert false
+        in
+        let lb =
+          List.fold_left
+            (fun acc tech ->
+              match Report.eval_best a ~technique:tech ~m ~n ~s with
+              | Some v -> Float.max acc v
+              | None -> acc)
+            0.
+            [ `Classical; `Hourglass ]
+        in
+        Printf.sprintf "%6d | %9d %9d %9d %9d | %9.1f" s prog rand b2 b4 lb)
+      ss
+  in
+  let dt = now () -. t0 in
+  List.iter (fun row -> pf "%s\n" row) rows;
+  let events = List.length ss * 4 * Cdag.n_computes cdag in
+  metric_i "pebble_events" events;
+  if dt > 0. then metric_f "pebble_events_per_s" (float_of_int events /. dt)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation 1: version pinning in the projection derivation.           *)
@@ -540,12 +679,21 @@ let ablation_policy () =
     (Trace.length trace) (Trace.footprint trace);
   pf "%8s | %9s %9s %9s\n" "S" "opt" "lru" "cold";
   let cold = (Cache.cold trace).Cache.loads in
-  List.iter
-    (fun s ->
-      let opt = (Cache.opt ~size:s trace).Cache.loads in
-      let lru = (Cache.lru ~size:s trace).Cache.loads in
-      pf "%8d | %9d %9d %9d\n" s opt lru cold)
-    [ 40; 80; 160; 320; 640 ]
+  let ss = [ 40; 80; 160; 320; 640 ] in
+  let t0 = now () in
+  let rows =
+    pmap
+      (fun s ->
+        let opt = (Cache.opt ~size:s trace).Cache.loads in
+        let lru = (Cache.lru ~size:s trace).Cache.loads in
+        Printf.sprintf "%8d | %9d %9d %9d" s opt lru cold)
+      ss
+  in
+  let dt = now () -. t0 in
+  List.iter (fun row -> pf "%s\n" row) rows;
+  let accesses = (2 * List.length ss * Trace.length trace) + Trace.length trace in
+  metric_i "cache_accesses" accesses;
+  if dt > 0. then metric_f "cache_accesses_per_s" (float_of_int accesses /. dt)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings of the pipeline.                                   *)
@@ -593,10 +741,35 @@ let timings () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> pf "%-42s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+              pf "%-42s %12.0f ns/run\n" name est;
+              metric_f (Printf.sprintf "ns_per_run[%s]" name) est
           | _ -> pf "%-42s (no estimate)\n" name)
         stats)
     tests
+
+(* ------------------------------------------------------------------ *)
+(* Harness: argument parsing, section timing, JSON report.             *)
+
+type section_record = {
+  rec_name : string;
+  rec_wall_s : float;
+  rec_metrics : (string * Json.t) list;
+}
+
+(* Sections that consume registry analyses; running any of them warms the
+   memo table with one pool fan-out so the per-section cost is lookup. *)
+let analysis_sections =
+  [
+    "FIG4"; "FIG5"; "THM5"; "THM6_7_8"; "THM9"; "APPENDIX_A1"; "APPENDIX_A2";
+    "VALIDATION"; "SCHEDULES";
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: bench [SECTION ...] [--jobs N] [--json PATH]\n\
+     sections default to all; see the source for names (FIG4, VALIDATION, ...)";
+  exit 2
 
 let () =
   let sections =
@@ -618,10 +791,76 @@ let () =
       ("TIMINGS", timings);
     ]
   in
-  let chosen =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+  let rec parse chosen json jobs_opt = function
+    | [] -> (List.rev chosen, json, jobs_opt)
+    | "--json" :: path :: rest -> parse chosen (Some path) jobs_opt rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse chosen json (Some j) rest
+        | _ ->
+            Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" n;
+            exit 2)
+    | ("--json" | "--jobs") :: [] -> usage ()
+    | name :: rest ->
+        if List.mem_assoc name sections then parse (name :: chosen) json jobs_opt rest
+        else begin
+          Printf.eprintf "bench: unknown section %S\n" name;
+          usage ()
+        end
   in
-  List.iter (fun (name, f) -> if List.mem name chosen then f ()) sections;
+  let chosen, json_path, jobs_opt =
+    parse [] None None (List.tl (Array.to_list Sys.argv))
+  in
+  jobs := (match jobs_opt with Some j -> j | None -> Pool.default_jobs ());
+  let chosen = match chosen with [] -> List.map fst sections | c -> c in
+  let records = ref [] in
+  let record name f =
+    current_metrics := [];
+    let t0 = now () in
+    f ();
+    let wall = now () -. t0 in
+    records :=
+      { rec_name = name; rec_wall_s = wall; rec_metrics = List.rev !current_metrics }
+      :: !records
+  in
+  let t_start = now () in
+  (* Warm the analysis memo across the pool before the first consumer. *)
+  if List.exists (fun name -> List.mem name analysis_sections) chosen then
+    record "PREWARM" (fun () ->
+        let analyses = Report.analyze_all ~jobs:!jobs () in
+        metric_i "analyses" (List.length analyses));
+  List.iter
+    (fun (name, f) -> if List.mem name chosen then record name f)
+    sections;
+  let total = now () -. t_start in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let report =
+        Json.Obj
+          [
+            ("schema_version", Json.Int 1);
+            ("generator", Json.String "iolb bench");
+            ("unix_time", Json.Float (now ()));
+            ("ocaml_version", Json.String Sys.ocaml_version);
+            ("jobs", Json.Int !jobs);
+            ("argv", Json.List (List.map (fun s -> Json.String s) chosen));
+            ("total_wall_s", Json.Float total);
+            ( "sections",
+              Json.List
+                (List.rev_map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("name", Json.String r.rec_name);
+                         ("wall_s", Json.Float r.rec_wall_s);
+                         ("metrics", Json.Obj r.rec_metrics);
+                       ])
+                   !records) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string_pretty report);
+      close_out oc;
+      Printf.eprintf "bench: wrote %s\n" path);
   pf "\nDone.\n"

@@ -144,21 +144,43 @@ let analyze_cmd =
        ~exits:engine_exits)
     Term.(const run $ kernel_arg $ budget_args)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains for the per-kernel analyses.  Defaults to \
+     $(b,IOLB_JOBS) or the recommended domain count; 1 disables parallelism. \
+     Output is identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let bounds_cmd =
-  let run budget_spec =
+  let run jobs budget_spec =
     run_checked @@ fun () ->
+    let* () =
+      match jobs with
+      | Some j when j < 1 ->
+          Error
+            (Engine_error.Invalid_input
+               (Printf.sprintf "--jobs must be >= 1, got %d" j))
+      | _ -> Ok ()
+    in
     let* budget = make_budget budget_spec in
+    (* The budget's counters are atomic, so one instance is shared soundly
+       across the fan-out; reports print sequentially in registry order, up
+       to the first failed entry. *)
+    let results =
+      Iolb_util.Pool.map ?jobs (Report.analyze_checked ~budget) Report.registry
+    in
     List.fold_left
-      (fun acc entry ->
+      (fun acc result ->
         let* () = acc in
-        let* a = Report.analyze_checked ~budget entry in
+        let* a = result in
         Ok (Format.printf "%a@." Report.pp_analysis a))
-      (Ok ()) Report.registry
+      (Ok ()) results
   in
   Cmd.v
     (Cmd.info "bounds" ~doc:"Derived bound formulas for every kernel"
        ~exits:engine_exits)
-    Term.(const run $ budget_args)
+    Term.(const run $ jobs_arg $ budget_args)
 
 let eval_cmd =
   let run name m n s budget_spec =

@@ -1,4 +1,5 @@
 module Program = Iolb_ir.Program
+module Interner = Iolb_ir.Interner
 module Budget = Iolb_util.Budget
 
 type kind =
@@ -11,17 +12,32 @@ type t = {
   succs : int array array;
   order : int array; (* topological: program order with inputs at first use *)
   by_stmt : (string, int list) Hashtbl.t;
-  instance_ids : (string * int array, int) Hashtbl.t;
+  instances : Interner.t; (* (stmt name, vec) -> dense instance id *)
+  instance_node : int array; (* dense instance id -> node id *)
   n_inputs : int;
 }
+
+(* Int arrays indexed by interned ids, growing with the interner. *)
+let ensure arr len =
+  if len <= Array.length !arr then ()
+  else begin
+    let bigger = Array.make (max len (2 * Array.length !arr)) (-1) in
+    Array.blit !arr 0 bigger 0 (Array.length !arr);
+    arr := bigger
+  end
 
 let of_program ?(budget = Budget.unlimited) ~params p =
   let kinds = ref [] and preds = ref [] in
   let n = ref 0 in
   let order = ref [] in
   let by_stmt = Hashtbl.create 16 in
-  let instance_ids = Hashtbl.create 256 in
-  let last_writer : (string * int array, int) Hashtbl.t = Hashtbl.create 256 in
+  (* Data cells and statement instances are interned to dense ids once,
+     here, so dependence resolution runs on int-indexed arrays instead of
+     hashing (string * int array) keys per access. *)
+  let cells = Interner.create () in
+  let last_writer = ref (Array.make 1024 (-1)) in
+  let instances = Interner.create () in
+  let instance_node = ref (Array.make 1024 (-1)) in
   let inputs = ref 0 in
   let add_node kind pred_list =
     let id = !n in
@@ -36,24 +52,32 @@ let of_program ?(budget = Budget.unlimited) ~params p =
       Budget.checkpoint budget Budget.Cdag_build;
       let pred_ids =
         List.map
-          (fun (a, cell) ->
-            match Hashtbl.find_opt last_writer (a, cell) with
-            | Some id -> id
-            | None ->
-                let id = add_node (Input (a, cell)) [] in
+          (fun cell ->
+            let cid = Interner.intern cells cell in
+            ensure last_writer (cid + 1);
+            match !last_writer.(cid) with
+            | -1 ->
+                let a, idx = cell in
+                let id = add_node (Input (a, idx)) [] in
                 incr inputs;
-                Hashtbl.replace last_writer (a, cell) id;
-                id)
+                !last_writer.(cid) <- id;
+                id
+            | id -> id)
           inst.loads
       in
       (* A value read twice by the same instance is a single dependence. *)
       let pred_ids = List.sort_uniq Int.compare pred_ids in
       let id = add_node (Compute (inst.stmt_name, inst.vec)) pred_ids in
-      Hashtbl.replace instance_ids (inst.stmt_name, inst.vec) id;
+      let iid = Interner.intern instances (inst.stmt_name, inst.vec) in
+      ensure instance_node (iid + 1);
+      !instance_node.(iid) <- id;
       Hashtbl.replace by_stmt inst.stmt_name
         (id :: (try Hashtbl.find by_stmt inst.stmt_name with Not_found -> []));
       List.iter
-        (fun (a, cell) -> Hashtbl.replace last_writer (a, cell) id)
+        (fun cell ->
+          let cid = Interner.intern cells cell in
+          ensure last_writer (cid + 1);
+          !last_writer.(cid) <- id)
         inst.stores);
   let kinds = Array.of_list (List.rev !kinds) in
   let preds = Array.of_list (List.rev_map Array.of_list !preds) in
@@ -71,7 +95,8 @@ let of_program ?(budget = Budget.unlimited) ~params p =
     succs;
     order = Array.of_list (List.rev !order);
     by_stmt;
-    instance_ids;
+    instances;
+    instance_node = Array.sub !instance_node 0 (Interner.count instances);
     n_inputs = !inputs;
   }
 
@@ -87,7 +112,11 @@ let program_order t = t.order
 let nodes_of_stmt t name =
   try Hashtbl.find t.by_stmt name with Not_found -> []
 
-let node_of_instance t name vec = Hashtbl.find_opt t.instance_ids (name, vec)
+let node_of_instance t name vec =
+  Option.map
+    (fun iid -> t.instance_node.(iid))
+    (Interner.find_opt t.instances (name, vec))
+
 let n_inputs t = t.n_inputs
 let n_computes t = n_nodes t - t.n_inputs
 

@@ -15,10 +15,15 @@ type t
 (** [of_program ~params p] builds the CDAG by abstract execution with
     last-writer tracking: reads resolve to the most recent write of the same
     cell in program order, which is the exact flow dependence for these
-    (deterministic, unconditionally executed) programs.
+    (deterministic, unconditionally executed) programs.  Cells and
+    statement instances are interned to dense ids ({!Iolb_ir.Interner})
+    during the build, so dependence resolution and instance lookup run on
+    int-indexed arrays rather than hashing [(string * int array)] keys.
 
     One [Cdag_build] budget checkpoint is accounted per statement instance,
     and the budget's node cap bounds the total node count of this CDAG.
+    The result is immutable and safe to share read-only across a
+    {!Iolb_util.Pool} fan-out.
     @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
 val of_program :
   ?budget:Iolb_util.Budget.t -> params:(string * int) list -> Iolb_ir.Program.t -> t

@@ -383,15 +383,22 @@ let eval b ~params ~s =
   in
   R.eval_float_env env b.formula
 
-let optimize_split b ~param ~candidates ~params ~s =
+let optimize_split ?jobs b ~param ~candidates ~params ~s =
+  (* Candidate evaluations are independent; fan them out, then take the
+     argmax sequentially (first maximum wins, as in the sequential fold, so
+     the result does not depend on the worker count). *)
+  let values =
+    Iolb_util.Pool.map ?jobs
+      (fun v -> (v, eval b ~params:((param, v) :: params) ~s))
+      candidates
+  in
   List.fold_left
-    (fun acc v ->
-      let value = eval b ~params:((param, v) :: params) ~s in
+    (fun acc (v, value) ->
       match acc with
       | Some (_, best) when best >= value -> acc
       | _ when value <= 0. -> acc
       | _ -> Some (v, value))
-    None candidates
+    None values
 
 let applicable b ~params ~s =
   match b.s_max with

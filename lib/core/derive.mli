@@ -99,8 +99,12 @@ val eval : t -> params:(string * int) list -> s:int -> float
     split parameter [param] of a bound (e.g. GEHD2's loop-split point, cf
     Section 5.3 of the paper) at each candidate value and returns the one
     maximising the bound, with its value.  Returns [None] if no candidate
-    gives a positive bound. *)
+    gives a positive bound.  Candidates are evaluated across [jobs] domains
+    (default {!Iolb_util.Pool.default_jobs}); the argmax is
+    worker-count-independent (ties break towards the earliest candidate,
+    as sequentially). *)
 val optimize_split :
+  ?jobs:int ->
   t ->
   param:string ->
   candidates:int list ->

@@ -55,6 +55,19 @@ val analyze_checked :
     behaves as the original full pipeline. *)
 val analyze : ?budget:Iolb_util.Budget.t -> entry -> analysis
 
+(** [analyze_cached entry] is [analyze entry] memoized per process, keyed
+    by [entry.display].  Invariants: only registry entries (whose display
+    names are unique and whose analyses are deterministic) should go
+    through the cache, and always at the unlimited budget - budgeted or
+    degraded analyses are never cached.  Thread-safe: may be called
+    concurrently from a {!Iolb_util.Pool} fan-out. *)
+val analyze_cached : entry -> analysis
+
+(** [analyze_all ()] analyses the whole registry through
+    {!analyze_cached}, fanning out across [jobs] domains (default
+    {!Iolb_util.Pool.default_jobs}); result order follows {!registry}. *)
+val analyze_all : ?jobs:int -> unit -> analysis list
+
 (** Concrete instantiation parameters for CDAG building / trace simulation
     at size (m, n).  GEHD2 is square: [m] is ignored, [n >= 4] is required,
     and the loop split is pinned at [M = n/2 - 1] (Theorem 9's choice).

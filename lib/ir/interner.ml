@@ -1,0 +1,53 @@
+type key = string * int array
+
+(* Specialised hashing: FNV-1a over the name hash and the index vector,
+   avoiding the polymorphic hash's tag-walking on every probe. *)
+module Key = struct
+  type t = key
+
+  let equal (a, u) (b, v) =
+    String.equal a b
+    && Array.length u = Array.length v
+    &&
+    let rec go i = i < 0 || (u.(i) = v.(i) && go (i - 1)) in
+    go (Array.length u - 1)
+
+  let hash (a, u) =
+    let h = ref (Hashtbl.hash a) in
+    for i = 0 to Array.length u - 1 do
+      h := (!h lxor u.(i)) * 0x01000193
+    done;
+    !h land max_int
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = { ids : int H.t; mutable rev : key array; mutable n : int }
+
+let dummy_key : key = ("", [||])
+
+let create ?(size = 1024) () =
+  { ids = H.create size; rev = Array.make (max size 1) dummy_key; n = 0 }
+
+let intern t k =
+  match H.find_opt t.ids k with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      if id = Array.length t.rev then begin
+        let bigger = Array.make (2 * id) dummy_key in
+        Array.blit t.rev 0 bigger 0 id;
+        t.rev <- bigger
+      end;
+      t.rev.(id) <- k;
+      t.n <- id + 1;
+      H.add t.ids k id;
+      id
+
+let find_opt t k = H.find_opt t.ids k
+
+let key t id =
+  if id < 0 || id >= t.n then invalid_arg "Interner.key: id out of range";
+  t.rev.(id)
+
+let count t = t.n

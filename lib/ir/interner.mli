@@ -1,0 +1,36 @@
+(** Dense interning of [(array-name, index-vector)] keys.
+
+    CDAG construction, trace building and cache simulation all key their
+    inner loops on concrete cells [(string * int array)].  Hashing those
+    polymorphically in every loop iteration (and rebuilding the table on
+    every simulator call) dominates the empirical layer's profile.  An
+    interner maps each distinct key to a dense [int] once - with a
+    specialised (non-polymorphic) hash - so downstream passes run on int
+    keys and flat arrays.
+
+    The same key type also covers statement instances
+    [(stmt-name, iteration-vector)]; {!Iolb_cdag.Cdag} interns both.
+
+    Interners are single-writer: build in one domain, then share the frozen
+    result read-only across a pool fan-out. *)
+
+type key = string * int array
+
+type t
+
+(** [create ?size ()] is an empty interner ([size] is a capacity hint). *)
+val create : ?size:int -> unit -> t
+
+(** [intern t k] is the dense id of [k], allocating the next id
+    ([count t]) on first sight.  Ids are assigned in first-seen order. *)
+val intern : t -> key -> int
+
+(** [find_opt t k] is the id of [k] if already interned. *)
+val find_opt : t -> key -> int option
+
+(** [key t id] is the key interned as [id].
+    @raise Invalid_argument if [id] is out of range. *)
+val key : t -> int -> key
+
+(** Number of distinct keys interned. *)
+val count : t -> int

@@ -8,58 +8,33 @@ let pp_stats fmt s =
   Format.fprintf fmt "loads=%d stores=%d hits=%d accesses=%d io=%d" s.loads
     s.stores s.read_hits s.accesses (io s)
 
-(* Intern cells to dense integers so the simulators run on int keys. *)
-let intern trace =
-  let ids = Hashtbl.create 1024 in
-  let next = ref 0 in
-  let id_of c =
-    match Hashtbl.find_opt ids c with
-    | Some i -> i
-    | None ->
-        let i = !next in
-        incr next;
-        Hashtbl.add ids c i;
-        i
-  in
-  let arr =
-    Array.of_list
-      (List.map
-         (function
-           | Trace.Read c -> (id_of c, false)
-           | Trace.Write c -> (id_of c, true))
-         trace)
-  in
-  (arr, !next)
+(* Traces arrive pre-interned (dense cell ids, flat arrays), so the
+   simulators run on int keys with no per-call hashing at all. *)
 
 let cold trace =
-  let arr, ncells = intern trace in
+  let n = Trace.length trace and ncells = Trace.footprint trace in
   let present = Array.make ncells false in
   let dirty = Array.make ncells false in
   let loads = ref 0 and read_hits = ref 0 in
-  Array.iter
-    (fun (c, is_write) ->
-      if is_write then begin
-        present.(c) <- true;
-        dirty.(c) <- true
-      end
-      else if present.(c) then incr read_hits
-      else begin
-        incr loads;
-        present.(c) <- true
-      end)
-    arr;
+  for i = 0 to n - 1 do
+    let c = Trace.cell_id trace i in
+    if Trace.is_write trace i then begin
+      present.(c) <- true;
+      dirty.(c) <- true
+    end
+    else if present.(c) then incr read_hits
+    else begin
+      incr loads;
+      present.(c) <- true
+    end
+  done;
   let stores = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dirty in
-  {
-    loads = !loads;
-    stores;
-    read_hits = !read_hits;
-    accesses = Array.length arr;
-  }
+  { loads = !loads; stores; read_hits = !read_hits; accesses = n }
 
 (* LRU with an intrusive doubly-linked list over cell ids. *)
 let lru ?(budget = Budget.unlimited) ~size ?(flush = true) trace =
   if size < 1 then invalid_arg "Cache.lru: size < 1";
-  let arr, ncells = intern trace in
+  let n = Trace.length trace and ncells = Trace.footprint trace in
   let prev = Array.make ncells (-1) and next = Array.make ncells (-1) in
   let in_cache = Array.make ncells false in
   let dirty = Array.make ncells false in
@@ -102,44 +77,38 @@ let lru ?(budget = Budget.unlimited) ~size ?(flush = true) trace =
       push_front c
     end
   in
-  Array.iter
-    (fun (c, is_write) ->
-      Budget.checkpoint budget Budget.Cache_sim;
-      if is_write then begin
-        touch c;
-        dirty.(c) <- true
-      end
-      else begin
-        if in_cache.(c) then incr read_hits else incr loads;
-        touch c
-      end)
-    arr;
+  for i = 0 to n - 1 do
+    Budget.checkpoint budget Budget.Cache_sim;
+    let c = Trace.cell_id trace i in
+    if Trace.is_write trace i then begin
+      touch c;
+      dirty.(c) <- true
+    end
+    else begin
+      if in_cache.(c) then incr read_hits else incr loads;
+      touch c
+    end
+  done;
   if flush then
     for c = 0 to ncells - 1 do
       if in_cache.(c) && dirty.(c) then incr stores
     done;
-  {
-    loads = !loads;
-    stores = !stores;
-    read_hits = !read_hits;
-    accesses = Array.length arr;
-  }
+  { loads = !loads; stores = !stores; read_hits = !read_hits; accesses = n }
 
 (* Belady's OPT.  next_read.(i) is the position of the next read of the cell
    accessed at position i, or max_int if the cell is overwritten (or never
    touched) before being re-read. *)
 let opt ?(budget = Budget.unlimited) ~size ?(flush = true) trace =
   if size < 1 then invalid_arg "Cache.opt: size < 1";
-  let arr, ncells = intern trace in
-  let n = Array.length arr in
+  let n = Trace.length trace and ncells = Trace.footprint trace in
   let next_read = Array.make n max_int in
   let upcoming = Array.make ncells max_int in
   (* scan backwards: upcoming.(c) = position of next read of c, or max_int
      if the next access is a write (dead value). *)
   for i = n - 1 downto 0 do
-    let c, is_write = arr.(i) in
+    let c = Trace.cell_id trace i in
     next_read.(i) <- upcoming.(c);
-    upcoming.(c) <- (if is_write then max_int else i)
+    upcoming.(c) <- (if Trace.is_write trace i then max_int else i)
   done;
   let in_cache = Array.make ncells false in
   let dirty = Array.make ncells false in
@@ -161,39 +130,34 @@ let opt ?(budget = Budget.unlimited) ~size ?(flush = true) trace =
     end;
     decr count
   in
-  Array.iteri
-    (fun i (c, is_write) ->
-      Budget.checkpoint budget Budget.Cache_sim;
-      if is_write then begin
-        if not in_cache.(c) then begin
-          if !count >= size then evict_one ();
-          in_cache.(c) <- true;
-          incr count
-        end;
-        dirty.(c) <- true
-      end
-      else begin
-        if in_cache.(c) then incr read_hits
-        else begin
-          incr loads;
-          if !count >= size then evict_one ();
-          in_cache.(c) <- true;
-          incr count
-        end
+  for i = 0 to n - 1 do
+    Budget.checkpoint budget Budget.Cache_sim;
+    let c = Trace.cell_id trace i in
+    if Trace.is_write trace i then begin
+      if not in_cache.(c) then begin
+        if !count >= size then evict_one ();
+        in_cache.(c) <- true;
+        incr count
       end;
-      cur_next.(c) <- next_read.(i);
-      Iolb_util.Maxheap.push heap ~pos:next_read.(i) ~payload:c)
-    arr;
+      dirty.(c) <- true
+    end
+    else begin
+      if in_cache.(c) then incr read_hits
+      else begin
+        incr loads;
+        if !count >= size then evict_one ();
+        in_cache.(c) <- true;
+        incr count
+      end
+    end;
+    cur_next.(c) <- next_read.(i);
+    Iolb_util.Maxheap.push heap ~pos:next_read.(i) ~payload:c
+  done;
   if flush then
     for c = 0 to ncells - 1 do
       if in_cache.(c) && dirty.(c) then incr stores
     done;
-  {
-    loads = !loads;
-    stores = !stores;
-    read_hits = !read_hits;
-    accesses = Array.length arr;
-  }
+  { loads = !loads; stores = !stores; read_hits = !read_hits; accesses = n }
 
 let lru_checked ?budget ~size ?flush trace =
   Iolb_util.Engine_error.guard (fun () -> lru ?budget ~size ?flush trace)

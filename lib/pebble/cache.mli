@@ -10,7 +10,12 @@
     line whose next {e read} is farthest, treating lines that are
     overwritten before being re-read as dead).  OPT is the model-faithful
     policy for measuring a schedule's intrinsic I/O; LRU shows what a real
-    cache would do. *)
+    cache would do.
+
+    Simulators consume pre-interned {!Trace.t} values and run entirely on
+    dense int cell ids and flat arrays: no hashing in the simulation loops,
+    and simulating the same trace at many cache sizes reuses one
+    interning. *)
 
 type stats = {
   loads : int;  (** reads that missed *)
@@ -27,29 +32,29 @@ val io : stats -> int
     trace event. @raise Invalid_argument if [size < 1].
     @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
 val lru :
-  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.event list -> stats
+  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.t -> stats
 
 (** [opt ~size ?flush trace]: Belady's clairvoyant policy.  Budget as
     {!lru}. *)
 val opt :
-  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.event list -> stats
+  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.t -> stats
 
 (** No-raise variants of {!lru} and {!opt}. *)
 val lru_checked :
   ?budget:Iolb_util.Budget.t ->
   size:int ->
   ?flush:bool ->
-  Trace.event list ->
+  Trace.t ->
   (stats, Iolb_util.Engine_error.t) result
 
 val opt_checked :
   ?budget:Iolb_util.Budget.t ->
   size:int ->
   ?flush:bool ->
-  Trace.event list ->
+  Trace.t ->
   (stats, Iolb_util.Engine_error.t) result
 
 (** [cold trace] is the compulsory-miss statistics (infinite cache). *)
-val cold : Trace.event list -> stats
+val cold : Trace.t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -111,7 +111,13 @@ let priority_topological cdag ~priority =
   done;
   Array.of_list (List.rev !out)
 
-let run ?(budget = Budget.unlimited) cdag ~s ~schedule =
+type plan = {
+  cdag : Cdag.t;
+  schedule : int array;
+  use_positions : int array array;
+}
+
+let plan cdag ~schedule =
   if not (is_topological cdag schedule) then
     invalid_arg "Game.run: schedule is not a topological order of computes";
   let n = Cdag.n_nodes cdag in
@@ -122,6 +128,10 @@ let run ?(budget = Budget.unlimited) cdag ~s ~schedule =
       Array.iter (fun p -> use_positions.(p) <- t :: use_positions.(p)) (Cdag.preds cdag id))
     schedule;
   let use_positions = Array.map (fun l -> Array.of_list (List.rev l)) use_positions in
+  { cdag; schedule; use_positions }
+
+let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
+  let n = Cdag.n_nodes cdag in
   let use_cursor = Array.make n 0 in
   let next_use_after node t =
     let uses = use_positions.(node) in
@@ -212,6 +222,8 @@ let run ?(budget = Budget.unlimited) cdag ~s ~schedule =
       set_red id (next_use_after id t))
     schedule;
   { loads = !loads; peak_red = !peak }
+
+let run ?budget cdag ~s ~schedule = run_plan ?budget (plan cdag ~schedule) ~s
 
 let run_checked ?budget cdag ~s ~schedule =
   match run ?budget cdag ~s ~schedule with

@@ -26,6 +26,24 @@ exception Infeasible of string
 val run :
   ?budget:Iolb_util.Budget.t -> Iolb_cdag.Cdag.t -> s:int -> schedule:int array -> result
 
+(** A validated schedule with its use-position tables precomputed.  S-sweeps
+    over a fixed schedule (the validation grids) pay the topological check
+    and the use-position construction once instead of per cache size.  A
+    plan is immutable; {!run_plan} keeps all per-run state private, so one
+    plan can be run concurrently from several domains. *)
+type plan
+
+(** [plan cdag ~schedule] validates [schedule] and precomputes its
+    use-position tables.
+    @raise Invalid_argument if [schedule] is not a valid topological order
+    of the compute nodes. *)
+val plan : Iolb_cdag.Cdag.t -> schedule:int array -> plan
+
+(** [run_plan plan ~s] is [run] on the plan's CDAG and schedule; same
+    budget accounting and exceptions (except the schedule check, already
+    done by {!plan}). *)
+val run_plan : ?budget:Iolb_util.Budget.t -> plan -> s:int -> result
+
 (** [run_checked] is {!run} behind the no-raise boundary ([Infeasible] and
     bad schedules map to [Invalid_input]). *)
 val run_checked :

@@ -1,28 +1,80 @@
+module Interner = Iolb_ir.Interner
+
 type cell = string * int array
 
 type event = Read of cell | Write of cell
 
+type t = {
+  cells : int array; (* per event: interned cell id *)
+  writes : bool array; (* per event: write flag *)
+  pool : Interner.t;
+}
+
+(* Shared builder: push events as (cell, is_write) pairs. *)
+type builder = {
+  mutable ids : int array;
+  mutable flags : bool array;
+  mutable len : int;
+  p : Interner.t;
+}
+
+let builder size =
+  {
+    ids = Array.make (max size 16) 0;
+    flags = Array.make (max size 16) false;
+    p = Interner.create ();
+    len = 0;
+  }
+
+let push b cell is_write =
+  if b.len = Array.length b.ids then begin
+    let cap = 2 * b.len in
+    let ids = Array.make cap 0 and flags = Array.make cap false in
+    Array.blit b.ids 0 ids 0 b.len;
+    Array.blit b.flags 0 flags 0 b.len;
+    b.ids <- ids;
+    b.flags <- flags
+  end;
+  b.ids.(b.len) <- Interner.intern b.p cell;
+  b.flags.(b.len) <- is_write;
+  b.len <- b.len + 1
+
+let freeze b =
+  {
+    cells = Array.sub b.ids 0 b.len;
+    writes = Array.sub b.flags 0 b.len;
+    pool = b.p;
+  }
+
 let of_program ?(budget = Iolb_util.Budget.unlimited) ~params p =
-  let events = ref [] in
+  let b = builder 1024 in
   let n = ref 0 in
   Iolb_ir.Program.iter_instances ~params p (fun inst ->
       Iolb_util.Budget.checkpoint budget Iolb_util.Budget.Cdag_build;
       incr n;
       Iolb_util.Budget.check_node_cap budget Iolb_util.Budget.Cdag_build !n;
-      List.iter (fun c -> events := Read c :: !events) inst.loads;
-      List.iter (fun c -> events := Write c :: !events) inst.stores);
-  List.rev !events
+      List.iter (fun c -> push b c false) inst.loads;
+      List.iter (fun c -> push b c true) inst.stores);
+  freeze b
 
-let footprint events =
-  let seen = Hashtbl.create 256 in
+let of_events evs =
+  let b = builder (List.length evs) in
   List.iter
-    (fun e ->
-      let c = match e with Read c | Write c -> c in
-      Hashtbl.replace seen c ())
-    events;
-  Hashtbl.length seen
+    (function Read c -> push b c false | Write c -> push b c true)
+    evs;
+  freeze b
 
-let length = List.length
+let length t = Array.length t.cells
+let footprint t = Interner.count t.pool
+let cell_id t i = t.cells.(i)
+let is_write t i = t.writes.(i)
+let cell t id = Interner.key t.pool id
+
+let event t i =
+  let c = cell t t.cells.(i) in
+  if t.writes.(i) then Write c else Read c
+
+let to_events t = List.init (length t) (event t)
 
 let pp_event fmt e =
   let pp_cell fmt (a, idx) =

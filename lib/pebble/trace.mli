@@ -4,11 +4,20 @@
     schedule of a program.  Traces are what the cache simulator consumes;
     they can come from {!Iolb_ir.Program.iter_instances} (the untiled
     program order) or from hand-scheduled tiled algorithms (Appendix A of
-    the paper). *)
+    the paper).
+
+    Representation: events are stored as flat arrays of interned cell ids
+    and read/write flags, with the {!Iolb_ir.Interner} built once at
+    construction.  Simulators index straight into the arrays - no
+    per-invocation interning, no polymorphic hashing, and O(1)
+    {!length}/{!footprint}.  A trace is immutable after construction and
+    safe to share read-only across a {!Iolb_util.Pool} fan-out. *)
 
 type cell = string * int array
 
 type event = Read of cell | Write of cell
+
+type t
 
 (** [of_program ~params p] is the trace of the program executed in textual
     order: for each instance, its reads then its writes.  Instantiation is
@@ -19,10 +28,34 @@ val of_program :
   ?budget:Iolb_util.Budget.t ->
   params:(string * int) list ->
   Iolb_ir.Program.t ->
-  event list
+  t
 
-(** Number of distinct cells touched by the trace. *)
-val footprint : event list -> int
+(** [of_events evs] interns an explicit event sequence (hand-written traces
+    in tests and experiments). *)
+val of_events : event list -> t
 
-val length : event list -> int
+(** Number of events. O(1). *)
+val length : t -> int
+
+(** Number of distinct cells touched by the trace. O(1). *)
+val footprint : t -> int
+
+(** {1 Indexed access (used by the simulators)} *)
+
+(** [cell_id t i] is the dense id of the cell accessed by event [i];
+    ids lie in [0 .. footprint t - 1]. *)
+val cell_id : t -> int -> int
+
+(** [is_write t i]: is event [i] a write? *)
+val is_write : t -> int -> bool
+
+(** [cell t id] recovers the concrete cell behind a dense id. *)
+val cell : t -> int -> cell
+
+(** [event t i] reconstructs event [i]. *)
+val event : t -> int -> event
+
+(** [to_events t] reconstructs the full event list (tests / display). *)
+val to_events : t -> event list
+
 val pp_event : Format.formatter -> event -> unit

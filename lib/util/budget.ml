@@ -23,13 +23,17 @@ let stage_index = function
 
 let n_stages = 5
 
+(* Counters are atomic so one budget can be shared by the domains of a
+   Pool fan-out: caps apply to the combined work of all workers, and the
+   fault hook still fires exactly once (fetch_and_add hands each
+   checkpoint a unique count). *)
 type t = {
   max_steps : int option;
   deadline : float option; (* absolute, Unix.gettimeofday scale *)
   max_nodes : int option;
   fault : (stage * int) option;
-  mutable steps : int;
-  stage_counts : int array;
+  steps : int Atomic.t;
+  stage_counts : int Atomic.t array;
 }
 
 exception Exhausted of stage
@@ -40,8 +44,8 @@ let unlimited =
     deadline = None;
     max_nodes = None;
     fault = None;
-    steps = 0;
-    stage_counts = Array.make n_stages 0;
+    steps = Atomic.make 0;
+    stage_counts = Array.init n_stages (fun _ -> Atomic.make 0);
   }
 
 let make ?max_steps ?timeout_ms ?max_nodes ?fault () =
@@ -65,8 +69,8 @@ let make ?max_steps ?timeout_ms ?max_nodes ?fault () =
         timeout_ms;
     max_nodes;
     fault;
-    steps = 0;
-    stage_counts = Array.make n_stages 0;
+    steps = Atomic.make 0;
+    stage_counts = Array.init n_stages (fun _ -> Atomic.make 0);
   }
 
 let is_unlimited t =
@@ -78,19 +82,23 @@ let check_deadline t stage =
   | Some d when Unix.gettimeofday () > d -> raise (Exhausted stage)
   | _ -> ()
 
+(* The clock is the only expensive part of a checkpoint; poll it once per
+   stride.  Step and node caps stay exact.  Power of two so the reduction
+   is a mask. *)
+let deadline_stride = 1024
+
 let checkpoint t stage =
   if not (is_unlimited t) then begin
-    t.steps <- t.steps + 1;
+    let steps = Atomic.fetch_and_add t.steps 1 + 1 in
     let i = stage_index stage in
-    t.stage_counts.(i) <- t.stage_counts.(i) + 1;
+    let stage_count = Atomic.fetch_and_add t.stage_counts.(i) 1 + 1 in
     (match t.fault with
-    | Some (s, k) when s = stage && t.stage_counts.(i) = k ->
-        raise (Exhausted stage)
+    | Some (s, k) when s = stage && stage_count = k -> raise (Exhausted stage)
     | _ -> ());
     (match t.max_steps with
-    | Some m when t.steps > m -> raise (Exhausted stage)
+    | Some m when steps > m -> raise (Exhausted stage)
     | _ -> ());
-    if t.steps land 63 = 0 then check_deadline t stage
+    if steps land (deadline_stride - 1) = 0 then check_deadline t stage
   end
 
 let check_node_cap t stage count =
@@ -98,5 +106,5 @@ let check_node_cap t stage count =
   | Some m when count > m -> raise (Exhausted stage)
   | _ -> ()
 
-let steps t = t.steps
-let stage_steps t stage = t.stage_counts.(stage_index stage)
+let steps t = Atomic.get t.steps
+let stage_steps t stage = Atomic.get t.stage_counts.(stage_index stage)

@@ -11,7 +11,10 @@
 
     A budget is a mutable, single-use witness of one engine invocation.
     Share one budget across the stages of a pipeline so the caps apply to
-    the whole run; create a fresh one per run. *)
+    the whole run; create a fresh one per run.  Counters are atomic, so a
+    budget may also be shared by the domains of a {!Pool} fan-out: the caps
+    then bound the combined work of all workers, and the fault hook fires
+    exactly once. *)
 
 (** The instrumented engine stages, in pipeline order. *)
 type stage =
@@ -51,9 +54,17 @@ val make :
   t
 
 (** [checkpoint t stage] accounts one unit of work.  Raises {!Exhausted} if
-    the step cap is exceeded, the deadline has passed (checked every 64
-    steps), or the fault hook fires.  O(1), safe in innermost loops. *)
+    the step cap is exceeded, the deadline has passed, or the fault hook
+    fires.  Step, node and fault caps are exact; the wall clock is only
+    polled once every {!deadline_stride} steps (amortising the
+    [gettimeofday] call out of the innermost loops), so deadline detection
+    inside a hot loop lags by at most one stride.  Paths that must detect a
+    deadline promptly regardless of step count (e.g. between ladder rungs)
+    call {!check_deadline} directly.  O(1), safe in innermost loops. *)
 val checkpoint : t -> stage -> unit
+
+(** Steps between two wall-clock polls in {!checkpoint} (a power of two). *)
+val deadline_stride : int
 
 (** [check_deadline t stage] checks only the wall-clock deadline,
     unconditionally.  Used by last-resort fallback paths that must stay

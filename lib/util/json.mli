@@ -1,0 +1,23 @@
+(** Minimal JSON emission (no parsing, no dependencies).
+
+    Used by the benchmark harness to write machine-readable baselines
+    ([bench --json]) without pulling a JSON library into the engine.
+    Serialisation is deterministic: object fields print in the order
+    given, floats use a round-trippable ["%.12g"] rendering, and non-finite
+    floats (not representable in JSON) serialise as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering. *)
+val to_string : t -> string
+
+(** Pretty rendering with two-space indentation and a trailing newline,
+    suitable for committed baseline files and readable diffs. *)
+val to_string_pretty : t -> string

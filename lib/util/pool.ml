@@ -1,0 +1,53 @@
+let default_jobs () =
+  match Sys.getenv_opt "IOLB_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "IOLB_JOBS must be a positive integer, got %S" s))
+
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+      let tasks = Array.of_list xs in
+      let n = Array.length tasks in
+      let results = Array.make n Pending in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (results.(i) <-
+               (match f tasks.(i) with
+               | v -> Done v
+               | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains =
+        Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.iter
+        (function
+          | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Pending | Done _ -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function Done v -> v | Pending | Failed _ -> assert false)
+           results)
+
+let iter ?jobs f xs = ignore (map ?jobs f xs)

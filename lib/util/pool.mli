@@ -1,0 +1,34 @@
+(** Fixed-size domain pool for fanning out independent engine work.
+
+    The empirical layer (registry analyses, pebble-game validation grids,
+    cache-simulation sweeps, split searches) is embarrassingly parallel:
+    many independent tasks whose results are only combined at the end.
+    [Pool.map] runs such task lists across OCaml 5 domains with a work-
+    stealing index, preserving input order in the output so callers keep
+    byte-identical (deterministic) results regardless of the worker count.
+
+    Tasks must not share unsynchronised mutable state.  Everything the
+    engine fans out satisfies this: analyses build private structures,
+    {!Budget} counters are atomic, and [Budget.unlimited] checkpoints are
+    no-ops. *)
+
+(** Worker count used when [?jobs] is omitted: the [IOLB_JOBS] environment
+    variable if set (a positive integer), else
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [IOLB_JOBS] is set but not a positive
+    integer. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs f xs] is [List.map f xs], computed by at most [jobs] domains
+    (default {!default_jobs}).  Output order follows input order.  With
+    [jobs = 1] (or on lists of fewer than two elements) no domain is
+    spawned and the evaluation is exactly sequential.
+
+    If one or more applications of [f] raise, every task still completes
+    (or fails) and the exception of the {e earliest} failed index is
+    re-raised with its backtrace - so failures are deterministic too.
+    @raise Invalid_argument if [jobs < 1]. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ?jobs f xs] is [ignore (map ?jobs f xs)]. *)
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

@@ -24,6 +24,7 @@ let () =
       ("deps", Test_deps.suite);
       ("upper-bounds", Test_upper_bounds.suite);
       ("misc", Test_misc.suite);
+      ("parallel", Test_parallel.suite);
       ("lemma-empirical", Test_lemma_empirical.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -7,9 +7,10 @@ module C = Iolb_pebble.Cache
 let cell a i = (a, [| i |])
 let r a i = T.Read (cell a i)
 let w a i = T.Write (cell a i)
+let tr = T.of_events
 
 let test_cold () =
-  let trace = [ r "A" 0; r "A" 1; r "A" 0; w "B" 0; r "B" 0 ] in
+  let trace = tr [ r "A" 0; r "A" 1; r "A" 0; w "B" 0; r "B" 0 ] in
   let s = C.cold trace in
   Alcotest.(check int) "loads" 2 s.loads;
   Alcotest.(check int) "hits" 2 s.read_hits;
@@ -17,7 +18,7 @@ let test_cold () =
 
 let test_lru_eviction () =
   (* size 2; A0 A1 A2 evicts A0 (LRU); rereading A0 misses. *)
-  let trace = [ r "A" 0; r "A" 1; r "A" 2; r "A" 0 ] in
+  let trace = tr [ r "A" 0; r "A" 1; r "A" 2; r "A" 0 ] in
   let s = C.lru ~size:2 trace in
   Alcotest.(check int) "loads" 4 s.loads;
   Alcotest.(check int) "hits" 0 s.read_hits
@@ -28,21 +29,21 @@ let test_opt_beats_lru () =
      hits; LRU evicts A0 as well here, so craft a case where they differ:
      A0 A1 A2 A0 with size 2: LRU evicts A0 at A2 -> miss on A0;
      OPT evicts A1 (never used again) -> hit on A0. *)
-  let trace = [ r "A" 0; r "A" 1; r "A" 2; r "A" 0 ] in
+  let trace = tr [ r "A" 0; r "A" 1; r "A" 2; r "A" 0 ] in
   let lru = C.lru ~size:2 trace and opt = C.opt ~size:2 trace in
   Alcotest.(check int) "lru loads" 4 lru.loads;
   Alcotest.(check int) "opt loads" 3 opt.loads
 
 let test_write_allocate_no_fetch () =
   (* Writes do not count as loads, but dirty evictions count as stores. *)
-  let trace = [ w "A" 0; w "A" 1; w "A" 2; r "A" 0 ] in
+  let trace = tr [ w "A" 0; w "A" 1; w "A" 2; r "A" 0 ] in
   let s = C.lru ~size:2 ~flush:false trace in
   Alcotest.(check int) "loads (A0 evicted, reloaded)" 1 s.loads;
   Alcotest.(check int) "stores (dirty evictions)" 2 s.stores
 
 let test_opt_dead_value () =
   (* A value overwritten before re-read is dead: OPT evicts it first. *)
-  let trace = [ r "A" 0; r "A" 1; r "A" 2; w "A" 1; r "A" 0 ] in
+  let trace = tr [ r "A" 0; r "A" 1; r "A" 2; w "A" 1; r "A" 0 ] in
   (* size 2: at (r A2), A1's next access is a write -> dead -> evict A1,
      keep A0 -> final r A0 hits. *)
   let s = C.opt ~size:2 trace in
@@ -68,22 +69,27 @@ let suite =
     Alcotest.test_case "write-allocate without fetch" `Quick
       test_write_allocate_no_fetch;
     Alcotest.test_case "opt exploits dead values" `Quick test_opt_dead_value;
-    prop "cold <= opt <= lru (loads)" (fun trace ->
+    prop "cold <= opt <= lru (loads)" (fun events ->
+        let trace = tr events in
         let cold = (C.cold trace).loads in
         let opt = (C.opt ~size:4 trace).loads in
         let lru = (C.lru ~size:4 trace).loads in
         cold <= opt && opt <= lru);
-    prop "bigger cache never hurts LRU (inclusion)" (fun trace ->
+    prop "bigger cache never hurts LRU (inclusion)" (fun events ->
+        let trace = tr events in
         (C.lru ~size:8 trace).loads <= (C.lru ~size:4 trace).loads);
-    prop "bigger cache never hurts OPT" (fun trace ->
+    prop "bigger cache never hurts OPT" (fun events ->
+        let trace = tr events in
         (C.opt ~size:8 trace).loads <= (C.opt ~size:4 trace).loads);
-    prop "huge cache = cold misses" (fun trace ->
+    prop "huge cache = cold misses" (fun events ->
+        let trace = tr events in
         (C.lru ~size:10_000 trace).loads = (C.cold trace).loads
         && (C.opt ~size:10_000 trace).loads = (C.cold trace).loads);
-    prop "loads + hits = reads" (fun trace ->
+    prop "loads + hits = reads" (fun events ->
         let reads =
-          List.length (List.filter (function T.Read _ -> true | _ -> false) trace)
+          List.length
+            (List.filter (function T.Read _ -> true | _ -> false) events)
         in
-        let s = C.lru ~size:4 trace in
+        let s = C.lru ~size:4 (tr events) in
         s.loads + s.read_hits = reads);
   ]

@@ -74,7 +74,9 @@ let test_dot_export () =
 
 let test_cache_flush_flag () =
   let open Iolb_pebble in
-  let trace = [ Trace.Write ("A", [| 0 |]); Trace.Write ("A", [| 1 |]) ] in
+  let trace =
+    Trace.of_events [ Trace.Write ("A", [| 0 |]); Trace.Write ("A", [| 1 |]) ]
+  in
   let with_flush = Cache.lru ~size:4 trace in
   let without = Cache.lru ~size:4 ~flush:false trace in
   Alcotest.(check int) "flush counts dirty lines" 2 with_flush.Cache.stores;

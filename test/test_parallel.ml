@@ -1,0 +1,218 @@
+(* The multicore layer: the domain pool, the cell interner, the strided
+   (but still sound) budget deadline, and the end-to-end guarantee the
+   bench harness relies on - parallel analyses are byte-identical to
+   sequential ones. *)
+
+module Pool = Iolb_util.Pool
+module Budget = Iolb_util.Budget
+module Interner = Iolb_ir.Interner
+module Report = Iolb.Report
+
+(* ------------------------------------------------------------------ *)
+(* Pool.                                                               *)
+
+let test_pool_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> (3 * x) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order preserved at jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs (fun x -> (3 * x) + 1) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_edge_cases () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~jobs:4 succ [ 7 ]);
+  Alcotest.(check bool) "jobs=0 rejected" true
+    (try
+       ignore (Pool.map ~jobs:0 succ [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_jobs1_is_sequential () =
+  (* At jobs=1 no domain is spawned: tasks run left to right in the
+     calling domain, so unsynchronised effects are safe and ordered. *)
+  let log = ref [] in
+  let out =
+    Pool.map ~jobs:1
+      (fun x ->
+        log := x :: !log;
+        x * x)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "results" [ 1; 4; 9; 16 ] out;
+  Alcotest.(check (list int)) "evaluation order" [ 1; 2; 3; 4 ] (List.rev !log)
+
+exception Boom of int
+
+let test_pool_exception () =
+  (* Several tasks fail; the earliest failed index wins, at any width. *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map ~jobs
+          (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+          Alcotest.(check int)
+            (Printf.sprintf "earliest failure at jobs=%d" jobs)
+            2 x)
+    [ 1; 3; 8 ]
+
+let test_pool_shared_budget () =
+  (* One budget shared across the fan-out: the step cap bounds the
+     combined work of all workers, and exhaustion propagates. *)
+  let budget = Budget.make ~max_steps:50 () in
+  (match
+     Pool.map ~jobs:4
+       (fun _ ->
+         for _ = 1 to 20 do
+           Budget.checkpoint budget Budget.Derivation
+         done)
+       (List.init 8 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Exhausted"
+  | exception Budget.Exhausted _ -> ());
+  Alcotest.(check bool) "counted past the cap" true (Budget.steps budget > 50)
+
+(* ------------------------------------------------------------------ *)
+(* Interner.                                                           *)
+
+let test_interner_roundtrip () =
+  let t = Interner.create () in
+  let keys =
+    [
+      ("A", [| 0; 0 |]); ("A", [| 0; 1 |]); ("B", [| 0; 0 |]); ("A", [||]);
+      ("B", [| 7 |]); ("", [| 1; 2; 3 |]);
+    ]
+  in
+  let ids = List.map (Interner.intern t) keys in
+  Alcotest.(check (list int)) "dense first-seen ids" [ 0; 1; 2; 3; 4; 5 ] ids;
+  Alcotest.(check (list int)) "idempotent" ids (List.map (Interner.intern t) keys);
+  Alcotest.(check int) "count" 6 (Interner.count t);
+  List.iteri
+    (fun id (name, vec) ->
+      let name', vec' = Interner.key t id in
+      Alcotest.(check string) "name round-trip" name name';
+      Alcotest.(check (array int)) "vec round-trip" vec vec')
+    keys;
+  Alcotest.(check (option int)) "find_opt hit" (Some 2)
+    (Interner.find_opt t ("B", [| 0; 0 |]));
+  Alcotest.(check (option int)) "find_opt miss" None
+    (Interner.find_opt t ("B", [| 0; 0; 0 |]));
+  Alcotest.(check bool) "key out of range" true
+    (try
+       ignore (Interner.key t 6);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Budget: the deadline poll is strided but a passed deadline still     *)
+(* fails, and the step cap stays exact.                                *)
+
+let test_budget_deadline_strided () =
+  let b = Budget.make ~timeout_ms:0 () in
+  let raised_at = ref 0 in
+  (try
+     for i = 1 to 10 * Budget.deadline_stride do
+       Budget.checkpoint b Budget.Derivation;
+       raised_at := i
+     done;
+     Alcotest.fail "passed deadline never detected"
+   with Budget.Exhausted _ -> ());
+  (* The clock is only polled at stride boundaries. *)
+  Alcotest.(check int) "detected at a stride boundary" 0
+    ((!raised_at + 1) mod Budget.deadline_stride)
+
+let test_budget_check_deadline_unstrided () =
+  (* The clock may not have ticked since [make]; repeated polls must fail
+     as soon as it does, without any checkpoint traffic in between. *)
+  let b = Budget.make ~timeout_ms:0 () in
+  let rec hits_within n =
+    n > 0
+    &&
+    try
+      Budget.check_deadline b Budget.Derivation;
+      hits_within (n - 1)
+    with Budget.Exhausted _ -> true
+  in
+  Alcotest.(check bool) "check_deadline polls the clock directly" true
+    (hits_within 1_000_000)
+
+let test_budget_steps_exact () =
+  let b = Budget.make ~max_steps:100 () in
+  for _ = 1 to 100 do
+    Budget.checkpoint b Budget.Pebble_game
+  done;
+  Alcotest.(check int) "100 checkpoints fit" 100 (Budget.steps b);
+  Alcotest.(check bool) "101st raises" true
+    (try
+       Budget.checkpoint b Budget.Pebble_game;
+       false
+     with Budget.Exhausted _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Json: the emitter behind bench --json.                              *)
+
+let test_json () =
+  let module J = Iolb_util.Json in
+  Alcotest.(check string)
+    "compact"
+    {|{"a":1,"b":[true,null,"x\"\n"],"c":-0.5}|}
+    (J.to_string
+       (J.Obj
+          [
+            ("a", J.Int 1);
+            ("b", J.List [ J.Bool true; J.Null; J.String "x\"\n" ]);
+            ("c", J.Float (-0.5));
+          ]));
+  Alcotest.(check string) "non-finite floats are null" {|[null,null]|}
+    (J.to_string (J.List [ J.Float nan; J.Float infinity ]));
+  Alcotest.(check string) "empty containers" {|[{},[]]|}
+    (J.to_string (J.List [ J.Obj []; J.List [] ]));
+  let pretty = J.to_string_pretty (J.Obj [ ("k", J.List [ J.Int 1 ]) ]) in
+  Alcotest.(check bool) "pretty ends in newline" true
+    (String.length pretty > 0 && pretty.[String.length pretty - 1] = '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel registry analyses are byte-identical to       *)
+(* sequential ones, for all five kernels.                              *)
+
+let render a = Format.asprintf "%a" Report.pp_analysis a
+
+let test_parallel_analyses_deterministic () =
+  let parallel = Report.analyze_all ~jobs:4 () in
+  Alcotest.(check int) "covers the registry"
+    (List.length Report.registry)
+    (List.length parallel);
+  List.iter2
+    (fun entry a ->
+      Alcotest.(check string)
+        (entry.Report.display ^ " identical to a fresh sequential analysis")
+        (render (Report.analyze entry))
+        (render a))
+    Report.registry parallel
+
+let suite =
+  [
+    Alcotest.test_case "pool: order preserved" `Quick test_pool_order;
+    Alcotest.test_case "pool: edge cases" `Quick test_pool_edge_cases;
+    Alcotest.test_case "pool: jobs=1 is sequential" `Quick
+      test_pool_jobs1_is_sequential;
+    Alcotest.test_case "pool: earliest exception wins" `Quick
+      test_pool_exception;
+    Alcotest.test_case "pool: shared budget cap" `Quick test_pool_shared_budget;
+    Alcotest.test_case "interner: round-trip" `Quick test_interner_roundtrip;
+    Alcotest.test_case "budget: strided deadline still fails" `Quick
+      test_budget_deadline_strided;
+    Alcotest.test_case "budget: check_deadline unstrided" `Quick
+      test_budget_check_deadline_unstrided;
+    Alcotest.test_case "budget: step cap exact" `Quick test_budget_steps_exact;
+    Alcotest.test_case "json emitter" `Quick test_json;
+    Alcotest.test_case "parallel analyses deterministic" `Quick
+      test_parallel_analyses_deterministic;
+  ]

@@ -7,7 +7,7 @@
    shapes are: who wins, by what parametric factor, and where the regimes
    cross over.  EXPERIMENTS.md records the outcome per section.
 
-   Usage: main.exe [SECTION ...] [--jobs N] [--json PATH]
+   Usage: main.exe [SECTION ...] [--jobs N] [--json PATH] [--compare OLD]
 
    --jobs N     fan independent work (registry analyses, validation games,
                 cache-simulation sweeps, split searches) across N domains.
@@ -15,7 +15,12 @@
                 Section output is byte-identical for every N.
    --json PATH  additionally write a machine-readable report: per-section
                 wall time, throughput and key result metrics (the BENCH_*
-                baseline files; schema documented in README "Performance"). *)
+                baseline files; schema documented in README "Performance").
+   --compare OLD  load a prior --json baseline, print per-section wall-time
+                deltas (to stderr, keeping stdout byte-stable), and exit
+                non-zero if any section common to both runs regressed by
+                more than 25% (with a 50 ms absolute guard against noise
+                on sub-millisecond sections). *)
 
 module D = Iolb.Derive
 module PF = Iolb.Paper_formulas
@@ -28,6 +33,7 @@ module Program = Iolb_ir.Program
 module Cdag = Iolb_cdag.Cdag
 module Game = Iolb_pebble.Game
 module Cache = Iolb_pebble.Cache
+module Sweep = Iolb_pebble.Sweep
 module Trace = Iolb_pebble.Trace
 module Pool = Iolb_util.Pool
 module Json = Iolb_util.Json
@@ -296,13 +302,16 @@ let appendix_a1 () =
       (64, 32, 150); (64, 32, 600);
     ]
   in
-  (* The untiled reference trace depends only on (m, n); build each once
-     and share it (read-only) across the S-sweep. *)
+  (* The untiled reference trace depends only on (m, n); build each once,
+     with its OPT plan (the S-independent backward next-read scan), and
+     share both read-only across the S-sweep. *)
   let shapes = List.sort_uniq compare (List.map (fun (m, n, _) -> (m, n)) grid) in
-  let untiled_traces =
+  let untiled_plans =
     pmap
       (fun (m, n) ->
-        ((m, n), Trace.of_program ~params:[ ("M", m); ("N", n) ] K.Mgs.spec))
+        ( (m, n),
+          Cache.opt_plan
+            (Trace.of_program ~params:[ ("M", m); ("N", n) ] K.Mgs.spec) ))
       shapes
   in
   let t0 = now () in
@@ -323,15 +332,17 @@ let appendix_a1 () =
           Option.get
             (Report.eval_best mgs_analysis ~technique:`Hourglass ~m ~n ~s)
         in
-        let untiled_trace = List.assoc (m, n) untiled_traces in
-        let untiled = (Cache.opt ~size:s untiled_trace).Cache.loads in
+        let untiled_plan = List.assoc (m, n) untiled_plans in
+        let untiled = (Cache.opt_run ~size:s untiled_plan).Cache.loads in
         let no_spill = (m + 1) * b < s in
         let row =
           Printf.sprintf "%6d %6d %6d %4d | %9d %9d | %10.0f %10.0f | %9d | %8b"
             m n s b opt.Cache.loads lru.Cache.loads predicted lower untiled
             no_spill
         in
-        (row, opt.Cache.accesses + lru.Cache.accesses + Trace.length untiled_trace))
+        ( row,
+          opt.Cache.accesses + lru.Cache.accesses
+          + Trace.length (Cache.opt_plan_trace untiled_plan) ))
       grid
   in
   let dt = now () -. t0 in
@@ -681,11 +692,15 @@ let ablation_policy () =
   let cold = (Cache.cold trace).Cache.loads in
   let ss = [ 40; 80; 160; 320; 640 ] in
   let t0 = now () in
+  (* One LRU sweep pass and one OPT plan answer the whole size column; the
+     per-size OPT forward runs fan out over the pool sharing the plan. *)
+  let lru_all = Sweep.lru_stats trace ~sizes:ss in
+  let plan = Cache.opt_plan trace in
   let rows =
     pmap
       (fun s ->
-        let opt = (Cache.opt ~size:s trace).Cache.loads in
-        let lru = (Cache.lru ~size:s trace).Cache.loads in
+        let opt = (Cache.opt_run ~size:s plan).Cache.loads in
+        let lru = (List.assoc s lru_all).Cache.loads in
         Printf.sprintf "%8d | %9d %9d %9d" s opt lru cold)
       ss
   in
@@ -694,6 +709,47 @@ let ablation_policy () =
   let accesses = (2 * List.length ss * Trace.length trace) + Trace.length trace in
   metric_i "cache_accesses" accesses;
   if dt > 0. then metric_f "cache_accesses_per_s" (float_of_int accesses /. dt)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep engine: one stack-distance pass vs per-size LRU simulation,   *)
+(* at a problem size the per-size loop makes painful.                  *)
+
+let sweep_engine () =
+  section "SWEEP: single-pass reuse-distance engine vs per-size LRU";
+  (* A paper-scale tiled MGS trace, an order of magnitude beyond the
+     ablation's: the regime the single-pass engine exists for. *)
+  let m = 96 and n = 48 and b = 8 in
+  let trace = Trace.of_program ~params:[] (K.Mgs.tiled_spec ~m ~n ~b) in
+  let sizes =
+    [ 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536; 2048; 3072; 4096 ]
+  in
+  pf "tiled MGS m=%d n=%d b=%d: trace length %d, footprint %d, %d sizes\n" m n
+    b (Trace.length trace) (Trace.footprint trace) (List.length sizes);
+  let t0 = now () in
+  let sw = Sweep.run trace in
+  let t_sweep = now () -. t0 in
+  let t1 = now () in
+  (* The reference: one full LRU simulation per size (the pre-sweep cost
+     of this table), fanned across the pool. *)
+  let per_size = pmap (fun s -> (s, Cache.lru ~size:s trace)) sizes in
+  let t_per_size = now () -. t1 in
+  pf "%8s | %9s %9s %9s | %s\n" "S" "loads" "hits" "stores" "= per-S sim";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (s, (ref_stats : Cache.stats)) ->
+      let sws = Sweep.stats sw ~size:s in
+      let same = sws = ref_stats in
+      if not same then incr mismatches;
+      pf "%8d | %9d %9d %9d | %b\n" s sws.Cache.loads sws.Cache.read_hits
+        sws.Cache.stores same)
+    per_size;
+  pf "(wall times and the sweep/per-size speedup are in the --json metrics)\n";
+  metric_i "trace_events" (Trace.length trace);
+  metric_i "sizes" (List.length sizes);
+  metric_i "mismatches" !mismatches;
+  metric_f "sweep_wall_s" t_sweep;
+  metric_f "per_size_wall_s" t_per_size;
+  if t_sweep > 0. then metric_f "speedup" (t_per_size /. t_sweep)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings of the pipeline.                                   *)
@@ -767,9 +823,78 @@ let analysis_sections =
 
 let usage () =
   prerr_endline
-    "usage: bench [SECTION ...] [--jobs N] [--json PATH]\n\
+    "usage: bench [SECTION ...] [--jobs N] [--json PATH] [--compare OLD.json]\n\
      sections default to all; see the source for names (FIG4, VALIDATION, ...)";
   exit 2
+
+(* [--compare]: per-section wall-time deltas against a prior --json
+   baseline, with a regression gate.  A section regresses when it is both
+   >25% and >50 ms slower than the baseline; only sections present in both
+   runs are compared.  Reporting goes to stderr so stdout stays
+   byte-identical across runs.  Returns the number of regressions. *)
+let compare_against ~path records =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "bench: --compare %s: %s\n" path m;
+        exit 2)
+      fmt
+  in
+  let doc =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | contents -> (
+        match Json.of_string contents with
+        | Ok doc -> doc
+        | Error m -> fail "parse error %s" m)
+    | exception Sys_error m -> fail "%s" m
+  in
+  (match Json.member "schema_version" doc with
+  | Some (Json.Int 1) -> ()
+  | Some v -> fail "unsupported schema_version %s" (Json.to_string v)
+  | None -> fail "missing schema_version");
+  let old_sections =
+    match Json.member "sections" doc with
+    | Some (Json.List l) ->
+        List.filter_map
+          (fun s ->
+            match (Json.member "name" s, Json.member "wall_s" s) with
+            | Some (Json.String name), Some (Json.Float w) -> Some (name, w)
+            | Some (Json.String name), Some (Json.Int w) ->
+                Some (name, float_of_int w)
+            | _ -> None)
+          l
+    | _ -> fail "missing sections list"
+  in
+  let regressions = ref 0 in
+  Printf.eprintf "\n--compare %s (old -> new, threshold +25%% and +50 ms):\n"
+    path;
+  Printf.eprintf "%-22s %10s %10s %9s\n" "section" "old (s)" "new (s)" "delta";
+  List.iter
+    (fun r ->
+      match List.assoc_opt r.rec_name old_sections with
+      | None -> ()
+      | Some old_w ->
+          let new_w = r.rec_wall_s in
+          let delta_pct =
+            if old_w > 0. then (new_w -. old_w) /. old_w *. 100. else 0.
+          in
+          let regressed =
+            new_w > old_w *. 1.25 && new_w -. old_w > 0.05
+          in
+          if regressed then incr regressions;
+          Printf.eprintf "%-22s %10.4f %10.4f %+8.1f%%%s\n" r.rec_name old_w
+            new_w delta_pct
+            (if regressed then "  REGRESSION" else ""))
+    (List.rev records);
+  if !regressions > 0 then
+    Printf.eprintf "bench: %d section(s) regressed >25%%\n" !regressions
+  else Printf.eprintf "bench: no regressions\n";
+  !regressions
 
 let () =
   let sections =
@@ -788,28 +913,31 @@ let () =
       ("ABLATION_PINNING", ablation_pinning);
       ("ABLATION_CERTIFICATE", ablation_certificate);
       ("ABLATION_POLICY", ablation_policy);
+      ("SWEEP", sweep_engine);
       ("TIMINGS", timings);
     ]
   in
-  let rec parse chosen json jobs_opt = function
-    | [] -> (List.rev chosen, json, jobs_opt)
-    | "--json" :: path :: rest -> parse chosen (Some path) jobs_opt rest
+  let rec parse chosen json jobs_opt cmp = function
+    | [] -> (List.rev chosen, json, jobs_opt, cmp)
+    | "--json" :: path :: rest -> parse chosen (Some path) jobs_opt cmp rest
+    | "--compare" :: path :: rest -> parse chosen json jobs_opt (Some path) rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> parse chosen json (Some j) rest
+        | Some j when j >= 1 -> parse chosen json (Some j) cmp rest
         | _ ->
             Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" n;
             exit 2)
-    | ("--json" | "--jobs") :: [] -> usage ()
+    | ("--json" | "--jobs" | "--compare") :: [] -> usage ()
     | name :: rest ->
-        if List.mem_assoc name sections then parse (name :: chosen) json jobs_opt rest
+        if List.mem_assoc name sections then
+          parse (name :: chosen) json jobs_opt cmp rest
         else begin
           Printf.eprintf "bench: unknown section %S\n" name;
           usage ()
         end
   in
-  let chosen, json_path, jobs_opt =
-    parse [] None None (List.tl (Array.to_list Sys.argv))
+  let chosen, json_path, jobs_opt, compare_path =
+    parse [] None None None (List.tl (Array.to_list Sys.argv))
   in
   jobs := (match jobs_opt with Some j -> j | None -> Pool.default_jobs ());
   let chosen = match chosen with [] -> List.map fst sections | c -> c in
@@ -863,4 +991,7 @@ let () =
       output_string oc (Json.to_string_pretty report);
       close_out oc;
       Printf.eprintf "bench: wrote %s\n" path);
-  pf "\nDone.\n"
+  pf "\nDone.\n";
+  match compare_path with
+  | None -> ()
+  | Some path -> if compare_against ~path !records > 0 then exit 1

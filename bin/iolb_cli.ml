@@ -5,6 +5,7 @@
    iolb bounds --all                  formulas for every kernel
    iolb eval mgs -m 128 -n 64 -s 256  numeric bounds at a concrete point
    iolb simulate mgs -m 12 -n 8 -s 16 pebble-game I/O vs the bounds
+   iolb simulate mgs --sizes 8,16,32  cache sweep: every S from one pass
    iolb tile mgs -m 48 -n 16 -s 400   tiled-ordering cache simulation
 
    Exit codes: 0 success, 2 invalid input, 3 budget exhausted,
@@ -19,6 +20,7 @@ module Engine_error = Iolb_util.Engine_error
 module Cdag = Iolb_cdag.Cdag
 module Game = Iolb_pebble.Game
 module Cache = Iolb_pebble.Cache
+module Sweep = Iolb_pebble.Sweep
 module Trace = Iolb_pebble.Trace
 module K = Iolb_kernels
 
@@ -219,48 +221,110 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random schedule seed.")
   in
-  let run name m n s seed budget_spec =
+  let sizes_arg =
+    let doc =
+      "Cache sizes to sweep: a comma list $(b,a,b,c) or a range \
+       $(b,lo:hi:step).  Every size is answered from a single \
+       reuse-distance pass over the program trace (LRU) plus one shared \
+       OPT plan, instead of playing the single-$(b,-s) pebble game."
+    in
+    Arg.(value & opt (some string) None & info [ "sizes" ] ~docv:"SIZES" ~doc)
+  in
+  (* One sweep answers every size: exact LRU stats from the reuse-distance
+     pass, exact OPT loads from per-size forward runs over a shared plan. *)
+  let run_sweep entry a ~m ~n ~params ~budget spec =
+    let* sizes =
+      match Sweep.parse_sizes spec with
+      | Ok sizes -> Ok sizes
+      | Error msg -> Error (Engine_error.Invalid_input ("--sizes: " ^ msg))
+    in
+    let* trace =
+      Engine_error.guard (fun () ->
+          Trace.of_program ~budget ~params entry.Report.program)
+    in
+    let* sweep = Sweep.run_checked ~budget trace in
+    let* plan = Engine_error.guard (fun () -> Cache.opt_plan ~budget trace) in
+    Printf.printf
+      "cache sweep over %d events, footprint %d cells (program order):\n"
+      (Trace.length trace) (Trace.footprint trace);
+    Printf.printf "  %8s | %9s %9s %9s | %9s | %10s\n" "S" "lru loads" "hits"
+      "stores" "opt loads" "lower bnd";
+    Engine_error.guard (fun () ->
+        List.iter
+          (fun s ->
+            let lru = Sweep.stats sweep ~size:s in
+            let opt = Cache.opt_run ~budget ~size:s plan in
+            let lb =
+              List.fold_left
+                (fun acc tech ->
+                  match Report.eval_best a ~technique:tech ~m ~n ~s with
+                  | Some v -> Float.max acc v
+                  | None -> acc)
+                0.
+                [ `Classical; `Hourglass ]
+            in
+            Printf.printf "  %8d | %9d %9d %9d | %9d | %10.1f\n" s
+              lru.Cache.loads lru.Cache.read_hits lru.Cache.stores
+              opt.Cache.loads lb)
+          sizes)
+  in
+  let run name m n s seed sizes budget_spec =
     run_checked @@ fun () ->
     let* budget = make_budget budget_spec in
     let* entry = Report.find_checked name in
     let* params = Report.concrete_params entry ~m ~n in
-    let* cdag = Cdag.of_program_checked ~budget ~params entry.Report.program in
-    Format.printf "%a@." Cdag.pp_stats cdag;
     let* a = Report.analyze_checked ~budget entry in
-    (match a.degradation with
-    | Some why -> Printf.printf "degraded: %s\n" why
-    | None -> ());
-    let* program =
-      Game.run_checked ~budget cdag ~s ~schedule:(Game.program_schedule cdag)
+    let show_degradation () =
+      match a.degradation with
+      | Some why -> Printf.printf "degraded: %s\n" why
+      | None -> ()
     in
-    let* random =
-      Game.run_checked ~budget cdag ~s
-        ~schedule:(Game.random_topological ~seed cdag)
-    in
-    Printf.printf "pebble game at S=%d:\n" s;
-    Printf.printf "  program order : %d loads (peak red %d)\n"
-      program.Game.loads program.Game.peak_red;
-    Printf.printf "  random order  : %d loads (peak red %d)\n" random.Game.loads
-      random.Game.peak_red;
-    List.iter
-      (fun tech ->
-        match Report.eval_best a ~technique:tech ~m ~n ~s with
-        | Some v ->
-            Printf.printf "  lower bound (%s): %.1f\n"
-              (match tech with
-              | `Classical -> "classical"
-              | `Hourglass -> "hourglass")
-              v
-        | None -> ())
-      [ `Classical; `Hourglass ];
-    Ok ()
+    match sizes with
+    | Some spec ->
+        show_degradation ();
+        run_sweep entry a ~m ~n ~params ~budget spec
+    | None ->
+        let* cdag =
+          Cdag.of_program_checked ~budget ~params entry.Report.program
+        in
+        Format.printf "%a@." Cdag.pp_stats cdag;
+        show_degradation ();
+        let* program =
+          Game.run_checked ~budget cdag ~s
+            ~schedule:(Game.program_schedule cdag)
+        in
+        let* random =
+          Game.run_checked ~budget cdag ~s
+            ~schedule:(Game.random_topological ~seed cdag)
+        in
+        Printf.printf "pebble game at S=%d:\n" s;
+        Printf.printf "  program order : %d loads (peak red %d)\n"
+          program.Game.loads program.Game.peak_red;
+        Printf.printf "  random order  : %d loads (peak red %d)\n"
+          random.Game.loads random.Game.peak_red;
+        List.iter
+          (fun tech ->
+            match Report.eval_best a ~technique:tech ~m ~n ~s with
+            | Some v ->
+                Printf.printf "  lower bound (%s): %.1f\n"
+                  (match tech with
+                  | `Classical -> "classical"
+                  | `Hourglass -> "hourglass")
+                  v
+            | None -> ())
+          [ `Classical; `Hourglass ];
+        Ok ()
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Play the red-white pebble game and compare with the bounds"
+       ~doc:
+         "Play the red-white pebble game (or, with $(b,--sizes), sweep the \
+          cache simulators over many sizes at once) and compare with the \
+          bounds"
        ~exits:engine_exits)
     Term.(
-      const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg $ budget_args)
+      const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg $ sizes_arg
+      $ budget_args)
 
 let tile_cmd =
   let b_arg =

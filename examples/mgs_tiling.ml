@@ -7,6 +7,7 @@
 
 module K = Iolb_kernels
 module Cache = Iolb_pebble.Cache
+module Sweep = Iolb_pebble.Sweep
 module Trace = Iolb_pebble.Trace
 module Report = Iolb.Report
 
@@ -43,6 +44,33 @@ let () =
   Printf.printf "\nuntiled right-looking (program order): opt=%d lru=%d\n"
     (Cache.opt ~size:s untiled).Cache.loads
     (Cache.lru ~size:s untiled).Cache.loads;
+  (* Cache-size sweep at the paper's block: every S below is answered by a
+     single reuse-distance pass (LRU, exact hits/stores for all sizes at
+     once) plus per-size forward runs over one shared OPT plan. *)
+  let b =
+    (* largest divisor of n within the paper's choice floor(S/M) - 1 *)
+    let bmax = max 1 ((s / m) - 1) in
+    let best = ref 1 in
+    for d = 2 to min n bmax do
+      if n mod d = 0 then best := d
+    done;
+    !best
+  in
+  let trace = Trace.of_program ~params:[] (K.Mgs.tiled_spec ~m ~n ~b) in
+  let sizes =
+    List.filter (fun x -> x > 0) [ s / 8; s / 4; s / 2; s; 2 * s; 4 * s ]
+  in
+  let plan = Cache.opt_plan trace in
+  Printf.printf
+    "\ncache-size sweep of the tiled trace (B=%d, one stack-distance pass):\n" b;
+  Printf.printf "%8s | %10s %10s %10s | %10s\n" "S" "lru loads" "hits" "stores"
+    "opt loads";
+  List.iter
+    (fun (sz, lru) ->
+      let opt = Cache.opt_run ~size:sz plan in
+      Printf.printf "%8d | %10d %10d %10d | %10d\n" sz lru.Cache.loads
+        lru.Cache.read_hits lru.Cache.stores opt.Cache.loads)
+    (Sweep.lru_stats trace ~sizes);
   Printf.printf
     "\nReading: larger blocks divide the dominant (1/2)MN^2/B term until the\n\
      block no longer fits (no-spill false), at which point locality collapses.\n"

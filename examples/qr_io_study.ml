@@ -8,6 +8,7 @@ module K = Iolb_kernels
 module Matrix = Iolb_kernels.Matrix
 module Report = Iolb.Report
 module Cache = Iolb_pebble.Cache
+module Sweep = Iolb_pebble.Sweep
 module Trace = Iolb_pebble.Trace
 
 let () =
@@ -54,4 +55,21 @@ let () =
         Printf.printf "%6d | %10d %10d | %10.0f\n" b opt.Cache.loads
           lru.Cache.loads predicted
       end)
-    [ 1; 2; 4; 8 ]
+    [ 1; 2; 4; 8 ];
+
+  (* How the tiled trace behaves as the cache shrinks or grows: one
+     reuse-distance pass answers every size (exact LRU loads/hits/stores),
+     and one shared OPT plan feeds the per-size forward runs. *)
+  let b = 4 in
+  let trace = Trace.of_program ~params:[] (K.Householder.tiled_spec ~m ~n ~b) in
+  let plan = Cache.opt_plan trace in
+  Printf.printf
+    "\nCache-size sweep of the tiled A2V trace (B=%d, one pass for all S):\n" b;
+  Printf.printf "%8s | %10s %10s %10s | %10s\n" "S" "lru loads" "hits" "stores"
+    "opt loads";
+  List.iter
+    (fun (sz, lru) ->
+      let opt = Cache.opt_run ~size:sz plan in
+      Printf.printf "%8d | %10d %10d %10d | %10d\n" sz lru.Cache.loads
+        lru.Cache.read_hits lru.Cache.stores opt.Cache.loads)
+    (Sweep.lru_stats trace ~sizes:[ 50; 100; 200; 400; 800; 1600 ])

@@ -25,6 +25,13 @@ val create : ?size:int -> unit -> t
     ([count t]) on first sight.  Ids are assigned in first-seen order. *)
 val intern : t -> key -> int
 
+(** [intern_view t name idx] is [intern t (name, idx)] without requiring an
+    owned key: [idx] is borrowed for the probe and copied only when the key
+    is new.  The hit path - the overwhelming majority in trace and CDAG
+    construction - allocates nothing, so hot loops can evaluate indices
+    into a reusable buffer. *)
+val intern_view : t -> string -> int array -> int
+
 (** [find_opt t k] is the id of [k] if already interned. *)
 val find_opt : t -> key -> int option
 

@@ -108,11 +108,33 @@ type instance = {
 
 (** [iter_instances ~params p f] visits every statement instance in program
     (textual/loop) order with its concrete accesses.  This is the reference
-    semantics used to build CDAGs and access traces. *)
+    semantics used to build CDAGs and access traces.  The loop tree is
+    compiled once per call to slot-indexed form, so iteration cost is flat
+    integer arithmetic per instance. *)
 val iter_instances : params:(string * int) list -> t -> (instance -> unit) -> unit
+
+(** [iter_accesses ~params p ~on_instance ~on_access] streams the concrete
+    accesses of every instance in program order without allocating
+    {!instance} records: [on_instance ()] fires once per instance (budget
+    and node-cap hooks), then [on_access array index is_write] once per
+    read (in statement order) and then per write.  [index] is a buffer
+    {e borrowed} for the duration of the callback - copy it to keep it.
+    This is the allocation-free path used by trace construction. *)
+val iter_accesses :
+  params:(string * int) list ->
+  t ->
+  on_instance:(unit -> unit) ->
+  on_access:(string -> int array -> bool -> unit) ->
+  unit
 
 (** Number of statement instances at concrete parameters. *)
 val count_instances : params:(string * int) list -> t -> int
+
+(** Exact number of accesses (reads plus writes) {!iter_accesses} will emit
+    at concrete parameters, computed without enumerating instances:
+    rectangular sub-nests collapse to multiplications.  Lets trace builders
+    allocate exactly once. *)
+val n_accesses : params:(string * int) list -> t -> int
 
 (** Arrays read before ever being written (the program inputs), in first-use
     order, at concrete parameters. *)

@@ -35,9 +35,35 @@ val lru :
   ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.t -> stats
 
 (** [opt ~size ?flush trace]: Belady's clairvoyant policy.  Budget as
-    {!lru}. *)
+    {!lru}.  Equivalent to {!opt_plan} followed by {!opt_run}. *)
 val opt :
   ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> Trace.t -> stats
+
+(** Size-independent part of an OPT simulation: the backward next-read scan
+    over the trace.  Build it once per trace and share it, read-only,
+    across the per-size runs of a sweep (including a {!Iolb_util.Pool}
+    fan-out), like [Game.plan] shares the use-position scan. *)
+type opt_plan
+
+(** [opt_plan trace] precomputes the next-read positions (one [Cache_sim]
+    budget checkpoint per trace event). *)
+val opt_plan : ?budget:Iolb_util.Budget.t -> Trace.t -> opt_plan
+
+(** The trace a plan was built from. *)
+val opt_plan_trace : opt_plan -> Trace.t
+
+(** [opt_run ~size ?flush plan] is [opt ~size ?flush] on the plan's trace,
+    reusing the precomputed scan.  The lazily-invalidated eviction heap is
+    compacted whenever stale entries exceed 2x the cache occupancy, so its
+    memory peak is O(size), not O(trace length).
+    @raise Invalid_argument if [size < 1]. *)
+val opt_run :
+  ?budget:Iolb_util.Budget.t -> size:int -> ?flush:bool -> opt_plan -> stats
+
+(** [opt_heap_peak ~size ?flush trace] is the high-water mark of pending
+    eviction candidates (heap plus dead-cell stack) over a full OPT run
+    (diagnostics; tests pin it to O(size)). *)
+val opt_heap_peak : size:int -> ?flush:bool -> Trace.t -> int
 
 (** No-raise variants of {!lru} and {!opt}. *)
 val lru_checked :

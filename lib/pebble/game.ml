@@ -130,17 +130,22 @@ let plan cdag ~schedule =
   let use_positions = Array.map (fun l -> Array.of_list (List.rev l)) use_positions in
   { cdag; schedule; use_positions }
 
+(* The per-step loops below index node-id-sized state arrays with
+   [Array.unsafe_get]/[unsafe_set]: node ids are < n by the CDAG's
+   construction, and use-position cursors stay within each node's use
+   array by the loop condition. *)
 let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
   let n = Cdag.n_nodes cdag in
   let use_cursor = Array.make n 0 in
   let next_use_after node t =
-    let uses = use_positions.(node) in
-    let c = ref use_cursor.(node) in
-    while !c < Array.length uses && uses.(!c) <= t do
+    let uses = Array.unsafe_get use_positions node in
+    let len = Array.length uses in
+    let c = ref (Array.unsafe_get use_cursor node) in
+    while !c < len && Array.unsafe_get uses !c <= t do
       incr c
     done;
-    use_cursor.(node) <- !c;
-    if !c < Array.length uses then uses.(!c) else max_int
+    Array.unsafe_set use_cursor node !c;
+    if !c < len then Array.unsafe_get uses !c else max_int
   in
   let red = Array.make n false in
   let white = Array.make n false in
@@ -154,12 +159,12 @@ let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
   let heap_key = Array.make n (-2) in
   (* heap_key.(node) = pos of the valid heap entry for node, or -2. *)
   let set_red node pos =
-    if not red.(node) then begin
-      red.(node) <- true;
+    if not (Array.unsafe_get red node) then begin
+      Array.unsafe_set red node true;
       incr red_count;
       if !red_count > !peak then peak := !red_count
     end;
-    heap_key.(node) <- pos;
+    Array.unsafe_set heap_key node pos;
     Iolb_util.Maxheap.push heap ~pos ~payload:node
   in
   let protect = Array.make n (-1) in
@@ -172,8 +177,8 @@ let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
       if Iolb_util.Maxheap.is_empty heap then
         raise (Infeasible "no discardable red pebble");
       let pos, node = Iolb_util.Maxheap.pop heap in
-      if red.(node) && heap_key.(node) = pos then
-        if protect.(node) <> t then node
+      if Array.unsafe_get red node && Array.unsafe_get heap_key node = pos then
+        if Array.unsafe_get protect node <> t then node
         else begin
           skipped := (pos, node) :: !skipped;
           pick ()
@@ -188,9 +193,10 @@ let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
     heap_key.(victim) <- -2;
     decr red_count
   in
+  let unlimited = Budget.is_unlimited budget in
   Array.iteri
     (fun t id ->
-      Budget.checkpoint budget Budget.Pebble_game;
+      if not unlimited then Budget.checkpoint budget Budget.Pebble_game;
       let preds = Cdag.preds cdag id in
       let needed = Array.length preds + 1 in
       if needed > s then
@@ -198,12 +204,12 @@ let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
           (Infeasible
              (Printf.sprintf "node %d needs %d red pebbles but S = %d" id
                 needed s));
-      Array.iter (fun p -> protect.(p) <- t) preds;
-      protect.(id) <- t;
+      Array.iter (fun p -> Array.unsafe_set protect p t) preds;
+      Array.unsafe_set protect id t;
       (* Bring every predecessor in fast memory. *)
       Array.iter
         (fun p ->
-          if not red.(p) then begin
+          if not (Array.unsafe_get red p) then begin
             assert white.(p);
             incr loads;
             if !red_count >= s then discard_one t;
@@ -212,7 +218,7 @@ let run_plan ?(budget = Budget.unlimited) { cdag; schedule; use_positions } ~s =
           else begin
             (* refresh the heap entry with the new next use *)
             let nu = next_use_after p t in
-            heap_key.(p) <- nu;
+            Array.unsafe_set heap_key p nu;
             Iolb_util.Maxheap.push heap ~pos:nu ~payload:p
           end)
         preds;

@@ -1,0 +1,213 @@
+module Budget = Iolb_util.Budget
+
+(* Single-pass LRU cache sweep via reuse (stack) distances, after Mattson
+   et al. 1970.  LRU has the inclusion property: the content of a cache of
+   size S is always a subset of the content of a cache of size S+1 (the S
+   most recently used distinct cells).  A read therefore hits at size S iff
+   its reuse distance d - the number of distinct other cells accessed since
+   the previous access of the same cell - satisfies d < S, so one pass
+   computing every access's distance answers every size at once.
+
+   Distances come from a Fenwick (binary indexed) tree over trace
+   positions: position i is marked iff it is the current last access of
+   some cell, so the number of marked positions strictly between two
+   consecutive accesses of a cell is exactly its reuse distance.  Each
+   access does one range query and at most two point updates: O(T log T)
+   for the whole trace.
+
+   Write-back stores are recovered from the same distances.  The simulator
+   semantics (Cache.lru) are write-allocate-no-fetch: a write dirties the
+   cell for every size; a dirty cell evicted at size S is stored; the final
+   flush stores cells still dirty in cache.  Per cell we track a "dirty
+   epoch": [mval] is the maximum distance observed at its accesses since
+   its last write.  At an access with distance d, sizes S <= mval already
+   evicted (and stored) the dirty data earlier in the epoch, while sizes
+   S > d still hold the cell; exactly the sizes in (mval, d] evict the
+   dirty cell now, so each access contributes one store on that interval of
+   sizes, accumulated in a difference array.  A write resets the epoch
+   (mval := 0: dirty again everywhere); a read raises mval to d (sizes
+   <= d now hold a clean reloaded copy).  At end of trace the cell's final
+   stack depth closes the epoch: with flush the interval is (mval, ncells]
+   (stored on eviction or at the flush), without it (mval, depth] (stored
+   only if actually evicted). *)
+
+type t = {
+  accesses : int;
+  ncells : int;
+  reads_total : int;
+  flush : bool;
+  hits_at : int array; (* hits_at.(s), s in 0..ncells: read hits at size s *)
+  stores_at : int array; (* stores_at.(s): write-back stores at size s *)
+  dist_hist : int array; (* dist_hist.(d), d in 0..ncells-1: finite-distance reads *)
+}
+
+let footprint t = t.ncells
+let accesses t = t.accesses
+let flushed t = t.flush
+let distance_histogram t = Array.copy t.dist_hist
+
+let run ?(budget = Budget.unlimited) ?(flush = true) trace =
+  let n = Trace.length trace and ncells = Trace.footprint trace in
+  let cells = Trace.cells trace and wflags = Trace.write_flags trace in
+  (* Fenwick tree over 1-based positions 1..n; event i maps to i+1.
+     Unsafe indexing is in bounds: Fenwick walks stay within [1, n],
+     event indices within [0, n-1], cell ids within [0, ncells-1]. *)
+  let bit = Array.make (n + 1) 0 in
+  let bit_add i v =
+    let i = ref i in
+    while !i <= n do
+      Array.unsafe_set bit !i (Array.unsafe_get bit !i + v);
+      i := !i + (!i land - !i)
+    done
+  in
+  let bit_sum i =
+    let i = ref i and acc = ref 0 in
+    while !i > 0 do
+      acc := !acc + Array.unsafe_get bit !i;
+      i := !i land (!i - 1)
+    done;
+    !acc
+  in
+  let nc = max ncells 1 in
+  let last = Array.make nc (-1) in
+  let has_write = Array.make nc false in
+  let mval = Array.make nc 0 in
+  let dist_hist = Array.make (max ncells 1) 0 in
+  let store_diff = Array.make (ncells + 2) 0 in
+  let reads_total = ref 0 in
+  (* one store for every size in [lo, hi] (clamped to 1..ncells) *)
+  let add_store_interval lo hi =
+    let lo = max lo 1 and hi = min hi ncells in
+    if lo <= hi then begin
+      store_diff.(lo) <- store_diff.(lo) + 1;
+      store_diff.(hi + 1) <- store_diff.(hi + 1) - 1
+    end
+  in
+  let unlimited = Budget.is_unlimited budget in
+  for i = 0 to n - 1 do
+    if not unlimited then Budget.checkpoint budget Budget.Cache_sim;
+    let c = Array.unsafe_get cells i in
+    let p = Array.unsafe_get last c in
+    if p < 0 then begin
+      (* cold access: misses at every size *)
+      if Array.unsafe_get wflags i then begin
+        Array.unsafe_set has_write c true;
+        Array.unsafe_set mval c 0
+      end
+      else incr reads_total
+    end
+    else begin
+      (* marked positions strictly between the two accesses, i.e. BIT
+         positions p+2 .. i (1-based), are the distinct other cells. *)
+      let d = bit_sum i - bit_sum (p + 1) in
+      if Array.unsafe_get wflags i then begin
+        if Array.unsafe_get has_write c then
+          add_store_interval (Array.unsafe_get mval c + 1) d;
+        Array.unsafe_set has_write c true;
+        Array.unsafe_set mval c 0
+      end
+      else begin
+        incr reads_total;
+        Array.unsafe_set dist_hist d (Array.unsafe_get dist_hist d + 1);
+        if Array.unsafe_get has_write c then begin
+          add_store_interval (Array.unsafe_get mval c + 1) d;
+          if d > Array.unsafe_get mval c then Array.unsafe_set mval c d
+        end
+      end;
+      bit_add (p + 1) (-1)
+    end;
+    bit_add (i + 1) 1;
+    Array.unsafe_set last c i
+  done;
+  (* Close the dirty epochs: a cell's final stack depth is the number of
+     marked positions after its last access. *)
+  let total_marked = bit_sum n in
+  for c = 0 to ncells - 1 do
+    Budget.checkpoint budget Budget.Cache_sim;
+    if has_write.(c) then begin
+      let depth = total_marked - bit_sum (last.(c) + 1) in
+      add_store_interval (mval.(c) + 1) (if flush then ncells else depth)
+    end
+  done;
+  (* Prefix sums: hits_at.(s) = #reads with distance < s; stores_at.(s) =
+     #store intervals covering s. *)
+  let hits_at = Array.make (ncells + 1) 0 in
+  let stores_at = Array.make (ncells + 1) 0 in
+  for s = 1 to ncells do
+    hits_at.(s) <- hits_at.(s - 1) + dist_hist.(s - 1);
+    stores_at.(s) <- stores_at.(s - 1) + store_diff.(s)
+  done;
+  {
+    accesses = n;
+    ncells;
+    reads_total = !reads_total;
+    flush;
+    hits_at;
+    stores_at;
+    dist_hist = (if ncells = 0 then [||] else dist_hist);
+  }
+
+let stats t ~size =
+  if size < 1 then invalid_arg "Sweep.stats: size < 1";
+  (* A cache at least as large as the footprint never evicts: sizes above
+     [ncells] coincide with [ncells]. *)
+  let s = min size t.ncells in
+  {
+    Cache.loads = t.reads_total - t.hits_at.(s);
+    stores = t.stores_at.(s);
+    read_hits = t.hits_at.(s);
+    accesses = t.accesses;
+  }
+
+let run_checked ?budget ?flush trace =
+  Iolb_util.Engine_error.guard (fun () -> run ?budget ?flush trace)
+
+(* Answer a size list with whichever engine is cheaper: a single size runs
+   the O(T) LRU simulator directly; two or more sizes share one O(T log T)
+   sweep pass.  Results are identical either way. *)
+let lru_stats ?budget ?flush trace ~sizes =
+  match sizes with
+  | [] -> []
+  | [ size ] -> [ (size, Cache.lru ?budget ~size ?flush trace) ]
+  | _ ->
+      let t = run ?budget ?flush trace in
+      List.map (fun size -> (size, stats t ~size)) sizes
+
+(* Size-list syntax shared by the CLI and the bench: "a,b,c" or
+   "lo:hi:step". *)
+let parse_sizes spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_of s =
+    match int_of_string_opt (String.trim s) with
+    | Some v -> Ok v
+    | None -> fail "invalid size %S (expected an integer)" s
+  in
+  let ( let* ) = Result.bind in
+  if String.trim spec = "" then fail "empty size list"
+  else if String.contains spec ':' then
+    match String.split_on_char ':' spec with
+    | [ lo; hi; step ] ->
+        let* lo = int_of lo in
+        let* hi = int_of hi in
+        let* step = int_of step in
+        if lo < 1 then fail "range start %d < 1" lo
+        else if step < 1 then fail "range step %d < 1" step
+        else if hi < lo then fail "range %d:%d is empty (hi < lo)" lo hi
+        else begin
+          let acc = ref [] in
+          let s = ref lo in
+          while !s <= hi do
+            acc := !s :: !acc;
+            s := !s + step
+          done;
+          Ok (List.rev !acc)
+        end
+    | _ -> fail "invalid range %S (expected lo:hi:step)" spec
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest ->
+          let* v = int_of x in
+          if v < 1 then fail "size %d < 1" v else go (v :: acc) rest
+    in
+    go [] (String.split_on_char ',' spec)

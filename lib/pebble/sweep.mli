@@ -1,0 +1,68 @@
+(** Single-pass LRU cache sweeps over all sizes at once.
+
+    LRU is a stack algorithm (Mattson et al. 1970): the cache of size S
+    always holds the S most recently used distinct cells, so a read hits at
+    size S iff its reuse (stack) distance d - the number of distinct other
+    cells accessed since the previous access of the same cell - satisfies
+    d < S.  One pass over the trace, computing every access's distance with
+    a Fenwick tree over last-access positions (O(T log T) total), therefore
+    yields exact {!Cache.stats} for {e every} size simultaneously,
+    including write-back stores (recovered from a parallel dirty-epoch
+    interval construction; see the implementation header).  This is what
+    makes validating bounds across a whole grid of cache sizes - the
+    validation tables, the Appendix sweeps - cost one trace pass instead of
+    one simulation per size.
+
+    Results agree exactly, field by field, with {!Cache.lru} at every size
+    and with both [~flush] settings. *)
+
+type t
+
+(** [run ?flush trace] performs the sweep pass ([flush] defaults to [true],
+    matching {!Cache.lru}).  One [Cache_sim] budget checkpoint per trace
+    event (plus one per distinct cell for the epilogue).
+    @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
+val run : ?budget:Iolb_util.Budget.t -> ?flush:bool -> Trace.t -> t
+
+(** No-raise variant of {!run}: a budget kill mid-sweep surfaces as
+    [Error (Budget_exhausted Cache_sim)] for the degradation ladder. *)
+val run_checked :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  Trace.t ->
+  (t, Iolb_util.Engine_error.t) result
+
+(** [stats t ~size] is [Cache.lru ~size ?flush:(flushed t)] on the swept
+    trace, answered in O(1) from the precomputed histograms.
+    @raise Invalid_argument if [size < 1]. *)
+val stats : t -> size:int -> Cache.stats
+
+(** [lru_stats trace ~sizes] is [Cache.lru] at every size of [sizes], in
+    order: a singleton runs the O(T) simulator directly, two or more sizes
+    share one sweep pass.  The results are identical either way. *)
+val lru_stats :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  Trace.t ->
+  sizes:int list ->
+  (int * Cache.stats) list
+
+(** Number of distinct cells of the swept trace; sizes [>= footprint]
+    all behave like [footprint] (nothing ever evicts). *)
+val footprint : t -> int
+
+(** Number of trace events swept. *)
+val accesses : t -> int
+
+(** The [flush] setting the sweep was run with. *)
+val flushed : t -> bool
+
+(** [distance_histogram t] is a copy of the reuse-distance histogram:
+    entry [d] counts the reads with finite stack distance [d] (cold reads
+    are not counted; they miss at every size). *)
+val distance_histogram : t -> int array
+
+(** [parse_sizes spec] parses the size-list syntax shared by the CLI and
+    the bench: either a comma-separated list ["a,b,c"] or an inclusive
+    range ["lo:hi:step"].  All sizes must be positive. *)
+val parse_sizes : string -> (int list, string) result

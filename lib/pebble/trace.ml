@@ -5,8 +5,9 @@ type cell = string * int array
 type event = Read of cell | Write of cell
 
 type t = {
-  cells : int array; (* per event: interned cell id *)
+  cells : int array; (* per event: interned cell id; may be oversized *)
   writes : bool array; (* per event: write flag *)
+  len : int; (* number of events; only cells.(0..len-1) are meaningful *)
   pool : Interner.t;
 }
 
@@ -26,7 +27,7 @@ let builder size =
     len = 0;
   }
 
-let push b cell is_write =
+let push_id b id is_write =
   if b.len = Array.length b.ids then begin
     let cap = 2 * b.len in
     let ids = Array.make cap 0 and flags = Array.make cap false in
@@ -35,26 +36,32 @@ let push b cell is_write =
     b.ids <- ids;
     b.flags <- flags
   end;
-  b.ids.(b.len) <- Interner.intern b.p cell;
+  b.ids.(b.len) <- id;
   b.flags.(b.len) <- is_write;
   b.len <- b.len + 1
 
-let freeze b =
-  {
-    cells = Array.sub b.ids 0 b.len;
-    writes = Array.sub b.flags 0 b.len;
-    pool = b.p;
-  }
+let push b cell is_write = push_id b (Interner.intern b.p cell) is_write
+
+(* The builder's (possibly oversized) arrays are adopted as-is: freezing a
+   multi-hundred-thousand-event trace must not copy it. *)
+let freeze b = { cells = b.ids; writes = b.flags; len = b.len; pool = b.p }
 
 let of_program ?(budget = Iolb_util.Budget.unlimited) ~params p =
-  let b = builder 1024 in
+  (* Exact pre-count (closed-form over the loop nest): the builder never
+     grows, so a multi-hundred-thousand-event trace costs one allocation
+     and zero copies. *)
+  let b = builder (Iolb_ir.Program.n_accesses ~params p) in
   let n = ref 0 in
-  Iolb_ir.Program.iter_instances ~params p (fun inst ->
+  (* Streaming path: indices arrive in a borrowed buffer and are interned
+     via [intern_view], so the (dominant) repeat-cell case allocates
+     nothing. *)
+  Iolb_ir.Program.iter_accesses ~params p
+    ~on_instance:(fun () ->
       Iolb_util.Budget.checkpoint budget Iolb_util.Budget.Cdag_build;
       incr n;
-      Iolb_util.Budget.check_node_cap budget Iolb_util.Budget.Cdag_build !n;
-      List.iter (fun c -> push b c false) inst.loads;
-      List.iter (fun c -> push b c true) inst.stores);
+      Iolb_util.Budget.check_node_cap budget Iolb_util.Budget.Cdag_build !n)
+    ~on_access:(fun name idx is_write ->
+      push_id b (Interner.intern_view b.p name idx) is_write);
   freeze b
 
 let of_events evs =
@@ -64,10 +71,12 @@ let of_events evs =
     evs;
   freeze b
 
-let length t = Array.length t.cells
+let length (t : t) = t.len
 let footprint t = Interner.count t.pool
 let cell_id t i = t.cells.(i)
 let is_write t i = t.writes.(i)
+let cells (t : t) = t.cells
+let write_flags (t : t) = t.writes
 let cell t id = Interner.key t.pool id
 
 let event t i =

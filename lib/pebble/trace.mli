@@ -49,6 +49,14 @@ val cell_id : t -> int -> int
 (** [is_write t i]: is event [i] a write? *)
 val is_write : t -> int -> bool
 
+(** Raw event storage, borrowed read-only by the simulators' inner loops
+    (a cross-module accessor call per event is measurable there).  Only
+    indices [0 .. length t - 1] are meaningful - the arrays may be
+    oversized.  Never mutate them. *)
+val cells : t -> int array
+
+val write_flags : t -> bool array
+
 (** [cell t id] recovers the concrete cell behind a dense id. *)
 val cell : t -> int -> cell
 

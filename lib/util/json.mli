@@ -1,10 +1,11 @@
-(** Minimal JSON emission (no parsing, no dependencies).
+(** Minimal JSON emission and parsing (no dependencies).
 
     Used by the benchmark harness to write machine-readable baselines
-    ([bench --json]) without pulling a JSON library into the engine.
-    Serialisation is deterministic: object fields print in the order
-    given, floats use a round-trippable ["%.12g"] rendering, and non-finite
-    floats (not representable in JSON) serialise as [null]. *)
+    ([bench --json]) and to read them back ([bench --compare]) without
+    pulling a JSON library into the engine.  Serialisation is
+    deterministic: object fields print in the order given, floats use a
+    round-trippable ["%.12g"] rendering, and non-finite floats (not
+    representable in JSON) serialise as [null]. *)
 
 type t =
   | Null
@@ -21,3 +22,12 @@ val to_string : t -> string
 (** Pretty rendering with two-space indentation and a trailing newline,
     suitable for committed baseline files and readable diffs. *)
 val to_string_pretty : t -> string
+
+(** [of_string s] parses a complete JSON document.  Numbers without a
+    fractional part or exponent parse as [Int], others as [Float]; [\u]
+    escapes decode to UTF-8. *)
+val of_string : string -> (t, string) result
+
+(** [member k v] is field [k] of object [v] ([None] on missing fields and
+    non-objects). *)
+val member : string -> t -> t option

@@ -1,20 +1,25 @@
-(* Entries are packed as (pos, payload) pairs in two parallel arrays. *)
+(* Entries are packed as (pos, payload) pairs in two parallel arrays.
+
+   The sift loops below use [Array.unsafe_get]/[unsafe_set] and move a
+   "hole" instead of swapping: every index involved is provably inside
+   [0, len), and [len <= Array.length pos] is maintained by [push]'s
+   growth check.  Hole-based sifting produces the exact same final array
+   layout as the textbook swap-based version (each swap with the parent /
+   largest child is just a delayed store of the moving element), so pop
+   order - which callers rely on for byte-stable output - is unchanged. *)
 type t = {
   mutable pos : int array;
   mutable payload : int array;
   mutable len : int;
+  mutable peak : int;
 }
 
-let create () = { pos = Array.make 1024 0; payload = Array.make 1024 0; len = 0 }
+let create () =
+  { pos = Array.make 1024 0; payload = Array.make 1024 0; len = 0; peak = 0 }
+
 let is_empty h = h.len = 0
 let length h = h.len
-
-let swap h i j =
-  let tp = h.pos.(i) and tl = h.payload.(i) in
-  h.pos.(i) <- h.pos.(j);
-  h.payload.(i) <- h.payload.(j);
-  h.pos.(j) <- tp;
-  h.payload.(j) <- tl
+let peak h = h.peak
 
 let push h ~pos ~payload =
   if h.len = Array.length h.pos then begin
@@ -24,32 +29,73 @@ let push h ~pos ~payload =
     h.pos <- np;
     h.payload <- nl
   end;
-  h.pos.(h.len) <- pos;
-  h.payload.(h.len) <- payload;
+  let hp = h.pos and hl = h.payload in
   let i = ref h.len in
   h.len <- h.len + 1;
-  while !i > 0 && h.pos.((!i - 1) / 2) < h.pos.(!i) do
-    swap h !i ((!i - 1) / 2);
-    i := (!i - 1) / 2
+  if h.len > h.peak then h.peak <- h.len;
+  (* Sift the hole up while the parent is smaller, then store once. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pp = Array.unsafe_get hp parent in
+    if pp < pos then begin
+      Array.unsafe_set hp !i pp;
+      Array.unsafe_set hl !i (Array.unsafe_get hl parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set hp !i pos;
+  Array.unsafe_set hl !i payload
+
+let sift_down h i =
+  let hp = h.pos and hl = h.payload and len = h.len in
+  let pos = Array.unsafe_get hp i and payload = Array.unsafe_get hl i in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let largest = ref !i and lpos = ref pos in
+    if l < len && Array.unsafe_get hp l > !lpos then begin
+      largest := l;
+      lpos := Array.unsafe_get hp l
+    end;
+    if r < len && Array.unsafe_get hp r > !lpos then begin
+      largest := r;
+      lpos := Array.unsafe_get hp r
+    end;
+    if !largest <> !i then begin
+      Array.unsafe_set hp !i !lpos;
+      Array.unsafe_set hl !i (Array.unsafe_get hl !largest);
+      i := !largest
+    end
+    else continue := false
+  done;
+  Array.unsafe_set hp !i pos;
+  Array.unsafe_set hl !i payload
+
+let compact h ~keep =
+  (* Filter in place, then restore the heap property bottom-up: O(len). *)
+  let w = ref 0 in
+  for r = 0 to h.len - 1 do
+    if keep ~pos:h.pos.(r) ~payload:h.payload.(r) then begin
+      h.pos.(!w) <- h.pos.(r);
+      h.payload.(!w) <- h.payload.(r);
+      incr w
+    end
+  done;
+  h.len <- !w;
+  for i = (h.len / 2) - 1 downto 0 do
+    sift_down h i
   done
 
 let pop h =
   if h.len = 0 then raise Not_found;
   let top = (h.pos.(0), h.payload.(0)) in
   h.len <- h.len - 1;
-  h.pos.(0) <- h.pos.(h.len);
-  h.payload.(0) <- h.payload.(h.len);
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let largest = ref !i in
-    if l < h.len && h.pos.(l) > h.pos.(!largest) then largest := l;
-    if r < h.len && h.pos.(r) > h.pos.(!largest) then largest := r;
-    if !largest <> !i then begin
-      swap h !i !largest;
-      i := !largest
-    end
-    else continue := false
-  done;
+  if h.len > 0 then begin
+    h.pos.(0) <- h.pos.(h.len);
+    h.payload.(0) <- h.payload.(h.len);
+    sift_down h 0
+  end;
   top

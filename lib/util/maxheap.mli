@@ -14,3 +14,14 @@ val push : t -> pos:int -> payload:int -> unit
 (** [pop h] removes and returns the entry with the largest [pos].
     @raise Not_found on an empty heap. *)
 val pop : t -> int * int
+
+(** [compact h ~keep] drops every entry for which [keep] is false and
+    restores the heap property in O(length).  Used by the lazy-invalidation
+    eviction loops to bound the heap by the live-entry count instead of the
+    push count.  Compaction may reorder entries with equal [pos]; callers
+    whose output depends on tie order must not compact. *)
+val compact : t -> keep:(pos:int -> payload:int -> bool) -> unit
+
+(** Largest length the heap has ever reached (diagnostics: the memory
+    high-water mark of a lazily-invalidated heap). *)
+val peak : t -> int

@@ -12,6 +12,7 @@ let () =
       ("fault-injection", Test_fault_injection.suite);
       ("hourglass", Test_hourglass.suite);
       ("cache", Test_cache.suite);
+      ("sweep", Test_sweep.suite);
       ("pebble", Test_pebble.suite);
       ("derive", Test_derive.suite);
       ("baselines", Test_baselines.suite);

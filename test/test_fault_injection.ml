@@ -205,6 +205,22 @@ let test_game_and_cache_faults () =
       (fun ~budget ~size t -> Cache.lru_checked ~budget ~size t);
       (fun ~budget ~size t -> Cache.opt_checked ~budget ~size t);
     ];
+  (* A budget kill mid-sweep degrades the same way: typed error, no escaped
+     exception.  Fire both early (in the distance pass) and late (in the
+     per-cell epilogue, past the trace length). *)
+  List.iter
+    (fun k ->
+      match
+        Iolb_pebble.Sweep.run_checked
+          ~budget:(Budget.make ~fault:(Budget.Cache_sim, k) ())
+          trace
+      with
+      | Error (EE.Budget_exhausted Budget.Cache_sim) -> ()
+      | Ok _ ->
+          Alcotest.failf "sweep fault %d: expected budget exhaustion, got Ok" k
+      | Error e ->
+          Alcotest.failf "sweep fault %d: wrong error %s" k (EE.to_string e))
+    [ 2; Trace.length trace + 1 ];
   (* Trace building charges the Cdag_build stage. *)
   match
     EE.guard (fun () ->

@@ -166,6 +166,32 @@ let test_tiled_block_one_matches_untiled_io_order () =
     (count (K.Mgs.tiled_spec ~m:8 ~n:4 ~b:1))
     (count (K.Mgs.tiled_spec ~m:8 ~n:4 ~b:2))
 
+(* The CLI's `simulate --sizes` maps every size-spec parse failure to
+   Invalid_input, i.e. exit code 2: the parser must reject malformed
+   specs with a message and accept both documented syntaxes. *)
+let test_size_spec_errors () =
+  let module Sweep = Iolb_pebble.Sweep in
+  List.iter
+    (fun spec ->
+      match Sweep.parse_sizes spec with
+      | Ok _ -> Alcotest.failf "%S: expected a parse error" spec
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S: non-empty message" spec)
+            true
+            (String.length msg > 0);
+          Alcotest.(check int)
+            (Printf.sprintf "%S maps to exit code 2" spec)
+            2
+            (EE.exit_code (EE.Invalid_input msg)))
+    [ ""; "  "; "x,y"; "3,-1"; "0:4:1"; "4:2:1"; "1:9:0"; "1:9"; "1:9:2:3" ];
+  (match Sweep.parse_sizes "8,16,32" with
+  | Ok l -> Alcotest.(check (list int)) "comma list" [ 8; 16; 32 ] l
+  | Error m -> Alcotest.failf "comma list rejected: %s" m);
+  match Sweep.parse_sizes "4:17:4" with
+  | Ok l -> Alcotest.(check (list int)) "range" [ 4; 8; 12; 16 ] l
+  | Error m -> Alcotest.failf "range rejected: %s" m
+
 let suite =
   [
     Alcotest.test_case "shape preconditions" `Quick test_shape_preconditions;
@@ -174,6 +200,7 @@ let suite =
     Alcotest.test_case "tiled spec preconditions" `Quick
       test_tiled_spec_preconditions;
     Alcotest.test_case "typed error paths" `Quick test_typed_error_paths;
+    Alcotest.test_case "size sweep spec errors" `Quick test_size_spec_errors;
     Alcotest.test_case "tiled work invariant across block sizes" `Quick
       test_tiled_block_one_matches_untiled_io_order;
   ]

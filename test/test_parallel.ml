@@ -178,6 +178,47 @@ let test_json () =
   Alcotest.(check bool) "pretty ends in newline" true
     (String.length pretty > 0 && pretty.[String.length pretty - 1] = '\n')
 
+let test_json_parser () =
+  let module J = Iolb_util.Json in
+  let roundtrip v =
+    match J.of_string (J.to_string v) with
+    | Ok v' -> Alcotest.(check bool) (J.to_string v) true (v = v')
+    | Error m -> Alcotest.failf "%s: parse error %s" (J.to_string v) m
+  in
+  List.iter roundtrip
+    [
+      J.Null;
+      J.Bool false;
+      J.Int (-42);
+      J.Float 3.25;
+      J.String "esc \"\\\n\t ok";
+      J.List [ J.Int 1; J.List []; J.Obj [] ];
+      J.Obj
+        [
+          ("schema_version", J.Int 1);
+          ("sections", J.List [ J.Obj [ ("wall_s", J.Float 0.125) ] ]);
+        ];
+    ];
+  (match J.of_string (J.to_string_pretty (J.Obj [ ("k", J.Int 1) ])) with
+  | Ok (J.Obj [ ("k", J.Int 1) ]) -> ()
+  | Ok v -> Alcotest.failf "pretty reparse: wrong value %s" (J.to_string v)
+  | Error m -> Alcotest.failf "pretty reparse: %s" m);
+  (match J.of_string {|"a\u00e9b"|} with
+  | Ok (J.String "a\xc3\xa9b") -> ()
+  | Ok v -> Alcotest.failf "unicode escape: wrong value %s" (J.to_string v)
+  | Error m -> Alcotest.failf "unicode escape: %s" m);
+  List.iter
+    (fun bad ->
+      match J.of_string bad with
+      | Ok _ -> Alcotest.failf "%S: expected a parse error" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ];
+  Alcotest.(check bool)
+    "member" true
+    (J.member "a" (J.Obj [ ("a", J.Int 7) ]) = Some (J.Int 7)
+    && J.member "b" (J.Obj [ ("a", J.Int 7) ]) = None
+    && J.member "a" (J.Int 3) = None)
+
 (* ------------------------------------------------------------------ *)
 (* Determinism: parallel registry analyses are byte-identical to       *)
 (* sequential ones, for all five kernels.                              *)
@@ -213,6 +254,7 @@ let suite =
       test_budget_check_deadline_unstrided;
     Alcotest.test_case "budget: step cap exact" `Quick test_budget_steps_exact;
     Alcotest.test_case "json emitter" `Quick test_json;
+    Alcotest.test_case "json parser round-trip" `Quick test_json_parser;
     Alcotest.test_case "parallel analyses deterministic" `Quick
       test_parallel_analyses_deterministic;
   ]

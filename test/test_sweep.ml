@@ -1,0 +1,125 @@
+(* The reuse-distance sweep engine: exact agreement with the per-size LRU
+   simulator on randomized traces (every size, both flush settings, all
+   four stats fields), opt_plan/opt equivalence, peak-heap bound of the
+   compacted OPT eviction heap, and the size-list parser. *)
+
+module T = Iolb_pebble.Trace
+module C = Iolb_pebble.Cache
+module S = Iolb_pebble.Sweep
+
+let cell a i = (a, [| i |])
+let r a i = T.Read (cell a i)
+let w a i = T.Write (cell a i)
+let tr = T.of_events
+
+let stats_eq (a : C.stats) (b : C.stats) =
+  a.loads = b.loads && a.stores = b.stores && a.read_hits = b.read_hits
+  && a.accesses = b.accesses
+
+(* Mixed reads/writes over up to 13 cells, length 1..200. *)
+let random_trace_gen =
+  let open QCheck2.Gen in
+  list_size (int_range 1 200)
+    (map2
+       (fun k is_w -> if is_w then w "A" k else r "A" k)
+       (int_range 0 12) bool)
+
+let prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:200 random_trace_gen f)
+
+let sweep_matches_lru ~flush events =
+  let trace = tr events in
+  let sw = S.run ~flush trace in
+  let ok = ref true in
+  for size = 1 to T.footprint trace + 2 do
+    let a = S.stats sw ~size and b = C.lru ~size ~flush trace in
+    if not (stats_eq a b) then ok := false
+  done;
+  !ok
+
+let test_sweep_hand () =
+  (* W a; R b; R a - exercises a dirty epoch closed by a reload. *)
+  let trace = tr [ w "A" 0; r "B" 0; r "A" 0 ] in
+  let sw = S.run ~flush:false trace in
+  let s1 = S.stats sw ~size:1 in
+  Alcotest.(check int) "size 1 loads" 2 s1.loads;
+  Alcotest.(check int) "size 1 stores" 1 s1.stores;
+  let s2 = S.stats sw ~size:2 in
+  Alcotest.(check int) "size 2 loads" 1 s2.loads;
+  Alcotest.(check int) "size 2 hits" 1 s2.read_hits;
+  Alcotest.(check int) "size 2 stores" 0 s2.stores;
+  let swf = S.run ~flush:true trace in
+  Alcotest.(check int) "size 2 stores with flush" 1 (S.stats swf ~size:2).C.stores
+
+let test_sweep_empty () =
+  let sw = S.run (tr []) in
+  let s = S.stats sw ~size:5 in
+  Alcotest.(check int) "loads" 0 s.loads;
+  Alcotest.(check int) "stores" 0 s.stores;
+  Alcotest.(check int) "accesses" 0 s.accesses;
+  Alcotest.(check int) "footprint" 0 (S.footprint sw)
+
+let test_sweep_histogram () =
+  (* R a; R b; R a: one read at distance 1; cold reads uncounted. *)
+  let sw = S.run (tr [ r "A" 0; r "B" 0; r "A" 0 ]) in
+  let h = S.distance_histogram sw in
+  Alcotest.(check (array int)) "histogram" [| 0; 1 |] h
+
+let test_opt_heap_peak () =
+  (* A long scan over many distinct cells at a small size: unbounded lazy
+     invalidation would grow the heap to O(trace length); compaction pins
+     it near 3x the occupancy. *)
+  let size = 8 in
+  let events = List.init 20_000 (fun i -> r "A" (i mod 2_000)) in
+  let peak = C.opt_heap_peak ~size (tr events) in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d bounded" peak)
+    true
+    (peak <= max 65 ((3 * size) + 1))
+
+let test_parse_sizes () =
+  let ok spec expect =
+    match S.parse_sizes spec with
+    | Ok l -> Alcotest.(check (list int)) spec expect l
+    | Error m -> Alcotest.failf "%s: unexpected error %s" spec m
+  in
+  let err spec =
+    match S.parse_sizes spec with
+    | Ok _ -> Alcotest.failf "%s: expected an error" spec
+    | Error _ -> ()
+  in
+  ok "8" [ 8 ];
+  ok "12,16,32" [ 12; 16; 32 ];
+  ok " 4 , 5 " [ 4; 5 ];
+  ok "2:10:3" [ 2; 5; 8 ];
+  ok "4:4:1" [ 4 ];
+  err "";
+  err "a,b";
+  err "0,4";
+  err "-3";
+  err "4:2:1";
+  err "1:10:0";
+  err "1:10";
+  err "1:2:3:4"
+
+let suite =
+  [
+    Alcotest.test_case "hand-computed sweep" `Quick test_sweep_hand;
+    Alcotest.test_case "empty trace" `Quick test_sweep_empty;
+    Alcotest.test_case "distance histogram" `Quick test_sweep_histogram;
+    Alcotest.test_case "opt heap peak is O(size)" `Quick test_opt_heap_peak;
+    Alcotest.test_case "parse_sizes" `Quick test_parse_sizes;
+    prop "sweep = per-size LRU (flush)" (sweep_matches_lru ~flush:true);
+    prop "sweep = per-size LRU (no flush)" (sweep_matches_lru ~flush:false);
+    prop "opt_plan runs = fresh opt runs" (fun events ->
+        let trace = tr events in
+        let plan = C.opt_plan trace in
+        List.for_all
+          (fun size ->
+            stats_eq (C.opt_run ~size plan) (C.opt ~size trace)
+            && stats_eq
+                 (C.opt_run ~size ~flush:false plan)
+                 (C.opt ~size ~flush:false trace))
+          [ 1; 2; 4; 8; 1_000 ]);
+  ]

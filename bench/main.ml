@@ -17,10 +17,10 @@
                 wall time, throughput and key result metrics (the BENCH_*
                 baseline files; schema documented in README "Performance").
    --compare OLD  load a prior --json baseline, print per-section wall-time
-                deltas (to stderr, keeping stdout byte-stable), and exit
-                non-zero if any section common to both runs regressed by
-                more than 25% (with a 50 ms absolute guard against noise
-                on sub-millisecond sections). *)
+                and per-metric ns_per_run deltas (to stderr, keeping stdout
+                byte-stable), and exit non-zero on any regression of more
+                than 25% (with absolute guards against noise: 50 ms on
+                section wall times, 50 us on microbenchmark metrics). *)
 
 module D = Iolb.Derive
 module PF = Iolb.Paper_formulas
@@ -754,15 +754,43 @@ let sweep_engine () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings of the pipeline.                                   *)
 
+(* Run a list of Bechamel tests; every estimate lands in the --json
+   metrics as [ns_per_run[<name>]].  With [~print:false] nothing is
+   written to stdout, so sections using it stay byte-stable run to run. *)
+let bechamel_run ~print tests =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              if print then pf "%-42s %12.0f ns/run\n" name est;
+              metric_f (Printf.sprintf "ns_per_run[%s]" name) est
+          | _ -> if print then pf "%-42s (no estimate)\n" name)
+        stats)
+    tests
+
 let timings () =
   section "TIMINGS: Bechamel micro-benchmarks of the pipeline";
   let open Bechamel in
-  let open Toolkit in
+  let module Iset = Iolb_poly.Iset in
+  let module Deps = Iolb_ir.Deps in
   let mgs_params = [ ("M", 16); ("N", 8) ] in
   let cdag = Cdag.of_program ~params:mgs_params K.Mgs.spec in
   let schedule = Game.program_schedule cdag in
   let trace = Trace.of_program ~params:[] (K.Mgs.tiled_spec ~m:16 ~n:8 ~b:2) in
   let a = Matrix.random 32 16 in
+  let su_domain = Program.domain (Program.find_stmt K.Mgs.spec "SU") in
+  let hg = List.hd (Hourglass.detect K.Mgs.spec) in
   let tests =
     [
       Test.make ~name:"derive: mgs hourglass + classical"
@@ -783,26 +811,90 @@ let timings () =
         (Staged.stage (fun () -> ignore (Cache.opt ~size:64 trace)));
       Test.make ~name:"kernel: mgs factor 32x16"
         (Staged.stage (fun () -> ignore (K.Mgs.factor a)));
+      Test.make ~name:"iset: enumerate mgs SU domain 16x8"
+        (Staged.stage (fun () ->
+             ignore (Iset.enumerate ~params:mgs_params su_domain)));
+      Test.make ~name:"iset: cardinal mgs SU domain 64x32"
+        (Staged.stage (fun () ->
+             ignore
+               (Iset.cardinal ~params:[ ("M", 64); ("N", 32) ] su_domain)));
+      Test.make ~name:"deps: between SU->SR (mgs)"
+        (Staged.stage (fun () ->
+             ignore (Deps.between K.Mgs.spec ~writer:"SU" ~reader:"SR")));
+      Test.make ~name:"hourglass: verify mgs 6x4"
+        (Staged.stage (fun () ->
+             ignore
+               (Hourglass.verify ~params:[ ("M", 6); ("N", 4) ] K.Mgs.spec hg)));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
-  let instances = Instance.[ monotonic_clock ] in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  bechamel_run ~print:true tests
+
+(* ------------------------------------------------------------------ *)
+(* Derivation-path microbenchmarks: the symbolic pipeline the compiled *)
+(* polyhedral representation accelerates.  Stdout carries only the     *)
+(* (deterministic) results each benchmarked call computes; the ns/run  *)
+(* figures land in the --json metrics, so this section is byte-stable  *)
+(* run to run and across --jobs.                                       *)
+
+let derive_bench () =
+  section "DERIVE: derivation-path results and microbenchmarks";
+  let open Bechamel in
+  let module Iset = Iolb_poly.Iset in
+  let module Deps = Iolb_ir.Deps in
+  let verify_params = [ ("M", 6); ("N", 4) ] in
+  let tech = function
+    | D.Classical -> "classical"
+    | D.Hourglass -> "hourglass"
+    | D.Hourglass_small_s -> "hourglass (small cache)"
+    | D.Trivial -> "trivial"
   in
+  let bounds = D.analyze ~verify_params K.Mgs.spec in
+  pf "analyze mgs (fresh, no memo): %d bounds\n" (List.length bounds);
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let stats = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] ->
-              pf "%-42s %12.0f ns/run\n" name est;
-              metric_f (Printf.sprintf "ns_per_run[%s]" name) est
-          | _ -> pf "%-42s (no estimate)\n" name)
-        stats)
-    tests
+    (fun (b : D.t) ->
+      pf "  [%s/%s] Q >= %s\n" b.stmt (tech b.technique)
+        (R.to_string (leading_term b.formula)))
+    bounds;
+  let rels = Deps.between K.Mgs.spec ~writer:"SU" ~reader:"SR" in
+  pf "deps SU -> SR (mgs): %d relation(s)\n" (List.length rels);
+  let su = Program.find_stmt K.Mgs.spec "SU" in
+  let dom = Program.domain su in
+  let p16 = [ ("M", 16); ("N", 8) ] and p64 = [ ("M", 64); ("N", 32) ] in
+  pf "enumerate domain(SU) at M=16 N=8: %d points\n"
+    (List.length (Iset.enumerate ~params:p16 dom));
+  pf "cardinal  domain(SU) at M=64 N=32: %d\n" (Iset.cardinal ~params:p64 dom);
+  pf "is_empty  domain(SU) at M=64 N=32: %b\n" (Iset.is_empty ~params:p64 dom);
+  let hgs = Hourglass.detect K.Mgs.spec in
+  let verified =
+    List.length (List.filter (Hourglass.verify ~params:verify_params K.Mgs.spec) hgs)
+  in
+  pf "hourglass verify at M=6 N=4: %d/%d verified\n" verified (List.length hgs);
+  pf "(ns/run figures are in the --json metrics)\n";
+  let hg = List.hd hgs in
+  bechamel_run ~print:false
+    [
+      Test.make ~name:"derive: analyze mgs (fresh)"
+        (Staged.stage (fun () ->
+             ignore (D.analyze ~verify_params K.Mgs.spec)));
+      Test.make ~name:"derive: classical deepest (5 kernels)"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (e : Report.entry) ->
+                 ignore (D.classical_deepest e.program))
+               Report.registry));
+      Test.make ~name:"deps: between SU->SR (mgs)"
+        (Staged.stage (fun () ->
+             ignore (Deps.between K.Mgs.spec ~writer:"SU" ~reader:"SR")));
+      Test.make ~name:"iset: enumerate SU domain 16x8"
+        (Staged.stage (fun () -> ignore (Iset.enumerate ~params:p16 dom)));
+      Test.make ~name:"iset: cardinal SU domain 64x32"
+        (Staged.stage (fun () -> ignore (Iset.cardinal ~params:p64 dom)));
+      Test.make ~name:"iset: is_empty SU domain 64x32"
+        (Staged.stage (fun () -> ignore (Iset.is_empty ~params:p64 dom)));
+      Test.make ~name:"hourglass: verify mgs 6x4"
+        (Staged.stage (fun () ->
+             ignore (Hourglass.verify ~params:verify_params K.Mgs.spec hg)));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Harness: argument parsing, section timing, JSON report.             *)
@@ -830,7 +922,10 @@ let usage () =
 (* [--compare]: per-section wall-time deltas against a prior --json
    baseline, with a regression gate.  A section regresses when it is both
    >25% and >50 ms slower than the baseline; only sections present in both
-   runs are compared.  Reporting goes to stderr so stdout stays
+   runs are compared.  The microbenchmark metrics ([ns_per_run[...]],
+   from TIMINGS and DERIVE) are gated the same way with a 50 us absolute
+   floor, so derive-path slowdowns fail the gate even when section wall
+   time hides them.  Reporting goes to stderr so stdout stays
    byte-identical across runs.  Returns the number of regressions. *)
 let compare_against ~path records =
   let fail fmt =
@@ -870,6 +965,26 @@ let compare_against ~path records =
           l
     | _ -> fail "missing sections list"
   in
+  let old_metrics =
+    match Json.member "sections" doc with
+    | Some (Json.List l) ->
+        List.filter_map
+          (fun s ->
+            match (Json.member "name" s, Json.member "metrics" s) with
+            | Some (Json.String name), Some (Json.Obj kvs) ->
+                Some
+                  ( name,
+                    List.filter_map
+                      (fun (k, v) ->
+                        match v with
+                        | Json.Float f -> Some (k, f)
+                        | Json.Int i -> Some (k, float_of_int i)
+                        | _ -> None)
+                      kvs )
+            | _ -> None)
+          l
+    | _ -> []
+  in
   let regressions = ref 0 in
   Printf.eprintf "\n--compare %s (old -> new, threshold +25%% and +50 ms):\n"
     path;
@@ -891,8 +1006,54 @@ let compare_against ~path records =
             new_w delta_pct
             (if regressed then "  REGRESSION" else ""))
     (List.rev records);
+  (* Microbenchmark gate: each ns_per_run metric present in both runs
+     regresses when it is both >25% and >50 us slower.  The absolute floor
+     keeps sub-10 us entries (pure noise at this resolution) out of the
+     gate while the ~1 ms derive/cdag path entries stay fully covered. *)
+  let is_ns_metric k =
+    String.length k >= 10 && String.sub k 0 10 = "ns_per_run"
+  in
+  let ns_rows =
+    List.concat_map
+      (fun r ->
+        match List.assoc_opt r.rec_name old_metrics with
+        | None -> []
+        | Some old_ms ->
+            List.filter_map
+              (fun (k, v) ->
+                if not (is_ns_metric k) then None
+                else
+                  match (v, List.assoc_opt k old_ms) with
+                  | Json.Float new_ns, Some old_ns ->
+                      Some (k, old_ns, new_ns)
+                  | Json.Int i, Some old_ns ->
+                      Some (k, old_ns, float_of_int i)
+                  | _ -> None)
+              r.rec_metrics)
+      (List.rev records)
+  in
+  if ns_rows <> [] then begin
+    Printf.eprintf
+      "\nmicrobenchmarks (old -> new, threshold +25%% and +50 us):\n";
+    Printf.eprintf "%-46s %12s %12s %9s\n" "metric" "old (ns)" "new (ns)"
+      "delta";
+    List.iter
+      (fun (k, old_ns, new_ns) ->
+        let delta_pct =
+          if old_ns > 0. then (new_ns -. old_ns) /. old_ns *. 100. else 0.
+        in
+        let regressed =
+          new_ns > old_ns *. 1.25 && new_ns -. old_ns > 50_000.
+        in
+        if regressed then incr regressions;
+        Printf.eprintf "%-46s %12.0f %12.0f %+8.1f%%%s\n" k old_ns new_ns
+          delta_pct
+          (if regressed then "  REGRESSION" else ""))
+      ns_rows
+  end;
   if !regressions > 0 then
-    Printf.eprintf "bench: %d section(s) regressed >25%%\n" !regressions
+    Printf.eprintf "bench: %d regression(s) (wall-time or ns_per_run)\n"
+      !regressions
   else Printf.eprintf "bench: no regressions\n";
   !regressions
 
@@ -914,6 +1075,7 @@ let () =
       ("ABLATION_CERTIFICATE", ablation_certificate);
       ("ABLATION_POLICY", ablation_policy);
       ("SWEEP", sweep_engine);
+      ("DERIVE", derive_bench);
       ("TIMINGS", timings);
     ]
   in

@@ -26,74 +26,153 @@ let ensure arr len =
     arr := bigger
   end
 
+let dummy_kind = Input ("", [||])
+
 let of_program ?(budget = Budget.unlimited) ~params p =
-  let kinds = ref [] and preds = ref [] in
+  (* Node storage grows geometrically; node ids are assigned in exactly
+     the order the old list-based builder assigned them (input nodes at
+     first read, in load order, before their compute node), so node
+     numbering - and hence every DOT and report output - is unchanged. *)
+  let kinds = ref (Array.make 1024 dummy_kind) in
+  let preds = ref (Array.make 1024 [||]) in
   let n = ref 0 in
-  let order = ref [] in
-  let by_stmt = Hashtbl.create 16 in
   (* Data cells and statement instances are interned to dense ids once,
      here, so dependence resolution runs on int-indexed arrays instead of
-     hashing (string * int array) keys per access. *)
+     hashing (string * int array) keys per access.  [intern_view] probes
+     with the iterator's borrowed buffers and copies only on first
+     sight. *)
   let cells = Interner.create () in
   let last_writer = ref (Array.make 1024 (-1)) in
   let instances = Interner.create () in
   let instance_node = ref (Array.make 1024 (-1)) in
   let inputs = ref 0 in
-  let add_node kind pred_list =
+  let add_node kind pred_arr =
     let id = !n in
     incr n;
     Budget.check_node_cap budget Budget.Cdag_build !n;
-    kinds := kind :: !kinds;
-    preds := pred_list :: !preds;
-    order := id :: !order;
+    if id >= Array.length !kinds then begin
+      let cap = 2 * Array.length !kinds in
+      let nk = Array.make cap dummy_kind and np = Array.make cap [||] in
+      Array.blit !kinds 0 nk 0 id;
+      Array.blit !preds 0 np 0 id;
+      kinds := nk;
+      preds := np
+    end;
+    !kinds.(id) <- kind;
+    !preds.(id) <- pred_arr;
     id
   in
-  Program.iter_instances ~params p (fun inst ->
-      Budget.checkpoint budget Budget.Cdag_build;
-      let pred_ids =
-        List.map
-          (fun cell ->
-            let cid = Interner.intern cells cell in
-            ensure last_writer (cid + 1);
-            match !last_writer.(cid) with
-            | -1 ->
-                let a, idx = cell in
-                let id = add_node (Input (a, idx)) [] in
-                incr inputs;
-                !last_writer.(cid) <- id;
-                id
-            | id -> id)
-          inst.loads
+  (* Reusable predecessor buffer, deduplicated in place per instance. *)
+  let pbuf = ref (Array.make 16 0) in
+  let pcount = ref 0 in
+  (* Per-statement node lists, with a one-entry memo keyed by physical
+     name equality: consecutive instances of the same statement skip the
+     hash lookup entirely. *)
+  let by_acc : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let last_name = ref "" in
+  let last_ids = ref (ref []) in
+  let stmt_ids name =
+    if name == !last_name then !last_ids
+    else begin
+      let ids =
+        match Hashtbl.find_opt by_acc name with
+        | Some ids -> ids
+        | None ->
+            let ids = ref [] in
+            Hashtbl.add by_acc name ids;
+            ids
       in
-      (* A value read twice by the same instance is a single dependence. *)
-      let pred_ids = List.sort_uniq Int.compare pred_ids in
-      let id = add_node (Compute (inst.stmt_name, inst.vec)) pred_ids in
-      let iid = Interner.intern instances (inst.stmt_name, inst.vec) in
-      ensure instance_node (iid + 1);
-      !instance_node.(iid) <- id;
-      Hashtbl.replace by_stmt inst.stmt_name
-        (id :: (try Hashtbl.find by_stmt inst.stmt_name with Not_found -> []));
-      List.iter
-        (fun cell ->
-          let cid = Interner.intern cells cell in
-          ensure last_writer (cid + 1);
-          !last_writer.(cid) <- id)
-        inst.stores);
-  let kinds = Array.of_list (List.rev !kinds) in
-  let preds = Array.of_list (List.rev_map Array.of_list !preds) in
-  let succs = Array.make (Array.length kinds) [] in
-  Array.iteri
-    (fun id ps -> Array.iter (fun p -> succs.(p) <- id :: succs.(p)) ps)
+      last_name := name;
+      last_ids := ids;
+      ids
+    end
+  in
+  let on_load a idx =
+    let cid = Interner.intern_view cells a idx in
+    ensure last_writer (cid + 1);
+    let w = !last_writer.(cid) in
+    let pred =
+      if w >= 0 then w
+      else begin
+        (* first sight of this cell: it is a program input; share the
+           interner's owned copy of the index vector *)
+        let _, owned = Interner.key cells cid in
+        let id = add_node (Input (a, owned)) [||] in
+        incr inputs;
+        !last_writer.(cid) <- id;
+        id
+      end
+    in
+    if !pcount >= Array.length !pbuf then begin
+      let bigger = Array.make (2 * Array.length !pbuf) 0 in
+      Array.blit !pbuf 0 bigger 0 !pcount;
+      pbuf := bigger
+    end;
+    !pbuf.(!pcount) <- pred;
+    incr pcount
+  in
+  let on_stmt name vec =
+    Budget.checkpoint budget Budget.Cdag_build;
+    (* A value read twice by the same instance is a single dependence:
+       insertion-sort the (tiny) buffer and drop duplicates in place. *)
+    let b = !pbuf in
+    let m = !pcount in
+    for i = 1 to m - 1 do
+      let v = b.(i) in
+      let j = ref i in
+      while !j > 0 && b.(!j - 1) > v do
+        b.(!j) <- b.(!j - 1);
+        decr j
+      done;
+      b.(!j) <- v
+    done;
+    let u = ref 0 in
+    for i = 0 to m - 1 do
+      if !u = 0 || b.(!u - 1) <> b.(i) then begin
+        b.(!u) <- b.(i);
+        incr u
+      end
+    done;
+    let id = add_node (Compute (name, Array.copy vec)) (Array.sub b 0 !u) in
+    pcount := 0;
+    let iid = Interner.intern_view instances name vec in
+    ensure instance_node (iid + 1);
+    !instance_node.(iid) <- id;
+    let ids = stmt_ids name in
+    ids := id :: !ids
+  in
+  let on_store a idx =
+    let cid = Interner.intern_view cells a idx in
+    ensure last_writer (cid + 1);
+    !last_writer.(cid) <- !n - 1
+  in
+  Program.iter_cells ~params p ~on_load ~on_stmt ~on_store;
+  let nn = !n in
+  let kinds = Array.sub !kinds 0 nn in
+  let preds = Array.sub !preds 0 nn in
+  (* successor lists in two passes: exact counts, then fill in id order
+     (ascending, as the old rev-list construction produced) *)
+  let deg = Array.make nn 0 in
+  Array.iter
+    (fun ps -> Array.iter (fun p -> deg.(p) <- deg.(p) + 1) ps)
     preds;
-  let succs = Array.map (fun l -> Array.of_list (List.rev l)) succs in
-  Hashtbl.iter
-    (fun s ids -> Hashtbl.replace by_stmt s (List.rev ids))
-    (Hashtbl.copy by_stmt);
+  let succs = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make nn 0 in
+  Array.iteri
+    (fun id ps ->
+      Array.iter
+        (fun p ->
+          succs.(p).(fill.(p)) <- id;
+          fill.(p) <- fill.(p) + 1)
+        ps)
+    preds;
+  let by_stmt = Hashtbl.create 16 in
+  Hashtbl.iter (fun s ids -> Hashtbl.replace by_stmt s (List.rev !ids)) by_acc;
   {
     kinds;
     preds;
     succs;
-    order = Array.of_list (List.rev !order);
+    order = Array.init nn Fun.id;
     by_stmt;
     instances;
     instance_node = Array.sub !instance_node 0 (Interner.count instances);
@@ -138,6 +217,59 @@ let is_reachable t a b =
             Queue.add v queue
           end)
         t.succs.(u)
+    done;
+    !found
+  end
+
+type reachability = {
+  g : t;
+  mark : int array; (* epoch-stamped visited marks, reused across queries *)
+  mutable epoch : int;
+  mutable stack : int array;
+}
+
+let reachability t =
+  {
+    g = t;
+    mark = Array.make (max 1 (n_nodes t)) 0;
+    epoch = 0;
+    stack = Array.make 1024 0;
+  }
+
+let reaches r a b =
+  if a = b then true
+  else begin
+    let g = r.g in
+    r.epoch <- r.epoch + 1;
+    let e = r.epoch in
+    let mark = r.mark in
+    let sp = ref 0 in
+    let push v =
+      if !sp >= Array.length r.stack then begin
+        let bigger = Array.make (2 * Array.length r.stack) 0 in
+        Array.blit r.stack 0 bigger 0 !sp;
+        r.stack <- bigger
+      end;
+      r.stack.(!sp) <- v;
+      incr sp
+    in
+    mark.(a) <- e;
+    push a;
+    let found = ref false in
+    while (not !found) && !sp > 0 do
+      decr sp;
+      let ss = g.succs.(r.stack.(!sp)) in
+      let len = Array.length ss in
+      let i = ref 0 in
+      while (not !found) && !i < len do
+        let v = ss.(!i) in
+        if v = b then found := true
+        else if mark.(v) <> e then begin
+          mark.(v) <- e;
+          push v
+        end;
+        incr i
+      done
     done;
     !found
   end

@@ -60,6 +60,18 @@ val n_computes : t -> int
 (** [is_reachable t a b]: is there a directed path from [a] to [b]? (BFS) *)
 val is_reachable : t -> int -> int -> bool
 
+(** A reusable reachability oracle over one CDAG.  Visited marks are
+    epoch-stamped and the DFS stack is kept across queries, so repeated
+    queries (e.g. hourglass verification over many instance pairs)
+    allocate nothing after the first. *)
+type reachability
+
+val reachability : t -> reachability
+
+(** [reaches r a b] is [is_reachable] on the oracle's CDAG, without
+    per-query allocation.  Not thread-safe: use one oracle per domain. *)
+val reaches : reachability -> int -> int -> bool
+
 (** [convex_closure t nodes] adds every node lying on a directed path
     between two nodes of [nodes] - the convexity completion used when
     reasoning about K-bounded sets. *)

@@ -24,9 +24,10 @@ let sqrt_s_var = P.var "sqrtS"
 
 let fmt_rat = Rat.to_string
 
-let classical ?(budget = Budget.unlimited) p ~stmt =
+let classical_of_info ?(budget = Budget.unlimited) p
+    (info : Program.stmt_info) =
   Budget.checkpoint budget Budget.Derivation;
-  let info = Program.find_stmt p stmt in
+  let stmt = info.def.name in
   let phis = Phi.of_statement p info in
   List.iter (fun _ -> Budget.checkpoint budget Budget.Derivation) phis;
   let dimsets = List.map (fun (ph : Phi.t) -> ph.dims) phis in
@@ -91,6 +92,9 @@ let classical ?(budget = Budget.unlimited) p ~stmt =
                   ];
             })
           formula
+
+let classical ?budget p ~stmt =
+  classical_of_info ?budget p (Program.find_stmt p stmt)
 
 (* The hourglass derivation, Sections 4.1-4.4. *)
 let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
@@ -319,12 +323,13 @@ let trivial p =
 
 let classical_deepest ?budget p =
   let depth (i : Program.stmt_info) = List.length i.dims in
+  (* The statement list is walked once and the stmt_info records are passed
+     straight to the derivation - no per-statement [find_stmt] re-walk. *)
   let stmts = Program.statements p in
   let max_depth = List.fold_left (fun acc i -> max acc (depth i)) 0 stmts in
   List.filter_map
     (fun (i : Program.stmt_info) ->
-      if depth i = max_depth then classical ?budget p ~stmt:i.def.name
-      else None)
+      if depth i = max_depth then classical_of_info ?budget p i else None)
     stmts
 
 let analyze ?budget ~verify_params p =

@@ -174,7 +174,10 @@ let verify ?(budget = Iolb_util.Budget.unlimited) ~params p h =
     go temporal_keys
   in
   (* The temporal loop may run forward or backward (V2Q iterates k
-     downwards), so accept a consistent dependence direction either way. *)
+     downwards), so accept a consistent dependence direction either way.
+     Reachability queries share one oracle, so the visited marks and DFS
+     stack are allocated once for all sampled pairs. *)
+  let reach = Cdag.reachability cdag in
   let forward_ok = ref true and backward_ok = ref true and checked = ref 0 in
   Hashtbl.iter
     (fun (t, n) ids ->
@@ -191,9 +194,9 @@ let verify ?(budget = Iolb_util.Budget.unlimited) ~params p h =
                       Iolb_util.Budget.checkpoint budget
                         Iolb_util.Budget.Derivation;
                       incr checked;
-                      if not (Cdag.is_reachable cdag src dst) then
+                      if not (Cdag.reaches reach src dst) then
                         forward_ok := false;
-                      if not (Cdag.is_reachable cdag dst src) then
+                      if not (Cdag.reaches reach dst src) then
                         backward_ok := false)
                     (sample ids'))
                 (sample ids)))

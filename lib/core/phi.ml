@@ -19,12 +19,16 @@ type t = { dims : string list; source : string }
    version before E is chargeable - injective in D alone. *)
 let of_statement ?(version_pinning = true) p (info : Program.stmt_info) =
   let stmts = Program.statements p in
+  (* Statement names are unique (checked by [Program.make]); index them
+     once instead of rescanning the list for every producer candidate. *)
+  let pos = Hashtbl.create 16 in
+  List.iteri
+    (fun i (s : Program.stmt_info) -> Hashtbl.add pos s.def.name i)
+    stmts;
   let position name =
-    let rec go i = function
-      | [] -> raise Not_found
-      | (s : Program.stmt_info) :: tl -> if s.def.name = name then i else go (i + 1) tl
-    in
-    go 0 stmts
+    match Hashtbl.find_opt pos name with
+    | Some i -> i
+    | None -> raise Not_found
   in
   let u_pos = position info.def.name in
   let producers (access : Access.t) =

@@ -70,7 +70,28 @@ let relations p =
     stmts
 
 let between p ~writer ~reader =
-  List.filter (fun d -> d.writer = writer && d.reader = reader) (relations p)
+  (* Build just the requested pair's relations instead of materializing
+     every relation of the program and filtering: derivation queries one
+     (writer, reader) pair at a time, and each relation carries an
+     integer-set construction. *)
+  let stmts = Program.statements p in
+  let find name =
+    List.find_opt (fun (i : Program.stmt_info) -> i.def.name = name) stmts
+  in
+  match (find writer, find reader) with
+  | Some w, Some r ->
+      List.concat_map
+        (fun (waccess : Access.t) ->
+          List.filter_map
+            (fun (raccess : Access.t) ->
+              if
+                raccess.array = waccess.array
+                && List.length raccess.index = List.length waccess.index
+              then Some (relation_of w waccess r raccess)
+              else None)
+            r.def.reads)
+        w.def.writes
+  | _ -> []
 
 let may_depend ~params d = not (Iset.is_empty ~params d.relation)
 

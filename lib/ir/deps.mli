@@ -33,7 +33,9 @@ val rename_writer_dim : string -> string
     unconstrained relation. *)
 val relations : Program.t -> t list
 
-(** [between p ~writer ~reader] filters {!relations} by statement names. *)
+(** [between p ~writer ~reader] is the sublist of {!relations} with those
+    statement names, built directly for the requested pair (no relation is
+    constructed for any other pair). *)
 val between : Program.t -> writer:string -> reader:string -> t list
 
 (** [may_depend ~params d] tests non-emptiness at concrete parameters. *)

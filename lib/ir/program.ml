@@ -197,6 +197,7 @@ type caccess = {
 type cstmt = {
   cname : string;
   cvec : int array; (* slots of the enclosing loop vars, outermost first *)
+  cvbuf : int array; (* reusable iteration-vector buffer, one per stmt *)
   creads : caccess array;
   cwrites : caccess array;
 }
@@ -240,10 +241,12 @@ let compile ~params p =
   in
   let rec cnode path = function
     | Stmt s ->
+        let cvec = Array.of_list (List.rev path) in
         Cstmt
           {
             cname = s.name;
-            cvec = Array.of_list (List.rev path);
+            cvec;
+            cvbuf = Array.make (Array.length cvec) 0;
             creads = Array.of_list (List.map caccess s.reads);
             cwrites = Array.of_list (List.map caccess s.writes);
           }
@@ -304,6 +307,31 @@ let iter_accesses ~params p ~on_instance ~on_access =
       in
       Array.iter (emit false) s.creads;
       Array.iter (emit true) s.cwrites)
+
+let iter_cells ~params p ~on_load ~on_stmt ~on_store =
+  iter_compiled (compile ~params p) (fun env s ->
+      (* manual loops: no per-instance closures, no per-instance arrays *)
+      let reads = s.creads in
+      for i = 0 to Array.length reads - 1 do
+        let a = Array.unsafe_get reads i in
+        for d = 0 to Array.length a.cindex - 1 do
+          a.cbuf.(d) <- ceval env a.cindex.(d)
+        done;
+        on_load a.carray a.cbuf
+      done;
+      let vec = s.cvec in
+      for d = 0 to Array.length vec - 1 do
+        s.cvbuf.(d) <- Array.unsafe_get env (Array.unsafe_get vec d)
+      done;
+      on_stmt s.cname s.cvbuf;
+      let writes = s.cwrites in
+      for i = 0 to Array.length writes - 1 do
+        let a = Array.unsafe_get writes i in
+        for d = 0 to Array.length a.cindex - 1 do
+          a.cbuf.(d) <- ceval env a.cindex.(d)
+        done;
+        on_store a.carray a.cbuf
+      done)
 
 let count_instances ~params p =
   let n = ref 0 in

@@ -127,6 +127,23 @@ val iter_accesses :
   on_access:(string -> int array -> bool -> unit) ->
   unit
 
+(** [iter_cells ~params p ~on_load ~on_stmt ~on_store] streams, for every
+    statement instance in program order: each cell read (in statement
+    order), then the instance itself ([on_stmt name vec], after the loads
+    and before the stores), then each cell written.  All index and
+    iteration vectors are {e borrowed} buffers, valid only for the
+    duration of the callback - copy them to keep them.  This is the
+    allocation-free path used by CDAG construction, where input nodes for
+    first-read cells must be numbered before the compute node that reads
+    them. *)
+val iter_cells :
+  params:(string * int) list ->
+  t ->
+  on_load:(string -> int array -> unit) ->
+  on_stmt:(string -> int array -> unit) ->
+  on_store:(string -> int array -> unit) ->
+  unit
+
 (** Number of statement instances at concrete parameters. *)
 val count_instances : params:(string * int) list -> t -> int
 

@@ -17,44 +17,119 @@ let constr coeffs rel rhs =
     rhs = Rat.of_int rhs;
   }
 
-(* Dense tableau: [rows] constraint rows over [ncols] structural+slack+
-   artificial columns, plus a right-hand side per row, plus an objective row
-   of reduced costs.  [basis.(i)] is the column basic in row [i]. *)
+(* Dense tableau over *unboxed* rationals: every entry is a canonical
+   num/den pair held in parallel [int] arrays (den > 0, gcd = 1), so the
+   pivot loops allocate nothing and reduce with plain integer gcds.  The
+   arithmetic is the same exact, overflow-checked arithmetic as {!Rat}
+   ({!Rat.add_exn}/{!Rat.mul_exn}), only unboxed.
+
+   Layout: row i, column j lives at [(i * ncols) + j] of [tn]/[td];
+   [rhsn]/[rhsd] hold the right-hand side, [objn]/[objd] the reduced
+   costs, and [basis.(i)] the column basic in row i. *)
 type tableau = {
-  rows : Rat.t array array; (* m x ncols *)
-  rhs : Rat.t array; (* m *)
-  obj : Rat.t array; (* ncols, reduced costs *)
-  mutable objval : Rat.t; (* current objective value (to be minimised) *)
-  basis : int array; (* m *)
+  m : int;
+  ncols : int;
+  tn : int array;
+  td : int array;
+  rhsn : int array;
+  rhsd : int array;
+  objn : int array;
+  objd : int array;
+  mutable ovn : int; (* objective value (to be minimised), canonical *)
+  mutable ovd : int;
+  basis : int array;
 }
 
+(* [set_canon a d i n dd] stores the canonical form of [n/dd] (dd > 0). *)
+let set_canon an ad i n d =
+  if n = 0 then begin
+    an.(i) <- 0;
+    ad.(i) <- 1
+  end
+  else begin
+    let g = Rat.gcd_int n d in
+    an.(i) <- n / g;
+    ad.(i) <- d / g
+  end
+
+let neg_exn a = if a = min_int then raise Rat.Overflow else -a
+
+(* dst.(i) <- dst.(i) - (fn/fd) * (pn/pd); all pairs canonical, fd,pd > 0. *)
+let sub_mul an ad i fn fd pn pd =
+  if pn <> 0 then begin
+    (* q = f * p with cross-term reduction *)
+    let g1 = Rat.gcd_int fn pd and g2 = Rat.gcd_int pn fd in
+    let qn = Rat.mul_exn (fn / g1) (pn / g2)
+    and qd = Rat.mul_exn (fd / g2) (pd / g1) in
+    let en = an.(i) and ed = ad.(i) in
+    let g = Rat.gcd_int ed qd in
+    let da = ed / g and db = qd / g in
+    let n = Rat.add_exn (Rat.mul_exn en db) (neg_exn (Rat.mul_exn qn da)) in
+    set_canon an ad i n (Rat.mul_exn ed db)
+  end
+
+(* dst.(i) <- dst.(i) * (fn/fd), canonical, fd > 0, f <> 0. *)
+let mul_by an ad i fn fd =
+  let en = an.(i) in
+  if en <> 0 then begin
+    let ed = ad.(i) in
+    let g1 = Rat.gcd_int en fd and g2 = Rat.gcd_int fn ed in
+    an.(i) <- Rat.mul_exn (en / g1) (fn / g2);
+    ad.(i) <- Rat.mul_exn (ed / g2) (fd / g1)
+  end
+
 let pivot t ~row ~col =
-  let m = Array.length t.rows and n = Array.length t.obj in
-  let piv = t.rows.(row).(col) in
-  assert (not (Rat.is_zero piv));
-  let inv = Rat.inv piv in
+  let n = t.ncols in
+  let base = row * n in
+  let pn = t.tn.(base + col) and pd = t.td.(base + col) in
+  assert (pn <> 0);
+  (* normalise the pivot row by 1/piv = pd/pn (kept sign-canonical) *)
+  let ivn = if pn < 0 then -pd else pd and ivd = abs pn in
   for j = 0 to n - 1 do
-    t.rows.(row).(j) <- Rat.mul t.rows.(row).(j) inv
+    mul_by t.tn t.td (base + j) ivn ivd
   done;
-  t.rhs.(row) <- Rat.mul t.rhs.(row) inv;
-  for i = 0 to m - 1 do
+  mul_by t.rhsn t.rhsd row ivn ivd;
+  for i = 0 to t.m - 1 do
     if i <> row then begin
-      let f = t.rows.(i).(col) in
-      if not (Rat.is_zero f) then begin
+      let ib = i * n in
+      let fn = t.tn.(ib + col) in
+      if fn <> 0 then begin
+        let fd = t.td.(ib + col) in
         for j = 0 to n - 1 do
-          t.rows.(i).(j) <-
-            Rat.sub t.rows.(i).(j) (Rat.mul f t.rows.(row).(j))
+          sub_mul t.tn t.td (ib + j) fn fd t.tn.(base + j) t.td.(base + j)
         done;
-        t.rhs.(i) <- Rat.sub t.rhs.(i) (Rat.mul f t.rhs.(row))
+        sub_mul t.rhsn t.rhsd i fn fd t.rhsn.(row) t.rhsd.(row)
       end
     end
   done;
-  let f = t.obj.(col) in
-  if not (Rat.is_zero f) then begin
+  let fn = t.objn.(col) in
+  if fn <> 0 then begin
+    let fd = t.objd.(col) in
     for j = 0 to n - 1 do
-      t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul f t.rows.(row).(j))
+      sub_mul t.objn t.objd j fn fd t.tn.(base + j) t.td.(base + j)
     done;
-    t.objval <- Rat.sub t.objval (Rat.mul f t.rhs.(row))
+    (* objval -= f * rhs(row) *)
+    let pn = t.rhsn.(row) and pd = t.rhsd.(row) in
+    if pn <> 0 then begin
+      let g1 = Rat.gcd_int fn pd and g2 = Rat.gcd_int pn fd in
+      let qn = Rat.mul_exn (fn / g1) (pn / g2)
+      and qd = Rat.mul_exn (fd / g2) (pd / g1) in
+      let g = Rat.gcd_int t.ovd qd in
+      let da = t.ovd / g and db = qd / g in
+      let nn =
+        Rat.add_exn (Rat.mul_exn t.ovn db) (neg_exn (Rat.mul_exn qn da))
+      in
+      let nd = Rat.mul_exn t.ovd db in
+      if nn = 0 then begin
+        t.ovn <- 0;
+        t.ovd <- 1
+      end
+      else begin
+        let g = Rat.gcd_int nn nd in
+        t.ovn <- nn / g;
+        t.ovd <- nd / g
+      end
+    end
   end;
   t.basis.(row) <- col
 
@@ -62,30 +137,39 @@ let pivot t ~row ~col =
    allowed columns; leaving row = lexicographic min ratio with lowest basic
    index as tie-break.  Returns [Ok ()] at optimality, [Error `Unbounded]. *)
 let optimise t ~allowed =
-  let m = Array.length t.rows and n = Array.length t.obj in
+  let m = t.m and n = t.ncols in
   let rec loop () =
     let entering = ref (-1) in
     (let j = ref 0 in
      while !entering < 0 && !j < n do
-       if allowed !j && Rat.sign t.obj.(!j) < 0 then entering := !j;
+       if allowed !j && t.objn.(!j) < 0 then entering := !j;
        incr j
      done);
     if !entering < 0 then Ok ()
     else begin
       let col = !entering in
       let leaving = ref (-1) in
-      let best = ref Rat.zero in
+      (* best ratio as a canonical pair bn/bd with bd > 0 *)
+      let bn = ref 0 and bd = ref 1 in
       for i = 0 to m - 1 do
-        let a = t.rows.(i).(col) in
-        if Rat.sign a > 0 then begin
-          let ratio = Rat.div t.rhs.(i) a in
+        let an = t.tn.((i * n) + col) in
+        if an > 0 then begin
+          let ad = t.td.((i * n) + col) in
+          (* ratio = rhs(i) / a = (rn * ad) / (rd * an), all positive parts *)
+          let p = Rat.mul_exn t.rhsn.(i) ad and q = Rat.mul_exn t.rhsd.(i) an in
+          let g = Rat.gcd_int p q in
+          let p, q = if g = 0 then (0, 1) else (p / g, q / g) in
+          let cmp =
+            if !leaving < 0 then -1
+            else compare (Rat.mul_exn p !bd) (Rat.mul_exn !bn q)
+          in
           if
-            !leaving < 0
-            || Rat.compare ratio !best < 0
-            || (Rat.equal ratio !best && t.basis.(i) < t.basis.(!leaving))
+            cmp < 0
+            || (cmp = 0 && !leaving >= 0 && t.basis.(i) < t.basis.(!leaving))
           then begin
             leaving := i;
-            best := ratio
+            bn := p;
+            bd := q
           end
         end
       done;
@@ -133,45 +217,72 @@ let solve ~objective ~cost constraints =
       0 constraints
   in
   let ncols = nvars + n_slack + n_art in
-  let rows = Array.init m (fun _ -> Array.make ncols Rat.zero) in
-  let rhs = Array.make m Rat.zero in
+  let tn = Array.make (m * ncols) 0 and td = Array.make (m * ncols) 1 in
+  let rhsn = Array.make m 0 and rhsd = Array.make m 1 in
   let basis = Array.make m (-1) in
   let slack_idx = ref nvars in
   let art_idx = ref (nvars + n_slack) in
   Array.iteri
     (fun i c ->
-      Array.blit c.coeffs 0 rows.(i) 0 nvars;
-      rhs.(i) <- c.rhs;
-      (match c.rel with
+      let ib = i * ncols in
+      Array.iteri
+        (fun j q ->
+          tn.(ib + j) <- Rat.num q;
+          td.(ib + j) <- Rat.den q)
+        c.coeffs;
+      rhsn.(i) <- Rat.num c.rhs;
+      rhsd.(i) <- Rat.den c.rhs;
+      match c.rel with
       | Le ->
-          rows.(i).(!slack_idx) <- Rat.one;
+          tn.(ib + !slack_idx) <- 1;
           basis.(i) <- !slack_idx;
           incr slack_idx
       | Ge ->
-          rows.(i).(!slack_idx) <- Rat.minus_one;
+          tn.(ib + !slack_idx) <- -1;
           incr slack_idx;
-          rows.(i).(!art_idx) <- Rat.one;
+          tn.(ib + !art_idx) <- 1;
           basis.(i) <- !art_idx;
           incr art_idx
       | Eq ->
-          rows.(i).(!art_idx) <- Rat.one;
+          tn.(ib + !art_idx) <- 1;
           basis.(i) <- !art_idx;
-          incr art_idx))
+          incr art_idx)
     constraints;
   let art_start = nvars + n_slack in
   (* Phase 1: minimise the sum of artificials. *)
-  let obj1 = Array.make ncols Rat.zero in
+  let objn = Array.make ncols 0 and objd = Array.make ncols 1 in
   for j = art_start to ncols - 1 do
-    obj1.(j) <- Rat.one
+    objn.(j) <- 1
   done;
-  let t = { rows; rhs; obj = obj1; objval = Rat.zero; basis } in
+  let t =
+    { m; ncols; tn; td; rhsn; rhsd; objn; objd; ovn = 0; ovd = 1; basis }
+  in
   (* Price out the basic artificials from the phase-1 objective row. *)
   for i = 0 to m - 1 do
     if basis.(i) >= art_start then begin
+      let ib = i * ncols in
       for j = 0 to ncols - 1 do
-        t.obj.(j) <- Rat.sub t.obj.(j) t.rows.(i).(j)
+        sub_mul t.objn t.objd j 1 1 t.tn.(ib + j) t.td.(ib + j)
       done;
-      t.objval <- Rat.sub t.objval t.rhs.(i)
+      let pn = t.rhsn.(i) in
+      if pn <> 0 then begin
+        let pd = t.rhsd.(i) in
+        let g = Rat.gcd_int t.ovd pd in
+        let da = t.ovd / g and db = pd / g in
+        let nn =
+          Rat.add_exn (Rat.mul_exn t.ovn db) (neg_exn (Rat.mul_exn pn da))
+        in
+        let nd = Rat.mul_exn t.ovd db in
+        let g = Rat.gcd_int nn nd in
+        if nn = 0 then begin
+          t.ovn <- 0;
+          t.ovd <- 1
+        end
+        else begin
+          t.ovn <- nn / g;
+          t.ovd <- nd / g
+        end
+      end
     end
   done;
   match optimise t ~allowed:(fun _ -> true) with
@@ -179,15 +290,16 @@ let solve ~objective ~cost constraints =
       (* Phase-1 objective is bounded below by 0; unreachable. *)
       assert false
   | Ok () ->
-      if Rat.sign (Rat.neg t.objval) > 0 then Infeasible
+      if -t.ovn > 0 then Infeasible
       else begin
         (* Drive any artificial still basic (at zero) out of the basis. *)
         for i = 0 to m - 1 do
           if t.basis.(i) >= art_start then begin
+            let ib = i * ncols in
             let j = ref 0 in
             let found = ref false in
             while (not !found) && !j < art_start do
-              if not (Rat.is_zero t.rows.(i).(!j)) then begin
+              if t.tn.(ib + !j) <> 0 then begin
                 pivot t ~row:i ~col:!j;
                 found := true
               end;
@@ -200,31 +312,64 @@ let solve ~objective ~cost constraints =
         done;
         (* Phase 2: install the real objective (reduced w.r.t. the basis). *)
         let sign_cost =
-          match objective with Minimize -> cost | Maximize -> Array.map Rat.neg cost
+          match objective with
+          | Minimize -> cost
+          | Maximize -> Array.map Rat.neg cost
         in
-        let obj2 = Array.make ncols Rat.zero in
-        Array.blit sign_cost 0 obj2 0 nvars;
-        let objval = ref Rat.zero in
+        Array.fill t.objn 0 ncols 0;
+        Array.fill t.objd 0 ncols 1;
+        Array.iteri
+          (fun j q ->
+            t.objn.(j) <- Rat.num q;
+            t.objd.(j) <- Rat.den q)
+          sign_cost;
+        t.ovn <- 0;
+        t.ovd <- 1;
         for i = 0 to m - 1 do
           let b = t.basis.(i) in
           let cb = if b < nvars then sign_cost.(b) else Rat.zero in
           if not (Rat.is_zero cb) then begin
+            let cbn = Rat.num cb and cbd = Rat.den cb in
+            let ib = i * ncols in
             for j = 0 to ncols - 1 do
-              obj2.(j) <- Rat.sub obj2.(j) (Rat.mul cb t.rows.(i).(j))
+              sub_mul t.objn t.objd j cbn cbd t.tn.(ib + j) t.td.(ib + j)
             done;
-            objval := Rat.sub !objval (Rat.mul cb t.rhs.(i))
+            (* objval -= cb * rhs(i) *)
+            let pn = t.rhsn.(i) in
+            if pn <> 0 then begin
+              let pd = t.rhsd.(i) in
+              let g1 = Rat.gcd_int cbn pd and g2 = Rat.gcd_int pn cbd in
+              let qn = Rat.mul_exn (cbn / g1) (pn / g2)
+              and qd = Rat.mul_exn (cbd / g2) (pd / g1) in
+              let g = Rat.gcd_int t.ovd qd in
+              let da = t.ovd / g and db = qd / g in
+              let nn =
+                Rat.add_exn (Rat.mul_exn t.ovn db)
+                  (neg_exn (Rat.mul_exn qn da))
+              in
+              let nd = Rat.mul_exn t.ovd db in
+              if nn = 0 then begin
+                t.ovn <- 0;
+                t.ovd <- 1
+              end
+              else begin
+                let g = Rat.gcd_int nn nd in
+                t.ovn <- nn / g;
+                t.ovd <- nd / g
+              end
+            end
           end
         done;
-        let t2 = { t with obj = obj2; objval = !objval } in
         let allowed j = j < art_start in
-        match optimise t2 ~allowed with
+        match optimise t ~allowed with
         | Error `Unbounded -> Unbounded
         | Ok () ->
             let solution = Array.make nvars Rat.zero in
             for i = 0 to m - 1 do
-              if t2.basis.(i) < nvars then solution.(t2.basis.(i)) <- t2.rhs.(i)
+              if t.basis.(i) < nvars then
+                solution.(t.basis.(i)) <- Rat.make t.rhsn.(i) t.rhsd.(i)
             done;
-            let value = Rat.neg t2.objval in
+            let value = Rat.make (neg_exn t.ovn) t.ovd in
             let value =
               match objective with Minimize -> value | Maximize -> Rat.neg value
             in

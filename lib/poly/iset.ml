@@ -1,207 +1,631 @@
 module Budget = Iolb_util.Budget
 
-type t = { dims : string list; cons : Constr.t list }
+(* ------------------------------------------------------------------ *)
+(* Compiled constraint systems                                         *)
+(*                                                                     *)
+(* The public interface speaks named dimensions and [Constr.t] lists,  *)
+(* but every operation that iterates (membership, enumeration,         *)
+(* counting, Fourier-Motzkin) first resolves names to integer columns  *)
+(* and works on dense [int array] rows.  Dimensions occupy columns     *)
+(* [0 .. ndims-1] in declaration order; every other variable that      *)
+(* appears in a constraint (parameters, free symbols) gets a column    *)
+(* after them.                                                         *)
+(* ------------------------------------------------------------------ *)
 
-let make ~dims cons = { dims; cons }
+(* One constraint [sum_i ra.(i) * var_i + rc (>=|=) 0] over the
+   system's column table. *)
+type row = { rk : Constr.kind; rc : int; ra : int array }
+
+type system = { ndims : int; vars : string array; rows : row array }
+
+(* An enumeration plan for one (set, params) pair: the Fourier-Motzkin
+   level systems reduced to the per-level bound rows the scan needs. *)
+type plan = {
+  pn : int;
+  pdims : string array;
+  (* pbound.(k): rows whose highest dimension column is [k] and which
+     mention no unresolved symbol; they bound dims.(k) once
+     point.(0..k-1) is fixed. *)
+  pbound : row array array;
+  (* pmiss.(k): no lower or no upper bound row at level [k]; raised as
+     "unbounded" if the scan reaches that level. *)
+  pmiss : bool array;
+  pfalse : bool; (* a level-0 row is constantly false: the set is empty *)
+  (* a constraint mentions a variable that is neither a dimension nor a
+     bound parameter; membership of any candidate raises [Not_found],
+     matching the uncompiled evaluation order. *)
+  pfree : bool;
+}
+
+type t = {
+  dims : string list;
+  cons : Constr.t list;
+  mutable sys : system option; (* compiled form, built on first use *)
+  mutable plans : ((string * int) list * plan) list; (* small MRU cache *)
+}
+
+let make ~dims cons = { dims; cons; sys = None; plans = [] }
 let dims s = s.dims
 let constraints s = s.cons
 
 let intersect a b =
-  if a.dims <> b.dims then invalid_arg "Iset.intersect: dimension mismatch";
-  { a with cons = a.cons @ b.cons }
+  if a.dims <> b.dims then
+    invalid_arg
+      (Printf.sprintf "Iset.intersect: dimension mismatch ([%s] vs [%s])"
+         (String.concat "; " a.dims)
+         (String.concat "; " b.dims));
+  make ~dims:a.dims (a.cons @ b.cons)
 
-let add_constraints cs s = { s with cons = cs @ s.cons }
+let add_constraints cs s = make ~dims:s.dims (cs @ s.cons)
 
 let specialize params s =
   let env x = if List.mem x s.dims then None else List.assoc_opt x params in
-  { s with cons = List.map (Constr.specialize env) s.cons }
+  make ~dims:s.dims (List.map (Constr.specialize env) s.cons)
+
+let compile s =
+  match s.sys with
+  | Some c -> c
+  | None ->
+      let ndims = List.length s.dims in
+      let module SS = Set.Make (String) in
+      let dimset = SS.of_list s.dims in
+      let others =
+        List.fold_left
+          (fun acc (c : Constr.t) ->
+            List.fold_left
+              (fun acc v -> if SS.mem v dimset then acc else SS.add v acc)
+              acc (Affine.vars c.expr))
+          SS.empty s.cons
+      in
+      let vars = Array.of_list (s.dims @ SS.elements others) in
+      let ncols = Array.length vars in
+      let col = Hashtbl.create (2 * ncols) in
+      Array.iteri
+        (fun i v -> if not (Hashtbl.mem col v) then Hashtbl.add col v i)
+        vars;
+      let rows =
+        Array.of_list
+          (List.map
+             (fun (c : Constr.t) ->
+               let ra = Array.make ncols 0 in
+               List.iter
+                 (fun (k, v) -> ra.(Hashtbl.find col v) <- k)
+                 (Affine.terms c.expr);
+               { rk = c.kind; rc = Affine.constant c.expr; ra })
+             s.cons)
+      in
+      let c = { ndims; vars; rows } in
+      s.sys <- Some c;
+      c
+
+(* Division helpers rounding toward the feasible side (denominator > 0). *)
+let ceil_div q d = if q >= 0 then (q + d - 1) / d else -(-q / d)
+let floor_div q d = if q >= 0 then q / d else -(ceil_div (-q) d)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let false_row ncols = { rk = Constr.Ge; rc = -1; ra = Array.make ncols 0 }
+
+(* Canonical form of one row: divide by the gcd of the coefficients
+   (tightening the constant toward the integer hull), fold constants,
+   and sign-normalise equalities.  [None] means trivially true;
+   constant-false rows collapse to the canonical false row so emptiness
+   survives pruning. *)
+let normalize_row ncols (r : row) =
+  let g = ref 0 in
+  for i = 0 to ncols - 1 do
+    g := gcd_int (abs r.ra.(i)) !g
+  done;
+  match r.rk with
+  | Constr.Ge ->
+      if !g = 0 then if r.rc >= 0 then None else Some (false_row ncols)
+      else if !g = 1 then Some r
+      else
+        Some
+          {
+            r with
+            rc = floor_div r.rc !g;
+            ra = Array.map (fun a -> a / !g) r.ra;
+          }
+  | Constr.Eq ->
+      if !g = 0 then if r.rc = 0 then None else Some (false_row ncols)
+      else if r.rc mod !g <> 0 then Some (false_row ncols)
+      else begin
+        let r =
+          if !g = 1 then r
+          else
+            { r with rc = r.rc / !g; ra = Array.map (fun a -> a / !g) r.ra }
+        in
+        (* first non-zero coefficient positive *)
+        let rec lead i =
+          if i >= ncols then 0
+          else if r.ra.(i) <> 0 then r.ra.(i)
+          else lead (i + 1)
+        in
+        if lead 0 < 0 then
+          Some { r with rc = -r.rc; ra = Array.map (fun a -> -a) r.ra }
+        else Some r
+      end
+
+let row_compare (a : row) (b : row) =
+  match Stdlib.compare a.rk b.rk with
+  | 0 -> (
+      match Stdlib.compare a.ra b.ra with
+      | 0 -> Stdlib.compare a.rc b.rc
+      | c -> c)
+  | c -> c
+
+(* Duplicate and dominated-constraint pruning on normalised rows: rows
+   sharing a coefficient vector keep only the strongest constant (for
+   inequalities) and collapse contradicting equalities to the false
+   row.  The sorted result doubles as a canonical form for memoising. *)
+let dedup_rows ncols rows =
+  let rows = List.sort row_compare rows in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | [ r ] -> List.rev (r :: acc)
+    | a :: b :: tl ->
+        if a.rk = b.rk && a.ra = b.ra then
+          match a.rk with
+          (* a.rc <= b.rc: a is the stronger row, b is dominated *)
+          | Constr.Ge -> go acc (a :: tl)
+          | Constr.Eq ->
+              if a.rc = b.rc then go acc (a :: tl)
+              else go (false_row ncols :: acc) (a :: tl)
+        else go (a :: acc) (b :: tl)
+  in
+  go [] rows
+
+(* ------------------------------------------------------------------ *)
+(* Fourier-Motzkin elimination on compiled rows, with a global memo    *)
+(* keyed by the canonical (rows, eliminated column) form.  Keys are    *)
+(* purely numeric, so structurally identical systems share results     *)
+(* across sets and parameter valuations.                               *)
+(* ------------------------------------------------------------------ *)
+
+module Memo = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = ( = )
+
+  let hash a =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193
+    done;
+    !h land max_int
+end)
+
+let fm_memo : row list Memo.t = Memo.create 256
+let fm_memo_mutex = Mutex.create ()
+let fm_memo_cap = 8192
+
+let encode_key x ncols rows =
+  let nrows = List.length rows in
+  let key = Array.make (2 + (nrows * (ncols + 2))) 0 in
+  key.(0) <- x;
+  key.(1) <- ncols;
+  let p = ref 2 in
+  List.iter
+    (fun r ->
+      key.(!p) <- (match r.rk with Constr.Ge -> 0 | Constr.Eq -> 1);
+      key.(!p + 1) <- r.rc;
+      Array.blit r.ra 0 key (!p + 2) ncols;
+      p := !p + ncols + 2)
+    rows;
+  key
+
+(* Eliminate column [x].  Mirrors the uncompiled algorithm: a unit
+   equality on [x] substitutes exactly; other equalities split into two
+   inequalities; otherwise every (lower, upper) pair combines, with one
+   budget checkpoint per combination. *)
+let fm_rows ~budget ncols x rows =
+  let key = encode_key x ncols rows in
+  match
+    Mutex.protect fm_memo_mutex (fun () -> Memo.find_opt fm_memo key)
+  with
+  | Some r -> r
+  | None ->
+      let split =
+        List.concat_map
+          (fun r ->
+            let cx = r.ra.(x) in
+            if r.rk = Constr.Eq && cx <> 0 && abs cx <> 1 then
+              [
+                { r with rk = Constr.Ge };
+                {
+                  rk = Constr.Ge;
+                  rc = -r.rc;
+                  ra = Array.map (fun a -> -a) r.ra;
+                };
+              ]
+            else [ r ])
+          rows
+      in
+      let subst_eq =
+        List.find_opt (fun r -> r.rk = Constr.Eq && abs r.ra.(x) = 1) split
+      in
+      let produced =
+        match subst_eq with
+        | Some e ->
+            (* e: cx * x + rest = 0 with cx = +-1, so x = -cx * rest. *)
+            let cx = e.ra.(x) in
+            List.filter_map
+              (fun r ->
+                if r == e then None
+                else
+                  let a = r.ra.(x) in
+                  if a = 0 then normalize_row ncols r
+                  else begin
+                    let f = a * cx in
+                    let ra =
+                      Array.init ncols (fun i -> r.ra.(i) - (f * e.ra.(i)))
+                    in
+                    ra.(x) <- 0;
+                    normalize_row ncols
+                      { rk = r.rk; rc = r.rc - (f * e.rc); ra }
+                  end)
+              split
+        | None ->
+            let lowers, uppers, rest =
+              List.fold_left
+                (fun (lo, up, rest) r ->
+                  let cx = r.ra.(x) in
+                  if cx > 0 then (r :: lo, up, rest)
+                  else if cx < 0 then (lo, r :: up, rest)
+                  else (lo, up, r :: rest))
+                ([], [], []) split
+            in
+            let combined =
+              List.concat_map
+                (fun l ->
+                  let cl = l.ra.(x) in
+                  List.filter_map
+                    (fun u ->
+                      Budget.checkpoint budget Budget.Poly_projection;
+                      (* cl > 0 > cu: (-cu) * l + cl * u eliminates x. *)
+                      let cu = u.ra.(x) in
+                      let ra =
+                        Array.init ncols (fun i ->
+                            (-cu * l.ra.(i)) + (cl * u.ra.(i)))
+                      in
+                      normalize_row ncols
+                        {
+                          rk = Constr.Ge;
+                          rc = (-cu * l.rc) + (cl * u.rc);
+                          ra;
+                        })
+                    uppers)
+                lowers
+            in
+            combined @ rest
+      in
+      let result = dedup_rows ncols produced in
+      Mutex.protect fm_memo_mutex (fun () ->
+          if Memo.length fm_memo >= fm_memo_cap then Memo.reset fm_memo;
+          Memo.replace fm_memo key result);
+      result
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let mem ~params s point =
-  let env x =
-    match List.assoc_opt x params with
-    | Some v -> v
-    | None -> (
-        match List.find_index (String.equal x) s.dims with
-        | Some i -> point.(i)
-        | None -> raise Not_found)
-  in
-  List.for_all (Constr.satisfied env) s.cons
+  let sys = compile s in
+  let ncols = Array.length sys.vars in
+  let env = Array.make ncols 0 in
+  let bound = Array.make ncols false in
+  for i = 0 to ncols - 1 do
+    (* parameter bindings take precedence over coordinates, matching the
+       uncompiled environment's lookup order *)
+    match List.assoc_opt sys.vars.(i) params with
+    | Some v ->
+        env.(i) <- v;
+        bound.(i) <- true
+    | None ->
+        if i < sys.ndims then begin
+          env.(i) <- point.(i);
+          bound.(i) <- true
+        end
+  done;
+  Array.for_all
+    (fun r ->
+      let acc = ref r.rc in
+      for i = 0 to ncols - 1 do
+        let a = Array.unsafe_get r.ra i in
+        if a <> 0 then begin
+          if not (Array.unsafe_get bound i) then raise Not_found;
+          acc := !acc + (a * Array.unsafe_get env i)
+        end
+      done;
+      match r.rk with Constr.Ge -> !acc >= 0 | Constr.Eq -> !acc = 0)
+    sys.rows
 
-(* Fourier-Motzkin elimination of [x].  Equalities with a unit coefficient
-   on [x] are used as substitutions; other equalities are split into two
-   inequalities first. *)
-let fm_eliminate ?(budget = Budget.unlimited) x cons =
-  let cons =
-    List.concat_map
-      (fun (c : Constr.t) ->
-        match c.kind with
-        | Constr.Ge -> [ c ]
-        | Constr.Eq ->
-            let cx = Affine.coeff x c.expr in
-            if cx = 1 || cx = -1 then [ c ]
-            else [ Constr.ge c.expr; Constr.ge (Affine.neg c.expr) ])
-      cons
+(* ------------------------------------------------------------------ *)
+(* Enumeration plans                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_plan ~budget sys params dims_list =
+  let n = sys.ndims in
+  let ncols = Array.length sys.vars in
+  (* bind parameter columns (never dimension columns) *)
+  let pval = Array.make ncols None in
+  for i = n to ncols - 1 do
+    pval.(i) <- List.assoc_opt sys.vars.(i) params
+  done;
+  let rows0 =
+    Array.to_list sys.rows
+    |> List.filter_map (fun r ->
+           let rc = ref r.rc in
+           let ra = Array.copy r.ra in
+           for i = n to ncols - 1 do
+             if ra.(i) <> 0 then
+               match pval.(i) with
+               | Some v ->
+                   rc := !rc + (ra.(i) * v);
+                   ra.(i) <- 0
+               | None -> ()
+           done;
+           normalize_row ncols { r with rc = !rc; ra })
   in
-  (* Prefer an exact substitution when an equality pins [x]. *)
-  let subst_eq =
-    List.find_opt
-      (fun (c : Constr.t) ->
-        c.kind = Constr.Eq && abs (Affine.coeff x c.expr) = 1)
-      cons
+  let levels = Array.make n [] in
+  levels.(n - 1) <- rows0;
+  for k = n - 1 downto 1 do
+    levels.(k - 1) <- fm_rows ~budget ncols k levels.(k)
+  done;
+  let top_dim r =
+    let rec go i = if i < 0 then -1 else if r.ra.(i) <> 0 then i else go (i - 1) in
+    go (n - 1)
   in
-  match subst_eq with
-  | Some c ->
-      (* c.expr = 0 with coeff +-1 on x gives x = value. *)
-      let cx = Affine.coeff x c.expr in
-      let rest = Affine.sub c.expr (Affine.term cx x) in
-      let value = Affine.scale (-cx) rest in
-      List.filter_map
-        (fun (c' : Constr.t) ->
-          if c' == c then None
-          else
-            let e = Affine.subst x value c'.expr in
-            match Constr.is_trivial { c' with expr = e } with
-            | Some true -> None
-            | _ -> Some { c' with expr = e })
-        cons
+  let has_free r =
+    let rec go i = if i >= ncols then false else r.ra.(i) <> 0 || go (i + 1) in
+    go n
+  in
+  let pbound = Array.make n [||] in
+  let pmiss = Array.make n false in
+  for k = 0 to n - 1 do
+    let rows =
+      List.filter (fun r -> top_dim r = k && not (has_free r)) levels.(k)
+    in
+    pbound.(k) <- Array.of_list rows;
+    let has_lo =
+      List.exists (fun r -> r.rk = Constr.Eq || r.ra.(k) > 0) rows
+    and has_up =
+      List.exists (fun r -> r.rk = Constr.Eq || r.ra.(k) < 0) rows
+    in
+    pmiss.(k) <- not (has_lo && has_up)
+  done;
+  let pfalse =
+    List.exists
+      (fun r ->
+        top_dim r = -1
+        && (not (has_free r))
+        &&
+        match r.rk with Constr.Ge -> r.rc < 0 | Constr.Eq -> r.rc <> 0)
+      levels.(0)
+  in
+  let pfree = List.exists has_free levels.(n - 1) in
+  { pn = n; pdims = Array.of_list dims_list; pbound; pmiss; pfalse; pfree }
+
+let plan_cache_cap = 8
+
+let plan_for ~budget ~params s =
+  let sys = compile s in
+  match List.find_opt (fun (ps, _) -> ps = params) s.plans with
+  | Some (_, p) -> p
   | None ->
-      let lowers, uppers, rest =
-        List.fold_left
-          (fun (lo, up, rest) (c : Constr.t) ->
-            let cx = Affine.coeff x c.expr in
-            if cx > 0 then (c :: lo, up, rest)
-            else if cx < 0 then (lo, c :: up, rest)
-            else (lo, up, c :: rest))
-          ([], [], []) cons
+      let p = build_plan ~budget sys params s.dims in
+      let keep =
+        if List.length s.plans >= plan_cache_cap then
+          List.filteri (fun i _ -> i < plan_cache_cap - 1) s.plans
+        else s.plans
       in
-      let combined =
-        List.concat_map
-          (fun (l : Constr.t) ->
-            let cl = Affine.coeff x l.expr in
-            List.filter_map
-              (fun (u : Constr.t) ->
-                Budget.checkpoint budget Budget.Poly_projection;
-                let cu = Affine.coeff x u.expr in
-                (* cl > 0 > cu: (-cu) * l + cl * u eliminates x. *)
-                let e =
-                  Affine.add (Affine.scale (-cu) l.expr) (Affine.scale cl u.expr)
-                in
-                match Constr.is_trivial (Constr.ge e) with
-                | Some true -> None
-                | _ -> Some (Constr.ge e))
-              uppers)
-          lowers
-      in
-      List.sort_uniq Constr.compare (combined @ List.rev rest)
+      s.plans <- (params, p) :: keep;
+      p
 
-let project ?(budget = Budget.unlimited) ~onto s =
-  let to_remove = List.filter (fun d -> not (List.mem d onto)) s.dims in
-  let cons =
-    List.fold_left (fun cs d -> fm_eliminate ~budget d cs) s.cons to_remove
-  in
-  { dims = onto; cons }
-
-(* Integer bounds of variable [x] in a constraint system where all other
-   dimensions have been eliminated or fixed: scan for lower/upper bounds. *)
-let var_bounds x cons =
-  (* Treat e = 0 as e >= 0 and -e >= 0. *)
-  let ineqs =
-    List.concat_map
-      (fun (c : Constr.t) ->
-        match c.kind with
-        | Constr.Ge -> [ c.expr ]
-        | Constr.Eq -> [ c.expr; Affine.neg c.expr ])
-      cons
-  in
-  let ceil_div q d = if q >= 0 then (q + d - 1) / d else -(-q / d) in
-  let floor_div q d = if q >= 0 then q / d else -(ceil_div (-q) d) in
-  List.fold_left
-    (fun (lo, up) e ->
-      let cx = Affine.coeff x e in
-      if cx = 0 then (lo, up)
-      else
-        let rest = Affine.sub e (Affine.term cx x) in
-        match Affine.is_constant rest with
-        | None -> (lo, up) (* still involves symbols: ignore, checked later *)
-        | Some r ->
-            if cx > 0 then
-              (* cx * x + r >= 0  =>  x >= ceil(-r / cx) *)
-              let b = ceil_div (-r) cx in
-              ((match lo with None -> Some b | Some l -> Some (max l b)), up)
-            else
-              (* cx * x + r >= 0, cx < 0  =>  x <= floor(r / -cx) *)
-              let b = floor_div r (-cx) in
-              (lo, match up with None -> Some b | Some u -> Some (min u b)))
-    (None, None) ineqs
-
-let enumerate ?(budget = Budget.unlimited) ~params s =
-  let s = specialize params s in
-  let n = List.length s.dims in
-  let dims = Array.of_list s.dims in
-  (* levels.(k) = constraints implied by s.cons involving only dims 0..k. *)
-  let levels = Array.make n s.cons in
-  let rec eliminate k cons =
-    if k < 0 then ()
-    else begin
-      levels.(k) <- cons;
-      if k > 0 then eliminate (k - 1) (fm_eliminate ~budget dims.(k) cons)
-    end
-  in
-  if n > 0 then eliminate (n - 1) s.cons;
-  let out = ref [] in
-  let count = ref 0 in
+(* Shared scan driver: walks the per-level bound rows in lexicographic
+   order and hands each innermost feasible interval [lo, up] (with the
+   point prefix in [point]) to [leaf].  At the innermost level the rows
+   are the full original system with all outer dimensions fixed, so the
+   interval is exact and no per-point membership re-check is needed. *)
+let scan plan ~leaf =
+  let n = plan.pn in
   let point = Array.make n 0 in
-  let rec fill k =
-    if k = n then begin
-      Budget.checkpoint budget Budget.Poly_projection;
-      if mem ~params s point then begin
-        incr count;
-        Budget.check_node_cap budget Budget.Poly_projection !count;
-        out := Array.copy point :: !out
+  let rec go k =
+    if plan.pmiss.(k) then
+      invalid_arg
+        (Printf.sprintf "Iset.enumerate: dimension %s is unbounded"
+           plan.pdims.(k));
+    let lo = ref min_int and up = ref max_int in
+    Array.iter
+      (fun r ->
+        let cx = r.ra.(k) in
+        let c = ref r.rc in
+        for i = 0 to k - 1 do
+          c := !c + (Array.unsafe_get r.ra i * Array.unsafe_get point i)
+        done;
+        match r.rk with
+        | Constr.Ge ->
+            if cx > 0 then begin
+              let b = ceil_div (- !c) cx in
+              if b > !lo then lo := b
+            end
+            else begin
+              let b = floor_div !c (-cx) in
+              if b < !up then up := b
+            end
+        | Constr.Eq ->
+            (* x = -c / cx exactly *)
+            let q = - !c and d = cx in
+            let q, d = if d < 0 then (-q, -d) else (q, d) in
+            let bl = ceil_div q d and bu = floor_div q d in
+            if bl > !lo then lo := bl;
+            if bu < !up then up := bu)
+      plan.pbound.(k);
+    if k = n - 1 then begin
+      if !lo <= !up then begin
+        if plan.pfree then raise Not_found;
+        leaf point !lo !up
       end
     end
-    else begin
-      let env x =
-        match List.find_index (String.equal x) s.dims with
-        | Some i when i < k -> Some point.(i)
-        | _ -> None
-      in
-      let cons_k = List.map (Constr.specialize env) levels.(k) in
-      match var_bounds dims.(k) cons_k with
-      | Some lo, Some up ->
-          for v = lo to up do
-            point.(k) <- v;
-            fill (k + 1)
-          done
-      | _ ->
-          invalid_arg
-            (Printf.sprintf "Iset.enumerate: dimension %s is unbounded"
-               dims.(k))
-    end
+    else
+      for v = !lo to !up do
+        point.(k) <- v;
+        go (k + 1)
+      done
   in
-  if n = 0 then (if mem ~params s [||] then [ [||] ] else [])
+  if not plan.pfalse then go 0
+
+(* Zero-dimensional sets reduce to a membership test of the empty point;
+   evaluate rows in declaration order so that `false before Not_found'
+   behaviour matches the uncompiled evaluator. *)
+let mem_empty_point ~params s = mem ~params s [||]
+
+let enumerate ?(budget = Budget.unlimited) ~params s =
+  let sys = compile s in
+  if sys.ndims = 0 then (if mem_empty_point ~params s then [ [||] ] else [])
   else begin
-    (match
-       List.find_map
-         (fun (c : Constr.t) ->
-           match Constr.is_trivial c with Some false -> Some () | _ -> None)
-         levels.(0)
-     with
-    | Some () -> ()
-    | None -> fill 0);
+    let plan = plan_for ~budget ~params s in
+    let n = plan.pn in
+    let out = ref [] in
+    let count = ref 0 in
+    scan plan ~leaf:(fun point lo up ->
+        for v = lo to up do
+          Budget.checkpoint budget Budget.Poly_projection;
+          incr count;
+          Budget.check_node_cap budget Budget.Poly_projection !count;
+          point.(n - 1) <- v;
+          out := Array.copy point :: !out
+        done);
     List.rev !out
   end
 
-let cardinal ?budget ~params s = List.length (enumerate ?budget ~params s)
-let is_empty ?budget ~params s = enumerate ?budget ~params s = []
+let cardinal ?(budget = Budget.unlimited) ~params s =
+  let sys = compile s in
+  if sys.ndims = 0 then (if mem_empty_point ~params s then 1 else 0)
+  else begin
+    let plan = plan_for ~budget ~params s in
+    let count = ref 0 in
+    (* the innermost dimension is counted in closed form; the node cap
+       still sees every logical point *)
+    scan plan ~leaf:(fun _ lo up ->
+        Budget.checkpoint budget Budget.Poly_projection;
+        count := !count + (up - lo + 1);
+        Budget.check_node_cap budget Budget.Poly_projection !count);
+    !count
+  end
+
+exception Nonempty
+
+let is_empty ?(budget = Budget.unlimited) ~params s =
+  let sys = compile s in
+  if sys.ndims = 0 then not (mem_empty_point ~params s)
+  else begin
+    let plan = plan_for ~budget ~params s in
+    (* short-circuit on the first feasible interval *)
+    try
+      scan plan ~leaf:(fun _ _ _ -> raise_notrace Nonempty);
+      true
+    with Nonempty -> false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Named-constraint entry points (projection, bounds)                  *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cons extra_vars cons =
+  let module SS = Set.Make (String) in
+  let vars =
+    List.fold_left
+      (fun acc (c : Constr.t) ->
+        List.fold_left (fun acc v -> SS.add v acc) acc (Affine.vars c.expr))
+      (SS.of_list extra_vars) cons
+  in
+  let vars = Array.of_list (SS.elements vars) in
+  let col = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace col v i) vars;
+  let ncols = Array.length vars in
+  let rows =
+    List.map
+      (fun (c : Constr.t) ->
+        let ra = Array.make ncols 0 in
+        List.iter
+          (fun (k, v) -> ra.(Hashtbl.find col v) <- k)
+          (Affine.terms c.expr);
+        { rk = c.kind; rc = Affine.constant c.expr; ra })
+      cons
+  in
+  (vars, col, ncols, rows)
+
+let decompile_rows vars rows =
+  List.map
+    (fun r ->
+      let terms = ref [] in
+      for i = Array.length vars - 1 downto 0 do
+        if r.ra.(i) <> 0 then terms := (r.ra.(i), vars.(i)) :: !terms
+      done;
+      let expr = Affine.of_terms !terms r.rc in
+      match r.rk with Constr.Ge -> Constr.ge expr | Constr.Eq -> Constr.eq expr)
+    rows
+
+let fm_eliminate ?(budget = Budget.unlimited) x cons =
+  let vars, col, ncols, rows = compile_cons [ x ] cons in
+  let out = fm_rows ~budget ncols (Hashtbl.find col x) rows in
+  decompile_rows vars out
+
+let project ?(budget = Budget.unlimited) ~onto s =
+  let to_remove = List.filter (fun d -> not (List.mem d onto)) s.dims in
+  let vars, col, ncols, rows = compile_cons s.dims s.cons in
+  let out =
+    List.fold_left
+      (fun rows d -> fm_rows ~budget ncols (Hashtbl.find col d) rows)
+      rows to_remove
+  in
+  make ~dims:onto (decompile_rows vars out)
+
+(* Integer bounds of column [x] from rows where every other column is
+   zero (other dimensions eliminated, parameters substituted); rows
+   still involving symbols are ignored, as in the uncompiled scanner. *)
+let col_bounds x ncols rows =
+  List.fold_left
+    (fun (lo, up) r ->
+      let cx = r.ra.(x) in
+      let pure =
+        cx <> 0
+        &&
+        let rec go i =
+          i >= ncols || ((i = x || r.ra.(i) = 0) && go (i + 1))
+        in
+        go 0
+      in
+      if not pure then (lo, up)
+      else
+        let join_lo b = match lo with None -> Some b | Some l -> Some (max l b)
+        and join_up b =
+          match up with None -> Some b | Some u -> Some (min u b)
+        in
+        match r.rk with
+        | Constr.Ge ->
+            if cx > 0 then (join_lo (ceil_div (-r.rc) cx), up)
+            else (lo, join_up (floor_div r.rc (-cx)))
+        | Constr.Eq ->
+            let q = -r.rc and d = cx in
+            let q, d = if d < 0 then (-q, -d) else (q, d) in
+            (join_lo (ceil_div q d), join_up (floor_div q d)))
+    (None, None) rows
 
 let bounds_of_dim ?(budget = Budget.unlimited) ~params s x =
   let s = specialize params s in
+  let vars, col, ncols, rows = compile_cons (x :: s.dims) s.cons in
+  ignore vars;
+  let rows = List.filter_map (normalize_row ncols) rows in
   let others = List.filter (fun d -> d <> x) s.dims in
-  let cons =
-    List.fold_left (fun cs d -> fm_eliminate ~budget d cs) s.cons others
+  let rows =
+    List.fold_left
+      (fun rows d -> fm_rows ~budget ncols (Hashtbl.find col d) rows)
+      rows others
   in
-  var_bounds x cons
+  col_bounds (Hashtbl.find col x) ncols rows
 
 let pp fmt s =
   Format.fprintf fmt "{ [%a] : %a }"

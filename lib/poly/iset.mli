@@ -9,10 +9,19 @@
     - Fourier-Motzkin elimination, used to compute per-dimension bounds for
       enumeration and rational projections.
 
+    Internally every operation runs on a {e compiled} form of the set:
+    variable names are resolved to integer columns once per set, constraints
+    become dense [int array] rows, and Fourier-Motzkin works on arrays with
+    GCD normalisation and duplicate/dominated-constraint pruning.
+    Eliminations are memoised on the canonical (rows, column) form, and each
+    set caches its per-parameter enumeration plans.
+
     Fourier-Motzkin computes the rational shadow of a projection; it is an
-    over-approximation of the integer projection in general.  Enumeration
-    remains exact because candidate points are always checked against the
-    original constraints. *)
+    over-approximation of the integer projection in general (per-constraint
+    GCD tightening may narrow it towards the integer hull).  Enumeration
+    remains exact because at the innermost level the bound rows are the full
+    original system with every outer dimension fixed, so each per-dimension
+    interval is exact. *)
 
 type t
 
@@ -23,7 +32,8 @@ val make : dims:string list -> Constr.t list -> t
 val dims : t -> string list
 val constraints : t -> Constr.t list
 
-(** [intersect a b] requires [dims a = dims b]. @raise Invalid_argument. *)
+(** [intersect a b] requires [dims a = dims b].
+    @raise Invalid_argument naming both dimension lists otherwise. *)
 val intersect : t -> t -> t
 
 val add_constraints : Constr.t list -> t -> t
@@ -41,8 +51,10 @@ val mem : params:(string * int) list -> t -> int array -> bool
 
     All the Fourier-Motzkin-backed operations below accept a [?budget];
     they account one [Poly_projection] checkpoint per constraint
-    combination and per candidate point, and [enumerate] additionally
-    honours the budget's node cap on the number of points produced.
+    combination and per enumerated point (per innermost interval for
+    [cardinal], which counts in closed form), and the budget's node cap
+    is checked against the number of logical points produced.
+    [is_empty] stops at the first feasible point.
     @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
 val enumerate :
   ?budget:Iolb_util.Budget.t -> params:(string * int) list -> t -> int array list

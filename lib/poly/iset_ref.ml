@@ -1,0 +1,160 @@
+(* The seed's list-based polyhedral algorithms, preserved verbatim (minus
+   budget plumbing) as a differential-testing oracle for the compiled
+   implementation in Iset.  Keep this file dumb and obviously correct. *)
+
+let mem ~params ~dims cons point =
+  let env x =
+    match List.assoc_opt x params with
+    | Some v -> v
+    | None -> (
+        match List.find_index (String.equal x) dims with
+        | Some i -> point.(i)
+        | None -> raise Not_found)
+  in
+  List.for_all (Constr.satisfied env) cons
+
+(* Fourier-Motzkin elimination of [x].  Equalities with a unit coefficient
+   on [x] are used as substitutions; other equalities are split into two
+   inequalities first. *)
+let fm_eliminate x cons =
+  let cons =
+    List.concat_map
+      (fun (c : Constr.t) ->
+        match c.kind with
+        | Constr.Ge -> [ c ]
+        | Constr.Eq ->
+            let cx = Affine.coeff x c.expr in
+            if cx = 1 || cx = -1 then [ c ]
+            else [ Constr.ge c.expr; Constr.ge (Affine.neg c.expr) ])
+      cons
+  in
+  let subst_eq =
+    List.find_opt
+      (fun (c : Constr.t) ->
+        c.kind = Constr.Eq && abs (Affine.coeff x c.expr) = 1)
+      cons
+  in
+  match subst_eq with
+  | Some c ->
+      let cx = Affine.coeff x c.expr in
+      let rest = Affine.sub c.expr (Affine.term cx x) in
+      let value = Affine.scale (-cx) rest in
+      List.filter_map
+        (fun (c' : Constr.t) ->
+          if c' == c then None
+          else
+            let e = Affine.subst x value c'.expr in
+            match Constr.is_trivial { c' with expr = e } with
+            | Some true -> None
+            | _ -> Some { c' with expr = e })
+        cons
+  | None ->
+      let lowers, uppers, rest =
+        List.fold_left
+          (fun (lo, up, rest) (c : Constr.t) ->
+            let cx = Affine.coeff x c.expr in
+            if cx > 0 then (c :: lo, up, rest)
+            else if cx < 0 then (lo, c :: up, rest)
+            else (lo, up, c :: rest))
+          ([], [], []) cons
+      in
+      let combined =
+        List.concat_map
+          (fun (l : Constr.t) ->
+            let cl = Affine.coeff x l.expr in
+            List.filter_map
+              (fun (u : Constr.t) ->
+                let cu = Affine.coeff x u.expr in
+                let e =
+                  Affine.add (Affine.scale (-cu) l.expr) (Affine.scale cl u.expr)
+                in
+                match Constr.is_trivial (Constr.ge e) with
+                | Some true -> None
+                | _ -> Some (Constr.ge e))
+              uppers)
+          lowers
+      in
+      List.sort_uniq Constr.compare (combined @ List.rev rest)
+
+let project ~onto ~dims cons =
+  let to_remove = List.filter (fun d -> not (List.mem d onto)) dims in
+  List.fold_left (fun cs d -> fm_eliminate d cs) cons to_remove
+
+let var_bounds x cons =
+  let ineqs =
+    List.concat_map
+      (fun (c : Constr.t) ->
+        match c.kind with
+        | Constr.Ge -> [ c.expr ]
+        | Constr.Eq -> [ c.expr; Affine.neg c.expr ])
+      cons
+  in
+  let ceil_div q d = if q >= 0 then (q + d - 1) / d else -(-q / d) in
+  let floor_div q d = if q >= 0 then q / d else -(ceil_div (-q) d) in
+  List.fold_left
+    (fun (lo, up) e ->
+      let cx = Affine.coeff x e in
+      if cx = 0 then (lo, up)
+      else
+        let rest = Affine.sub e (Affine.term cx x) in
+        match Affine.is_constant rest with
+        | None -> (lo, up)
+        | Some r ->
+            if cx > 0 then
+              let b = ceil_div (-r) cx in
+              ((match lo with None -> Some b | Some l -> Some (max l b)), up)
+            else
+              let b = floor_div r (-cx) in
+              (lo, match up with None -> Some b | Some u -> Some (min u b)))
+    (None, None) ineqs
+
+let enumerate ~params ~dims cons =
+  let env x = if List.mem x dims then None else List.assoc_opt x params in
+  let cons = List.map (Constr.specialize env) cons in
+  let n = List.length dims in
+  let dims_a = Array.of_list dims in
+  let levels = Array.make (max n 1) cons in
+  let rec eliminate k cs =
+    if k >= 0 then begin
+      levels.(k) <- cs;
+      if k > 0 then eliminate (k - 1) (fm_eliminate dims_a.(k) cs)
+    end
+  in
+  if n > 0 then eliminate (n - 1) cons;
+  let out = ref [] in
+  let point = Array.make n 0 in
+  let rec fill k =
+    if k = n then begin
+      if mem ~params ~dims cons point then out := Array.copy point :: !out
+    end
+    else begin
+      let env x =
+        match List.find_index (String.equal x) dims with
+        | Some i when i < k -> Some point.(i)
+        | _ -> None
+      in
+      let cons_k = List.map (Constr.specialize env) levels.(k) in
+      match var_bounds dims_a.(k) cons_k with
+      | Some lo, Some up ->
+          for v = lo to up do
+            point.(k) <- v;
+            fill (k + 1)
+          done
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Iset_ref.enumerate: dimension %s is unbounded"
+               dims_a.(k))
+    end
+  in
+  if n = 0 then (if mem ~params ~dims cons [||] then [ [||] ] else [])
+  else begin
+    (match
+       List.find_map
+         (fun (c : Constr.t) ->
+           match Constr.is_trivial c with Some false -> Some () | _ -> None)
+         levels.(0)
+     with
+    | Some () -> ()
+    | None -> fill 0);
+    List.rev !out
+  end

@@ -1,0 +1,23 @@
+(** Reference implementation of {!Iset}'s core operations, kept as the
+    seed's list-based, name-at-a-time algorithms (no compilation, no
+    normalisation, no pruning, no memoisation).
+
+    It exists purely as a differential-testing oracle: the property tests
+    equate the compiled {!Iset} path against these functions on random
+    affine systems.  Never use it from production code — it materialises
+    every point. *)
+
+val mem : params:(string * int) list -> dims:string list -> Constr.t list ->
+  int array -> bool
+
+(** [enumerate ~params ~dims cons] lists all integer points in
+    lexicographic order, exactly as the seed implementation did. *)
+val enumerate : params:(string * int) list -> dims:string list ->
+  Constr.t list -> int array list
+
+val fm_eliminate : string -> Constr.t list -> Constr.t list
+
+(** [project ~onto ~dims cons] is the rational (Fourier-Motzkin)
+    projection onto [onto]. *)
+val project : onto:string list -> dims:string list -> Constr.t list ->
+  Constr.t list

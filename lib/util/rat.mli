@@ -69,6 +69,18 @@ val ceil : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** Overflow-checked native [int] arithmetic, shared with callers (the
+    simplex tableau) that unbox rationals into parallel [num]/[den]
+    arrays but must keep exactly the same overflow behaviour.
+    @raise Overflow when the exact result does not fit in an [int]. *)
+
+val add_exn : int -> int -> int
+
+val mul_exn : int -> int -> int
+
+(** [gcd_int a b] is the non-negative gcd of [abs a] and [abs b]. *)
+val gcd_int : int -> int -> int
+
 (** Infix aliases, intended for local [open Rat.Infix]. *)
 module Infix : sig
   val ( + ) : t -> t -> t

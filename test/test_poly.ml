@@ -95,6 +95,69 @@ let random_set_test =
          done;
          List.sort compare enumerated = List.sort compare (List.rev !brute)))
 
+(* Differential tests: the compiled representation against the retained
+   list-based reference implementation (Iset_ref), on random bounded
+   systems over three dimensions and one parameter.  Equality and
+   cutting-plane constraints may make the system empty or collapse it to
+   lower dimension - exactly the shapes the normalisation and pruning
+   passes must not change. *)
+module IR = Iolb_poly.Iset_ref
+
+let ref_dims = [ "i"; "j"; "k" ]
+
+let ref_system_gen =
+  let open QCheck2.Gen in
+  let coeff = int_range (-3) 3 in
+  let extra =
+    triple
+      (oneofl [ C.Ge; C.Eq ])
+      (triple coeff coeff coeff)
+      (pair (int_range (-2) 2) (int_range (-8) 8))
+  in
+  triple
+    (triple (int_range 0 4) (int_range 0 4) (int_range 0 4))
+    (int_range 0 5)
+    (pair extra (option extra))
+
+let ref_system ((bi, bj, bk), n, (e1, e2)) =
+  let box d b = [ C.ge (v d); C.le_of (v d) (c b) ] in
+  let mk (kind, (a, b, k'), (dn, e)) =
+    let expr = A.of_terms [ (a, "i"); (b, "j"); (k', "k"); (dn, "N") ] e in
+    match kind with C.Ge -> C.ge expr | C.Eq -> C.eq expr
+  in
+  let cons =
+    box "i" bi @ box "j" bj @ box "k" bk
+    @ (mk e1 :: (match e2 with None -> [] | Some e -> [ mk e ]))
+  in
+  (cons, [ ("N", n) ])
+
+let ref_test name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:300 ref_system_gen (fun input ->
+         let cons, params = ref_system input in
+         prop cons params (I.make ~dims:ref_dims cons)))
+
+let ref_enumerate_test =
+  ref_test "compiled enumerate = reference enumerate" (fun cons params set ->
+      I.enumerate ~params set = IR.enumerate ~params ~dims:ref_dims cons)
+
+let ref_cardinal_test =
+  ref_test "compiled cardinal = reference point count" (fun cons params set ->
+      I.cardinal ~params set
+      = List.length (IR.enumerate ~params ~dims:ref_dims cons))
+
+let ref_is_empty_test =
+  ref_test "compiled is_empty = reference emptiness" (fun cons params set ->
+      I.is_empty ~params set = (IR.enumerate ~params ~dims:ref_dims cons = []))
+
+let ref_project_test =
+  ref_test "project-then-mem soundness vs reference points"
+    (fun cons params set ->
+      let proj = I.project ~onto:[ "j"; "k" ] set in
+      List.for_all
+        (fun p -> I.mem ~params proj [| p.(1); p.(2) |])
+        (IR.enumerate ~params ~dims:ref_dims cons))
+
 let test_affine_ops () =
   let e = A.of_terms [ (2, "i"); (-1, "j") ] 3 in
   Alcotest.(check int) "eval" 4 (A.eval (function "i" -> 2 | _ -> 3) e);
@@ -115,4 +178,8 @@ let suite =
     Alcotest.test_case "per-dimension bounds" `Quick test_bounds_of_dim;
     Alcotest.test_case "FM projection soundness" `Quick test_projection_sound;
     random_set_test;
+    ref_enumerate_test;
+    ref_cardinal_test;
+    ref_is_empty_test;
+    ref_project_test;
   ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean
+.PHONY: all build test test-quick check bench examples coverage clean
 
 all: build
 
@@ -7,6 +7,14 @@ build:
 
 test:
 	dune runtest
+
+# Only the `Quick-tagged Alcotest cases (skips the deep fuzz sweeps).
+test-quick:
+	ALCOTEST_QUICK_TESTS=1 dune runtest --force
+
+# The soundness certifier at the PR-smoke scale (exit 1 on counterexample).
+check:
+	dune exec bin/iolb_cli.exe -- check --count 200 --seed 42
 
 bench:
 	dune exec bench/main.exe
@@ -18,5 +26,14 @@ examples:
 	dune exec examples/qr_io_study.exe
 	dune exec examples/hourglass_explorer.exe
 
+# Needs bisect_ppx installed (`opam install bisect_ppx`); the build is not
+# instrumented otherwise.
+coverage:
+	mkdir -p _coverage
+	BISECT_FILE=$(CURDIR)/_coverage/bisect \
+	  dune runtest --force --instrument-with bisect_ppx
+	bisect-ppx-report summary --per-file --coverage-path _coverage
+
 clean:
 	dune clean
+	rm -rf _coverage

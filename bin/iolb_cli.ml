@@ -7,9 +7,11 @@
    iolb simulate mgs -m 12 -n 8 -s 16 pebble-game I/O vs the bounds
    iolb simulate mgs --sizes 8,16,32  cache sweep: every S from one pass
    iolb tile mgs -m 48 -n 16 -s 400   tiled-ordering cache simulation
+   iolb check --count 200 --seed 42   certify the pipeline on random programs
 
-   Exit codes: 0 success, 2 invalid input, 3 budget exhausted,
-   4 unsupported, 5 internal error (124/125 are cmdliner's own). *)
+   Exit codes: 0 success, 1 counterexample found (check), 2 invalid input,
+   3 budget exhausted, 4 unsupported, 5 internal error (124/125 are
+   cmdliner's own). *)
 
 open Cmdliner
 
@@ -395,6 +397,112 @@ let tile_cmd =
        ~exits:engine_exits)
     Term.(const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ b_arg $ budget_args)
 
+let check_cmd =
+  let count_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of random program specs to certify.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base seed.  Spec $(i,k) of the run is derived from $(i,SEED+k) \
+             alone, so any failure replays with $(b,--seed) $(i,failing-seed) \
+             $(b,--count 1).")
+  in
+  let props_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "props" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated property names to run ($(b,default) = the full \
+             registry).  $(b,demo-broken) is a deliberately failing oracle \
+             for exercising the counterexample path.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable report (counterexamples included) to \
+             $(i,FILE); $(b,-) writes it to stdout.")
+  in
+  let max_failures_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:"Keep (and shrink) at most $(i,N) counterexamples.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress the human-readable summary.")
+  in
+  let run count seed props json max_failures quiet budget_spec =
+    let code = ref 0 in
+    let rc =
+      run_checked @@ fun () ->
+      let* () =
+        if count < 1 then
+          Error
+            (Engine_error.Invalid_input
+               (Printf.sprintf "--count must be >= 1, got %d" count))
+        else Ok ()
+      in
+      let* props =
+        match Iolb_check.Oracle.find props with
+        | Ok ps -> Ok ps
+        | Error msg -> Error (Engine_error.Invalid_input msg)
+      in
+      (* Validate the budget flags once, then mint a fresh budget per
+         (spec, property) evaluation: budgets are stateful counters, and
+         per-evaluation minting is what makes a budget kill degrade one
+         check instead of aborting the whole run. *)
+      let* _validated = make_budget budget_spec in
+      let timeout_ms, max_steps, max_nodes = budget_spec in
+      let budget () = Budget.make ?timeout_ms ?max_steps ?max_nodes () in
+      let report =
+        Iolb_check.Check.run ~budget ~max_failures ~count ~seed ~props ()
+      in
+      if not quiet then Format.printf "%a@." Iolb_check.Check.pp report;
+      (match json with
+      | Some "-" ->
+          print_string
+            (Iolb_util.Json.to_string_pretty (Iolb_check.Check.to_json report))
+      | Some file ->
+          let oc = open_out file in
+          output_string oc
+            (Iolb_util.Json.to_string_pretty (Iolb_check.Check.to_json report));
+          close_out oc;
+          if not quiet then Printf.printf "wrote %s\n" file
+      | None -> ());
+      if not (Iolb_check.Check.ok report) then code := 1;
+      Ok ()
+    in
+    if rc <> 0 then rc else !code
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"when a property found a counterexample."
+    :: engine_exits
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Certify the derivation pipeline on random programs (differential \
+          and metamorphic oracles, with shrinking)"
+       ~exits)
+    Term.(
+      const run $ count_arg $ seed_arg $ props_arg $ json_arg
+      $ max_failures_arg $ quiet_arg $ budget_args)
+
 let dot_cmd =
   let out_arg =
     Arg.(
@@ -433,5 +541,6 @@ let () =
             eval_cmd;
             simulate_cmd;
             tile_cmd;
+            check_cmd;
             dot_cmd;
           ]))

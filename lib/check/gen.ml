@@ -1,0 +1,73 @@
+(* Splitmix64 (Steele, Lea & Flood 2014): tiny, high-quality, and - unlike
+   [Stdlib.Random], whose algorithm changed across OCaml releases - stable
+   forever, which is what makes seeds replayable identifiers. *)
+
+type rng = { mutable state : int64 }
+
+let rng ~seed = { state = Int64.of_int seed }
+
+let next_u64 r =
+  let open Int64 in
+  r.state <- add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int_range r lo hi =
+  if hi < lo then invalid_arg "Gen.int_range: hi < lo";
+  let span = hi - lo + 1 in
+  let raw = Int64.to_int (Int64.shift_right_logical (next_u64 r) 2) in
+  lo + (raw mod span)
+
+let bool r = Int64.logand (next_u64 r) 1L = 1L
+
+let nest r =
+  let depth = int_range r 1 4 in
+  (* Deep nests get narrow levels, keeping the instance count (and hence
+     CDAG / pebble-game cost per spec) roughly flat across depths. *)
+  let max_size = match depth with 1 -> 5 | 2 -> 4 | 3 -> 3 | _ -> 2 in
+  let sizes = List.init depth (fun _ -> int_range r 2 max_size) in
+  let triangular =
+    List.init depth (fun i -> i > 0 && int_range r 0 3 = 0)
+  in
+  let param_n =
+    if int_range r 0 2 = 0 then Some (int_range r 1 4) else None
+  in
+  let n_stmts = int_range r 1 3 in
+  let write_arity = int_range r 1 (min 2 depth) in
+  let read_shifts =
+    List.init (int_range r 0 2) (fun _ -> int_range r (-1) 1)
+  in
+  Spec.Nest
+    {
+      depth;
+      sizes;
+      triangular;
+      param_n;
+      n_stmts;
+      write_arity;
+      read_shifts;
+      self_read = bool r;
+      consumer = bool r;
+      shallow = int_range r 0 3 = 0;
+    }
+
+let hourglass r =
+  let neutral = bool r in
+  Spec.Hourglass
+    {
+      m = int_range r 2 6;
+      temporal_trip = int_range r 2 3;
+      neutral;
+      neutral_trip = int_range r 1 3;
+      triangular = neutral && bool r;
+      q_read = bool r;
+      flat_reads = int_range r 0 2;
+      init_stmt = int_range r 0 3 > 0;
+    }
+
+let spec ~seed =
+  let r = rng ~seed in
+  let pick = int_range r 0 2 in
+  Spec.normalize (if pick = 0 then hourglass r else nest r)

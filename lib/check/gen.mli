@@ -1,0 +1,21 @@
+(** Deterministic seeded generation of random program specs.
+
+    The generator is built on a private splitmix64 stream, not on
+    [Stdlib.Random], so a seed identifies the same spec on every OCaml
+    version and every run - the property the replay workflow
+    ([iolb check --seed N --count 1]) and the CI pins depend on. *)
+
+(** A deterministic pseudo-random stream. *)
+type rng
+
+val rng : seed:int -> rng
+
+(** [int_range rng lo hi] draws uniformly from [lo..hi] inclusive. *)
+val int_range : rng -> int -> int -> int
+
+val bool : rng -> bool
+
+(** [spec ~seed] is the spec identified by [seed]: roughly one third of
+    seeds yield hourglass-bearing specs, the rest plain nests.  Always
+    normalized. *)
+val spec : seed:int -> Spec.t

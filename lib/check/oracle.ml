@@ -1,0 +1,428 @@
+module Program = Iolb_ir.Program
+module Iset = Iolb_poly.Iset
+module Iset_ref = Iolb_poly.Iset_ref
+module Cdag = Iolb_cdag.Cdag
+module Game = Iolb_pebble.Game
+module Trace = Iolb_pebble.Trace
+module Cache = Iolb_pebble.Cache
+module Sweep = Iolb_pebble.Sweep
+module Budget = Iolb_util.Budget
+module Pool = Iolb_util.Pool
+module P = Iolb_symbolic.Polynomial
+module D = Iolb.Derive
+
+type outcome = Pass | Fail of string | Skip of string
+
+type ctx = {
+  spec : Spec.t;
+  prog : Program.t;
+  params : (string * int) list;
+  budget : Budget.t;
+  trace : Trace.t Lazy.t;
+  cdag : Cdag.t Lazy.t;
+  schedule : int array Lazy.t;
+  hourglasses : Iolb.Hourglass.t list Lazy.t;
+  bounds : D.t list Lazy.t;
+  sizes : int list Lazy.t;
+  games : (int, Game.result option) Hashtbl.t;
+      (** memoized pebble-game runs per cache size; [None] = infeasible *)
+}
+
+let make_ctx ?(budget = Budget.unlimited) spec =
+  let prog, params = Spec.to_program spec in
+  let trace = lazy (Trace.of_program ~budget ~params prog) in
+  let cdag = lazy (Cdag.of_program ~budget ~params prog) in
+  let schedule = lazy (Game.program_schedule (Lazy.force cdag)) in
+  let hourglasses =
+    lazy (Iolb.Hourglass.detect_verified ~budget ~params prog)
+  in
+  (* Mirrors [Derive.analyze], reusing the already-detected patterns. *)
+  let bounds =
+    lazy
+      (List.concat_map (D.hourglass ~budget prog) (Lazy.force hourglasses)
+      @ D.classical_deepest ~budget prog)
+  in
+  let sizes =
+    lazy
+      (let fp = Trace.footprint (Lazy.force trace) in
+       List.sort_uniq compare
+         (List.filter (fun s -> s >= 2) [ 2; 3; 4; 6; 8; 12; fp + 2 ]))
+  in
+  {
+    spec;
+    prog;
+    params;
+    budget;
+    trace;
+    cdag;
+    schedule;
+    hourglasses;
+    bounds;
+    sizes;
+    games = Hashtbl.create 8;
+  }
+
+let ctx_spec c = c.spec
+let ctx_program c = c.prog
+let ctx_params c = c.params
+let ctx_hourglasses c = Lazy.force c.hourglasses
+let ctx_bounds c = Lazy.force c.bounds
+
+(* Clairvoyant-discard pebble game at size [s] on the program schedule;
+   [None] when [s] is below some node's fan-in. *)
+let game_at c s =
+  match Hashtbl.find_opt c.games s with
+  | Some r -> r
+  | None ->
+      let r =
+        match
+          Game.run ~budget:c.budget (Lazy.force c.cdag) ~s
+            ~schedule:(Lazy.force c.schedule)
+        with
+        | r -> Some r
+        | exception Game.Infeasible _ -> None
+      in
+      Hashtbl.add c.games s r;
+      r
+
+let fail fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let collect issues = if !issues = [] then Pass else Fail (String.concat "; " (List.rev !issues))
+
+let push issues fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt
+
+(* ------------------------------------------------------------------ *)
+(* card: symbolic cardinality (iterated Faulhaber) = concrete instance
+   count = integer-set cardinality = enumeration length, per statement.  *)
+
+let prop_card c =
+  let per_stmt = Hashtbl.create 8 in
+  Program.iter_instances ~params:c.params c.prog (fun inst ->
+      Hashtbl.replace per_stmt inst.stmt_name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_stmt inst.stmt_name)));
+  let issues = ref [] in
+  List.iter
+    (fun (info : Program.stmt_info) ->
+      let name = info.def.name in
+      let concrete = Option.value ~default:0 (Hashtbl.find_opt per_stmt name) in
+      let symbolic =
+        P.eval_int c.params (Program.cardinal info) |> Iolb_util.Rat.to_int
+      in
+      let dom = Program.domain info in
+      let card = Iset.cardinal ~budget:c.budget ~params:c.params dom in
+      let enum =
+        List.length (Iset.enumerate ~budget:c.budget ~params:c.params dom)
+      in
+      if not (symbolic = concrete && card = concrete && enum = concrete) then
+        push issues "%s: symbolic=%d concrete=%d iset-cardinal=%d iset-enumerate=%d"
+          name symbolic concrete card enum)
+    (Program.statements c.prog);
+  collect issues
+
+(* ------------------------------------------------------------------ *)
+(* iset-ref: the compiled Iset path against the retained seed (Iset_ref)
+   algorithms on every statement domain.                                *)
+
+let prop_iset_ref c =
+  let issues = ref [] in
+  List.iter
+    (fun (info : Program.stmt_info) ->
+      let name = info.def.name in
+      let dom = Program.domain info in
+      let dims = Iset.dims dom and cons = Iset.constraints dom in
+      let ref_pts = Iset_ref.enumerate ~params:c.params ~dims cons in
+      let pts = Iset.enumerate ~budget:c.budget ~params:c.params dom in
+      if pts <> ref_pts then
+        push issues "%s: enumerate differs (%d vs %d points)" name
+          (List.length pts) (List.length ref_pts);
+      let card = Iset.cardinal ~budget:c.budget ~params:c.params dom in
+      if card <> List.length ref_pts then
+        push issues "%s: cardinal=%d but reference has %d points" name card
+          (List.length ref_pts);
+      if Iset.is_empty ~budget:c.budget ~params:c.params dom <> (ref_pts = [])
+      then push issues "%s: is_empty disagrees with the reference" name;
+      (match dims with
+      | _ :: (_ :: _ as onto) ->
+          let proj = Iset.project ~budget:c.budget ~onto dom in
+          let ref_proj = Iset_ref.project ~onto ~dims cons in
+          List.iter
+            (fun p ->
+              let shadow = Array.sub p 1 (Array.length p - 1) in
+              if not (Iset.mem ~params:c.params proj shadow) then
+                push issues "%s: compiled projection drops a true shadow" name;
+              if not (Iset_ref.mem ~params:c.params ~dims:onto ref_proj shadow)
+              then push issues "%s: reference projection drops a true shadow" name)
+            ref_pts
+      | _ -> ()))
+    (Program.statements c.prog);
+  collect issues
+
+(* ------------------------------------------------------------------ *)
+(* cdag: structural invariants of the concrete CDAG and the compulsory
+   cold-cache loads.                                                    *)
+
+let prop_cdag c =
+  let cdag = Lazy.force c.cdag in
+  let schedule = Lazy.force c.schedule in
+  let issues = ref [] in
+  let instances = Program.count_instances ~params:c.params c.prog in
+  if Cdag.n_computes cdag <> instances then
+    push issues "n_computes=%d but %d instances" (Cdag.n_computes cdag) instances;
+  if not (Game.is_topological cdag schedule) then
+    push issues "program schedule is not topological";
+  (match game_at c (Cdag.n_nodes cdag + 2) with
+  | None -> push issues "pebble game infeasible at S > n_nodes"
+  | Some big ->
+      if big.Game.loads <> Cdag.n_inputs cdag then
+        push issues "cold loads=%d but n_inputs=%d" big.Game.loads
+          (Cdag.n_inputs cdag));
+  collect issues
+
+(* ------------------------------------------------------------------ *)
+(* footprint: the interned trace footprint = distinct cells touched.    *)
+
+let prop_footprint c =
+  let trace = Lazy.force c.trace in
+  let seen = Hashtbl.create 64 in
+  let n_events = ref 0 in
+  Program.iter_instances ~params:c.params c.prog (fun inst ->
+      List.iter
+        (fun cl ->
+          incr n_events;
+          Hashtbl.replace seen cl ())
+        (inst.loads @ inst.stores));
+  let distinct = Hashtbl.length seen in
+  if Trace.footprint trace <> distinct then
+    fail "trace footprint=%d but %d distinct cells" (Trace.footprint trace)
+      distinct
+  else if Trace.length trace <> !n_events then
+    fail "trace length=%d but %d accesses" (Trace.length trace) !n_events
+  else Pass
+
+(* ------------------------------------------------------------------ *)
+(* phi: derived projections are well-formed for every statement.        *)
+
+let prop_phi c =
+  let ok =
+    List.for_all
+      (fun (i : Program.stmt_info) ->
+        List.for_all
+          (fun (p : Iolb.Phi.t) ->
+            p.dims <> [] && List.for_all (fun d -> List.mem d i.dims) p.dims)
+          (Iolb.Phi.of_statement c.prog i))
+      (Program.statements c.prog)
+  in
+  if ok then Pass else Fail "ill-formed projection (empty or foreign dims)"
+
+(* ------------------------------------------------------------------ *)
+(* bound-le-opt: every applicable derived bound must sit below the
+   clairvoyant pebble-game loads of the program schedule, at every
+   tested cache size.  This is the paper's soundness invariant.         *)
+
+let prop_bound_le_opt c =
+  match Lazy.force c.bounds with
+  | [] -> Skip "no derivable bound"
+  | bounds ->
+      let issues = ref [] in
+      List.iter
+        (fun s ->
+          match game_at c s with
+          | None -> () (* S below the max fan-in: no legal schedule here *)
+          | Some res -> (
+              match D.best ~params:c.params ~s bounds with
+              | None -> ()
+              | Some b ->
+                  let v = D.eval b ~params:c.params ~s in
+                  if v > float_of_int res.Game.loads +. 1e-6 then
+                    push issues
+                      "S=%d: bound %.3f (%s) exceeds measured OPT loads %d" s v
+                      b.D.stmt res.Game.loads))
+        (Lazy.force c.sizes);
+      collect issues
+
+(* ------------------------------------------------------------------ *)
+(* monotone-s: the best applicable bound never increases with S.        *)
+
+let prop_monotone c =
+  match Lazy.force c.bounds with
+  | [] -> Skip "no derivable bound"
+  | bounds ->
+      let issues = ref [] in
+      let prev = ref None in
+      List.iter
+        (fun s ->
+          match D.best ~params:c.params ~s bounds with
+          | None -> ()
+          | Some b ->
+              let v = D.eval b ~params:c.params ~s in
+              (match !prev with
+              | Some (s0, v0) when v > v0 +. 1e-6 ->
+                  push issues "bound grows with S: %.3f at S=%d vs %.3f at S=%d"
+                    v s v0 s0
+              | _ -> ());
+              prev := Some (s, v))
+        (Lazy.force c.sizes);
+      collect issues
+
+(* ------------------------------------------------------------------ *)
+(* sweep-lru: the single-pass reuse-distance sweep agrees field by field
+   with the direct LRU simulator at every size, for both flush modes.   *)
+
+let prop_sweep_lru c =
+  let trace = Lazy.force c.trace in
+  let issues = ref [] in
+  List.iter
+    (fun flush ->
+      let sweep = Sweep.run ~budget:c.budget ~flush trace in
+      List.iter
+        (fun s ->
+          let sw = Sweep.stats sweep ~size:s in
+          let direct = Cache.lru ~budget:c.budget ~size:s ~flush trace in
+          if sw <> direct then
+            push issues
+              "S=%d flush=%b: sweep (l=%d st=%d h=%d) vs lru (l=%d st=%d h=%d)"
+              s flush sw.Cache.loads sw.Cache.stores sw.Cache.read_hits
+              direct.Cache.loads direct.Cache.stores direct.Cache.read_hits)
+        (Lazy.force c.sizes))
+    [ true; false ];
+  collect issues
+
+(* ------------------------------------------------------------------ *)
+(* jobs-det: the per-size empirical report rendered through a Pool
+   fan-out is byte-identical at every worker count.                     *)
+
+let render_report c ~jobs =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (b : D.t) -> Buffer.add_string buf (Format.asprintf "%a@." D.pp b))
+    (Lazy.force c.bounds);
+  let trace = Lazy.force c.trace in
+  let cdag = Lazy.force c.cdag in
+  let schedule = Lazy.force c.schedule in
+  let rows =
+    Pool.map ~jobs
+      (fun s ->
+        let lru = Cache.lru ~size:s trace in
+        let game =
+          match Game.run cdag ~s ~schedule with
+          | r -> string_of_int r.Game.loads
+          | exception Game.Infeasible _ -> "infeasible"
+        in
+        Printf.sprintf "S=%d lru=%d/%d/%d game=%s" s lru.Cache.loads
+          lru.Cache.stores lru.Cache.read_hits game)
+      (Lazy.force c.sizes)
+  in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf r;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let prop_jobs_det c =
+  let seq = render_report c ~jobs:1 in
+  let par = render_report c ~jobs:3 in
+  if String.equal seq par then Pass
+  else fail "report differs between --jobs 1 and --jobs 3"
+
+(* ------------------------------------------------------------------ *)
+(* hourglass-path: every member of the hourglass-bearing family must be
+   detected, empirically verified, and must reach the tightened
+   derivation (a bound with the Hourglass technique).  This is the
+   coverage guarantee that the certifier actually exercises the paper's
+   path, not just the classical one.                                    *)
+
+let prop_hourglass_path c =
+  match c.spec with
+  | Spec.Nest _ -> Skip "nest family"
+  | Spec.Hourglass _ -> (
+      match ctx_hourglasses c with
+      | [] -> Fail "no verified hourglass detected on an hourglass-family spec"
+      | _ :: _ ->
+          if
+            List.exists
+              (fun (b : D.t) ->
+                match b.D.technique with
+                | D.Hourglass | D.Hourglass_small_s -> true
+                | D.Classical | D.Trivial -> false)
+              (Lazy.force c.bounds)
+          then Pass
+          else Fail "hourglass detected but the tightened derivation produced no bound")
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+type t = { name : string; doc : string }
+
+let impl = function
+  | "card" -> prop_card
+  | "iset-ref" -> prop_iset_ref
+  | "cdag" -> prop_cdag
+  | "footprint" -> prop_footprint
+  | "phi" -> prop_phi
+  | "bound-le-opt" -> prop_bound_le_opt
+  | "monotone-s" -> prop_monotone
+  | "sweep-lru" -> prop_sweep_lru
+  | "jobs-det" -> prop_jobs_det
+  | "hourglass-path" -> prop_hourglass_path
+  | "demo-broken" ->
+      fun _ ->
+        Fail
+          "deliberately broken oracle (fault injection): every spec is a \
+           counterexample"
+  | name -> fun _ -> Skip ("unknown property " ^ name)
+
+let run o c =
+  match impl o.name c with
+  | outcome -> outcome
+  | exception (Budget.Exhausted _ as e) -> raise e
+  | exception e -> Fail ("exception: " ^ Printexc.to_string e)
+
+let all =
+  [
+    { name = "card"; doc = "symbolic cardinality = concrete enumeration" };
+    { name = "iset-ref"; doc = "compiled Iset = Iset_ref reference oracle" };
+    { name = "cdag"; doc = "CDAG structure and compulsory cold loads" };
+    { name = "footprint"; doc = "trace footprint = distinct cells touched" };
+    { name = "phi"; doc = "derived projections are well-formed" };
+    {
+      name = "bound-le-opt";
+      doc = "derived bounds sit below clairvoyant pebble-game loads";
+    };
+    { name = "monotone-s"; doc = "best bound never increases with S" };
+    { name = "sweep-lru"; doc = "reuse-distance sweep = per-size LRU" };
+    { name = "jobs-det"; doc = "reports byte-identical across worker counts" };
+    {
+      name = "hourglass-path";
+      doc = "hourglass family reaches the tightened derivation";
+    };
+  ]
+
+let demo_broken =
+  {
+    name = "demo-broken";
+    doc = "deliberately failing oracle for fault-injection tests";
+  }
+
+let find names =
+  let known = all @ [ demo_broken ] in
+  let resolve name =
+    match List.find_opt (fun o -> o.name = name) known with
+    | Some o -> Ok [ o ]
+    | None -> (
+        match name with
+        | "all" | "default" -> Ok all
+        | _ ->
+            Error
+              (Printf.sprintf "unknown property %S (known: %s)" name
+                 (String.concat ", " (List.map (fun o -> o.name) known))))
+  in
+  List.fold_left
+    (fun acc name ->
+      match (acc, resolve (String.trim name)) with
+      | Error _, _ -> acc
+      | _, (Error _ as e) -> e
+      | Ok sofar, Ok os ->
+          Ok (sofar @ List.filter (fun o -> not (List.mem o sofar)) os))
+    (Ok [])
+    (String.split_on_char ',' names)

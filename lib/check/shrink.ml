@@ -1,0 +1,104 @@
+(* One-step structural reductions, per family.  Every move shrinks one
+   field towards its floor; [Spec.normalize] then re-establishes the
+   cross-field invariants (list lengths, arity caps, triangular/neutral
+   coupling), and moves that did not actually reduce [Spec.size] are
+   filtered out, which is what guarantees termination of the greedy
+   descent. *)
+
+let nest_moves (n : Spec.nest) =
+  let set_size i v = List.mapi (fun j s -> if i = j then v else s) n.sizes in
+  let set_tri i = List.mapi (fun j t -> if i = j then false else t) n.triangular in
+  List.concat
+    [
+      (if n.depth > 1 then [ Spec.Nest { n with depth = n.depth - 1 } ] else []);
+      List.concat
+        (List.mapi
+           (fun i s -> if s > 1 then [ Spec.Nest { n with sizes = set_size i (s - 1) } ] else [])
+           n.sizes);
+      List.concat
+        (List.mapi
+           (fun i t -> if t then [ Spec.Nest { n with triangular = set_tri i } ] else [])
+           n.triangular);
+      (match n.param_n with
+      | None -> []
+      | Some 1 -> [ Spec.Nest { n with param_n = None } ]
+      | Some v ->
+          [
+            Spec.Nest { n with param_n = None };
+            Spec.Nest { n with param_n = Some (v - 1) };
+          ]);
+      (if n.n_stmts > 1 then [ Spec.Nest { n with n_stmts = n.n_stmts - 1 } ] else []);
+      (if n.write_arity > 1 then
+         [ Spec.Nest { n with write_arity = n.write_arity - 1 } ]
+       else []);
+      (match n.read_shifts with
+      | [] -> []
+      | _ :: tl -> [ Spec.Nest { n with read_shifts = tl } ]);
+      List.concat
+        (List.mapi
+           (fun i s ->
+             if s = 0 then []
+             else
+               [
+                 Spec.Nest
+                   {
+                     n with
+                     read_shifts =
+                       List.mapi
+                         (fun j x -> if i = j then 0 else x)
+                         n.read_shifts;
+                   };
+               ])
+           n.read_shifts);
+      (if n.self_read then [ Spec.Nest { n with self_read = false } ] else []);
+      (if n.consumer then [ Spec.Nest { n with consumer = false } ] else []);
+      (if n.shallow then [ Spec.Nest { n with shallow = false } ] else []);
+    ]
+
+let hourglass_moves (h : Spec.hourglass) =
+  List.concat
+    [
+      (if h.m > 2 then [ Spec.Hourglass { h with m = h.m - 1 } ] else []);
+      (if h.temporal_trip > 2 then
+         [ Spec.Hourglass { h with temporal_trip = h.temporal_trip - 1 } ]
+       else []);
+      (if h.neutral then [ Spec.Hourglass { h with neutral = false } ] else []);
+      (if h.neutral && h.neutral_trip > 1 then
+         [ Spec.Hourglass { h with neutral_trip = h.neutral_trip - 1 } ]
+       else []);
+      (if h.triangular then [ Spec.Hourglass { h with triangular = false } ]
+       else []);
+      (if h.q_read then [ Spec.Hourglass { h with q_read = false } ] else []);
+      (if h.flat_reads > 0 then
+         [ Spec.Hourglass { h with flat_reads = h.flat_reads - 1 } ]
+       else []);
+      (if h.init_stmt then [ Spec.Hourglass { h with init_stmt = false } ]
+       else []);
+    ]
+
+let candidates spec =
+  let spec = Spec.normalize spec in
+  let raw =
+    match spec with
+    | Spec.Nest n -> nest_moves n
+    | Spec.Hourglass h -> hourglass_moves h
+  in
+  let smaller =
+    List.filter
+      (fun c -> Spec.size c < Spec.size spec)
+      (List.map Spec.normalize raw)
+  in
+  List.fold_left
+    (fun acc c -> if List.exists (Spec.equal c) acc then acc else c :: acc)
+    [] smaller
+  |> List.rev
+
+let minimize ?(max_steps = 200) ~fails spec =
+  let rec go spec steps =
+    if steps >= max_steps then (spec, steps)
+    else
+      match List.find_opt fails (candidates spec) with
+      | None -> (spec, steps)
+      | Some smaller -> go smaller (steps + 1)
+  in
+  go (Spec.normalize spec) 0

@@ -1,0 +1,16 @@
+(** Greedy structural shrinking of failing specs.
+
+    Counterexamples come out of the generator with incidental complexity;
+    the shrinker walks towards a local minimum of {!Spec.size} while the
+    failure persists, so the reported spec is (locally) minimal and the
+    replay artifact is as readable as possible. *)
+
+(** [candidates spec] is the list of strictly smaller (by {!Spec.size}),
+    already-normalized one-step reductions of [spec], deduplicated. *)
+val candidates : Spec.t -> Spec.t list
+
+(** [minimize ~fails spec] greedily applies the first failing candidate
+    until none fails or [max_steps] (default 200) reductions were taken.
+    Returns the minimal failing spec and the number of successful
+    reduction steps.  [spec] itself is assumed to fail. *)
+val minimize : ?max_steps:int -> fails:(Spec.t -> bool) -> Spec.t -> Spec.t * int

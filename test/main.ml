@@ -27,5 +27,6 @@ let () =
       ("misc", Test_misc.suite);
       ("parallel", Test_parallel.suite);
       ("lemma-empirical", Test_lemma_empirical.suite);
+      ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -166,10 +166,94 @@ let test_sandwich_tiled_mgs () =
         (lower <= float_of_int stats.loads +. 1e-9))
     [ 32; 64; 128 ]
 
+(* classical_deepest must (1) derive only for the statements at the
+   maximal loop depth - the ones whose instance count dominates - and
+   (2) cover every statement tied at that depth. *)
+let test_classical_deepest_filters_depth () =
+  let module A = Iolb_poly.Affine in
+  let module Access = Iolb_ir.Access in
+  let module Program = Iolb_ir.Program in
+  let v = A.var and c = A.const in
+  let deep name out =
+    Program.stmt name
+      ~writes:[ Access.make out [ v "i"; v "j" ] ]
+      ~reads:
+        [
+          Access.make "A" [ v "i"; v "k" ];
+          Access.make "B" [ v "k"; v "j" ];
+          Access.make out [ v "i"; v "j" ];
+        ]
+  in
+  let prog =
+    Program.make ~name:"deepest" ~params:[ "N" ]
+      ~assumptions:[ Iolb_poly.Constr.ge_of (v "N") (c 1) ]
+      [
+        Program.loop_lt "i" (c 0) (v "N")
+          [
+            Program.loop_lt "j" (c 0) (v "N")
+              [
+                Program.loop_lt "k" (c 0) (v "N") [ deep "C" "C1"; deep "D" "D1" ];
+              ];
+            (* depth 1: must not contribute a classical bound *)
+            Program.stmt "H"
+              ~writes:[ Access.make "E" [ v "i" ] ]
+              ~reads:[ Access.make "F" [ v "i" ] ];
+          ];
+      ]
+  in
+  let bounds = D.classical_deepest prog in
+  let stmts = List.sort compare (List.map (fun (b : D.t) -> b.stmt) bounds) in
+  Alcotest.(check (list string))
+    "one bound per deepest statement, none for the shallow one"
+    [ "C"; "D" ] stmts;
+  List.iter
+    (fun (b : D.t) ->
+      Alcotest.(check bool) "classical technique" true
+        (b.technique = D.Classical);
+      Alcotest.(check bool) "unconditional" true (b.s_max = None);
+      (* A GEMM-shaped statement has rho = 3/2: the bound at N=32, S=16
+         must be positive and sit near N^3/sqrt(S) in order of magnitude. *)
+      let value = D.eval b ~params:[ ("N", 32) ] ~s:16 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s bound positive (%.1f)" b.stmt value)
+        true (value > 0.))
+    bounds
+
+let test_classical_deepest_matches_registry () =
+  (* On the paper kernels the classical half of [analyze] is exactly
+     [classical_deepest]: same statements, same formulas. *)
+  List.iter
+    (fun (entry : Report.entry) ->
+      let a = Report.analyze entry in
+      let from_analyze =
+        List.filter (fun (b : D.t) -> b.technique = D.Classical) a.bounds
+      in
+      (* [analyze] post-processes every formula with the entry's
+         [finalize] (e.g. GEHD2 pins the loop-split parameter); apply it
+         to the direct derivation before comparing. *)
+      let direct =
+        List.map
+          (fun (b : D.t) -> { b with D.formula = entry.finalize b.formula })
+          (D.classical_deepest entry.program)
+      in
+      Alcotest.(check int)
+        (entry.display ^ ": same classical bound count")
+        (List.length direct) (List.length from_analyze);
+      List.iter2
+        (fun (x : D.t) (y : D.t) ->
+          Alcotest.(check string) "same statement" x.stmt y.stmt;
+          Alcotest.(check bool) "same formula" true (R.equal x.formula y.formula))
+        direct from_analyze)
+    Report.registry
+
 let suite =
   [
     Alcotest.test_case "MGS = Theorem 5 exactly (both regimes)" `Quick
       test_mgs_theorem5_exact;
+    Alcotest.test_case "classical_deepest filters by loop depth" `Quick
+      test_classical_deepest_filters_depth;
+    Alcotest.test_case "classical_deepest = classical half of analyze" `Quick
+      test_classical_deepest_matches_registry;
     Alcotest.test_case "all kernels match theorem shapes" `Quick
       test_theorem_shapes;
     Alcotest.test_case "improvement ratio grows like M" `Quick

@@ -1,164 +1,49 @@
-(* Whole-pipeline fuzz on random affine programs: random loop nests with
-   random coordinate accesses must satisfy, at concrete sizes:
-   - symbolic cardinality = concrete instance count,
-   - CDAG compute count = instance count, and program order topological,
-   - pebble game with a huge memory = compulsory loads (#inputs),
-   - any derived classical bound <= measured pebble-game loads,
-   - trace footprint = distinct cells touched. *)
+(* Whole-pipeline fuzz, now a thin QCheck driver over the soundness
+   certifier (lib/check): the generator, the property registry and the
+   structural shrinker live there, shared with the [iolb check] CLI.  This
+   suite only picks seeds and asserts that no registered oracle finds a
+   counterexample. *)
 
-module Program = Iolb_ir.Program
-module Access = Iolb_ir.Access
-module Affine = Iolb_poly.Affine
-module Cdag = Iolb_cdag.Cdag
-module Game = Iolb_pebble.Game
-module P = Iolb_symbolic.Polynomial
+module Check = Iolb_check.Check
+module Gen = Iolb_check.Gen
+module Oracle = Iolb_check.Oracle
+module Spec = Iolb_check.Spec
 
-(* A compact description of a random program, kept first-order so qcheck
-   can print counterexamples. *)
-type rand_spec = {
-  depth : int;  (** 1..3 nested loops *)
-  sizes : int list;  (** per-level upper bounds, 2..4 *)
-  triangular : bool list;  (** level i starts at outer var instead of 0 *)
-  write_arity : int;  (** 1 or 2 dims selected for the written array *)
-  read_shifts : int list;  (** offsets of extra reads of array "X" *)
-  self_read : bool;
-}
+(* Print the spec behind a failing seed so the counterexample is actionable
+   (and replayable via [iolb check --seed N --count 1]). *)
+let print_seed seed =
+  Printf.sprintf "seed %d -> %s" seed (Spec.to_string (Gen.spec ~seed))
 
-let pp_spec s =
-  Printf.sprintf "depth=%d sizes=%s tri=%s arity=%d shifts=%s self=%b" s.depth
-    (String.concat "," (List.map string_of_int s.sizes))
-    (String.concat "," (List.map string_of_bool s.triangular))
-    s.write_arity
-    (String.concat "," (List.map string_of_int s.read_shifts))
-    s.self_read
+let seed_ok seed =
+  let ctx = Oracle.make_ctx (Gen.spec ~seed) in
+  List.for_all
+    (fun o ->
+      match Oracle.run o ctx with
+      | Oracle.Pass | Oracle.Skip _ -> true
+      | Oracle.Fail _ -> false)
+    Oracle.all
 
-let gen_spec =
-  let open QCheck2.Gen in
-  let* depth = int_range 1 3 in
-  let* sizes = list_size (return depth) (int_range 2 4) in
-  let* triangular = list_size (return depth) bool in
-  let* write_arity = int_range 1 (min 2 depth) in
-  let* read_shifts = list_size (int_range 1 2) (int_range (-1) 1) in
-  let* self_read = bool in
-  return { depth; sizes; triangular; write_arity; read_shifts; self_read }
-
-let dims_of depth = List.init depth (fun i -> Printf.sprintf "d%d" i)
-
-let build spec =
-  (* Program.cardinal requires non-negative trip counts everywhere: a
-     triangular level starting at the outer variable must extend at least
-     as far as the outer level reaches. *)
-  let sizes =
-    List.fold_left
-      (fun acc (size, tri) ->
-        match acc with
-        | prev :: _ when tri -> max size (prev - 1) :: acc
-        | _ -> size :: acc)
-      []
-      (List.combine spec.sizes spec.triangular)
-    |> List.rev
-  in
-  let spec = { spec with sizes } in
-  let dims = dims_of spec.depth in
-  let write_dims = List.filteri (fun i _ -> i < spec.write_arity) dims in
-  let write = Access.make "A" (List.map Affine.var write_dims) in
-  let reads =
-    (if spec.self_read then [ write ] else [])
-    @ List.mapi
-        (fun idx shift ->
-          (* Read array X indexed by the innermost dims, shifted. *)
-          let d = List.nth dims (min (spec.depth - 1) idx) in
-          Access.make "X"
-            [ Affine.add (Affine.var d) (Affine.const shift) ])
-        spec.read_shifts
-  in
-  let stmt = Program.stmt "S" ~writes:[ write ] ~reads in
-  (* A consumer statement reading what S wrote exercises the dependence,
-     version-pinning and CDAG-edge machinery. *)
-  let consumer =
-    Program.stmt "S2"
-      ~writes:[ Access.make "B" (List.map Affine.var write_dims) ]
-      ~reads:[ write ]
-  in
-  let rec nest i =
-    if i = spec.depth then [ stmt; consumer ]
-    else
-      let lo =
-        if i > 0 && List.nth spec.triangular i then
-          Affine.var (Printf.sprintf "d%d" (i - 1))
-        else Affine.const 0
-      in
-      [
-        Program.loop
-          (Printf.sprintf "d%d" i)
-          lo
-          (Affine.const (List.nth spec.sizes i))
-          (nest (i + 1));
-      ]
-  in
-  Program.make ~name:"fuzz" ~params:[] ~assumptions:[] (nest 0)
-
-let pipeline_ok spec =
-  let prog = build spec in
-  let params = [] in
-  let concrete = Program.count_instances ~params prog in
-  let concrete_s =
-    let n = ref 0 in
-    Program.iter_instances ~params prog (fun inst ->
-        if inst.stmt_name = "S" then incr n);
-    !n
-  in
-  let info = Program.find_stmt prog "S" in
-  let symbolic =
-    P.eval_int params (Program.cardinal info) |> Iolb_util.Rat.to_int
-  in
-  let cdag = Cdag.of_program ~params prog in
-  let schedule = Game.program_schedule cdag in
-  let trace = Iolb_pebble.Trace.of_program ~params prog in
-  let cells = Iolb_pebble.Trace.footprint trace in
-  let distinct_cells =
-    let seen = Hashtbl.create 64 in
-    Program.iter_instances ~params prog (fun inst ->
-        List.iter (fun c -> Hashtbl.replace seen c ()) inst.loads;
-        List.iter (fun c -> Hashtbl.replace seen c ()) inst.stores);
-    Hashtbl.length seen
-  in
-  let big = Game.run cdag ~s:10_000 ~schedule in
-  let ok_card = symbolic = concrete_s in
-  let ok_cdag =
-    Cdag.n_computes cdag = concrete && Game.is_topological cdag schedule
-  in
-  let ok_cold = big.Game.loads = Cdag.n_inputs cdag in
-  let ok_cells = cells = distinct_cells in
-  (* If the engine produces a classical bound, it must sit below the pebble
-     measurement at any feasible S (check a small one). *)
-  let ok_bound =
-    match Iolb.Derive.classical prog ~stmt:"S" with
-    | None -> true
-    | Some b -> (
-        let s = 8 in
-        match Game.run cdag ~s ~schedule with
-        | measured ->
-            Iolb.Derive.eval b ~params ~s
-            <= float_of_int measured.Game.loads +. 1e-9
-        | exception Game.Infeasible _ -> true)
-  in
-  (* Projection derivation must return well-formed projections (non-empty,
-     within the statement's dimensions) for every statement. *)
-  let ok_phi =
-    List.for_all
-      (fun (i : Program.stmt_info) ->
-        List.for_all
-          (fun (p : Iolb.Phi.t) ->
-            p.dims <> [] && List.for_all (fun d -> List.mem d i.dims) p.dims)
-          (Iolb.Phi.of_statement prog i))
-      (Program.statements prog)
-  in
-  ok_card && ok_cdag && ok_cold && ok_cells && ok_bound && ok_phi
-
-let fuzz =
+let quick_fuzz =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~name:"random programs keep pipeline invariants"
-       ~count:200 ~print:pp_spec gen_spec pipeline_ok)
+    (QCheck2.Test.make ~name:"random programs satisfy every oracle" ~count:80
+       ~print:print_seed
+       QCheck2.Gen.(int_range 0 1_000_000)
+       seed_ok)
 
-let suite = [ fuzz ]
+(* The nightly-depth sweep: the full driver (shrinking included) over a
+   contiguous seed range, with the hourglass-coverage acceptance check. *)
+let deep_sweep () =
+  let report = Check.run ~count:400 ~seed:424242 ~props:Oracle.all () in
+  (match report.Check.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "seed %d failed %s: %s (shrunk: %s)" f.Check.seed
+        f.Check.prop f.Check.detail
+        (Spec.to_string f.Check.shrunk));
+  Alcotest.(check int) "no counterexamples" 0 report.Check.failed;
+  Alcotest.(check bool) "hourglass family reaches the hourglass derivation"
+    true
+    (report.Check.coverage.Check.hourglass_bounds > 0)
+
+let suite =
+  [ quick_fuzz; Alcotest.test_case "deep certifier sweep" `Slow deep_sweep ]

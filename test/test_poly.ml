@@ -168,9 +168,39 @@ let test_affine_ops () =
   Alcotest.(check bool) "subst" true
     (A.equal e' (A.of_terms [ (2, "k"); (-1, "j") ] 5))
 
+(* Complements the exact-text check in test_kernel_errors: the intersect
+   diagnostic must name both dimension lists verbatim for every mismatch
+   shape - different order of the same names, different lengths, and an
+   empty side - since those are the cases a kernel author actually hits. *)
+let test_intersect_diagnostic_shapes () =
+  let set dims = I.make ~dims (List.map (fun d -> C.ge (v d)) dims) in
+  List.iter
+    (fun (da, db, expected) ->
+      match I.intersect (set da) (set db) with
+      | _ -> Alcotest.failf "[%s]/[%s]: expected Invalid_argument"
+               (String.concat ";" da) (String.concat ";" db)
+      | exception Invalid_argument msg ->
+          Alcotest.(check string) "diagnostic text" expected msg)
+    [
+      ( [ "i"; "j" ],
+        [ "j"; "i" ],
+        "Iset.intersect: dimension mismatch ([i; j] vs [j; i])" );
+      ( [ "i" ],
+        [ "i"; "j" ],
+        "Iset.intersect: dimension mismatch ([i] vs [i; j])" );
+      ([], [ "k" ], "Iset.intersect: dimension mismatch ([] vs [k])");
+    ];
+  (* And the non-error side: intersection conjoins the constraints. *)
+  let a = I.make ~dims:[ "i" ] [ C.ge (v "i"); C.le_of (v "i") (c 5) ] in
+  let b = I.make ~dims:[ "i" ] [ C.ge_of (v "i") (c 3) ] in
+  Alcotest.(check int) "conjoined cardinality" 3
+    (I.cardinal ~params:[] (I.intersect a b))
+
 let suite =
   [
     Alcotest.test_case "affine expression operations" `Quick test_affine_ops;
+    Alcotest.test_case "intersect diagnostic shapes" `Quick
+      test_intersect_diagnostic_shapes;
     Alcotest.test_case "triangular cardinality" `Quick test_triangle_cardinal;
     Alcotest.test_case "emptiness" `Quick test_empty;
     Alcotest.test_case "membership vs enumeration" `Quick

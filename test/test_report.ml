@@ -138,9 +138,44 @@ let test_lemma3_inset_width () =
       Alcotest.(check bool) (name ^ ": spanning pair exists") true !found)
     [ ("mgs", 6); ("qr_hh_a2v", 3); ("gebd2", 4) ]
 
+(* analyze_cached must hand back the same analysis object on every call
+   (physical equality - downstream consumers key tables on it), and a
+   Pool fan-out at any worker width must observe the same cached objects
+   and render identical reports. *)
+let test_analyze_cached_physical_equality () =
+  let entry = Report.find "mgs" in
+  let a = Report.analyze_cached entry in
+  let b = Report.analyze_cached entry in
+  Alcotest.(check bool) "same object on repeated calls" true (a == b)
+
+let test_analyze_all_pool_widths () =
+  (* Warm the cache sequentially so every later width must hit it. *)
+  let seq = Report.analyze_all ~jobs:1 () in
+  List.iter
+    (fun jobs ->
+      let par = Report.analyze_all ~jobs () in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: registry order preserved" jobs)
+        (List.length seq) (List.length par);
+      List.iter2
+        (fun (x : Report.analysis) (y : Report.analysis) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: cached object shared across domains" jobs)
+            true (x == y);
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d: identical rendering" jobs)
+            (Format.asprintf "%a" Report.pp_analysis x)
+            (Format.asprintf "%a" Report.pp_analysis y))
+        seq par)
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "analyze_cached is physically memoized" `Quick
+      test_analyze_cached_physical_equality;
+    Alcotest.test_case "analyze_all identical across pool widths" `Quick
+      test_analyze_all_pool_widths;
     Alcotest.test_case "all kernels get all bound kinds" `Quick
       test_every_kernel_has_both_bounds;
     Alcotest.test_case "eval_best picks the applicable max" `Quick

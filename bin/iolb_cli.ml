@@ -8,10 +8,12 @@
    iolb simulate mgs --sizes 8,16,32  cache sweep: every S from one pass
    iolb tile mgs -m 48 -n 16 -s 400   tiled-ordering cache simulation
    iolb check --count 200 --seed 42   certify the pipeline on random programs
+   iolb serve --socket /tmp/iolb.sock the crash-tolerant bound service
+   iolb client --socket ... analyze mgs  query a running service
 
    Exit codes: 0 success, 1 counterexample found (check), 2 invalid input,
-   3 budget exhausted, 4 unsupported, 5 internal error (124/125 are
-   cmdliner's own). *)
+   3 budget exhausted, 4 unsupported, 5 internal error, 6 server
+   overloaded (client only; 124/125 are cmdliner's own). *)
 
 open Cmdliner
 
@@ -503,6 +505,320 @@ let check_cmd =
       const run $ count_arg $ seed_arg $ props_arg $ json_arg
       $ max_failures_arg $ quiet_arg $ budget_args)
 
+(* ------------------------------------------------------------------ *)
+(* Bound service: `iolb serve` and its line client.                    *)
+
+module Server = Iolb_serve.Server
+module Sclient = Iolb_serve.Client
+module Protocol = Iolb_serve.Protocol
+module Json = Iolb_util.Json
+
+let address_args =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on (or connect to) a Unix-domain socket at $(i,PATH).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Serve on (or connect to) a TCP endpoint.")
+  in
+  let pair s t = (s, t) in
+  Term.(const pair $ socket_arg $ tcp_arg)
+
+let parse_address (socket, tcp) =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Server.Unix_sock path)
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && host <> "" -> Ok (Server.Tcp (host, p))
+          | _ ->
+              Error
+                (Engine_error.Invalid_input
+                   (Printf.sprintf "--tcp expects HOST:PORT, got %S" spec)))
+      | None ->
+          Error
+            (Engine_error.Invalid_input
+               (Printf.sprintf "--tcp expects HOST:PORT, got %S" spec)))
+  | Some _, Some _ ->
+      Error (Engine_error.Invalid_input "--socket and --tcp are exclusive")
+  | None, None ->
+      Error (Engine_error.Invalid_input "need --socket PATH or --tcp HOST:PORT")
+
+let serve_cmd =
+  let pos_int_opt name default doc =
+    Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+  in
+  let queue_cap_arg =
+    pos_int_opt "queue-cap" 64
+      "Bounded request-queue capacity: beyond it the server sheds load with \
+       a typed $(b,overloaded) response instead of queueing without limit."
+  in
+  let cache_cap_arg =
+    pos_int_opt "cache-cap" 128
+      "Content-addressed LRU response-cache entries (0 disables caching)."
+  in
+  let max_conns_arg =
+    pos_int_opt "max-conns" 32
+      "Concurrent connections admitted; excess peers get one \
+       $(b,overloaded) line and are closed."
+  in
+  let retry_after_arg =
+    pos_int_opt "retry-after-ms" 100
+      "Back-off hint carried by $(b,overloaded) responses."
+  in
+  let default_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock deadline applied to requests that do not carry \
+             their own $(b,timeout_ms).")
+  in
+  let allow_crash_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-crash" ]
+          ~doc:
+            "Honour the $(b,crash) op (kills and respawns a worker domain); \
+             for fault-injection testing only.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the stderr log.")
+  in
+  let run addr_spec jobs queue_cap cache_cap max_conns retry_after
+      default_timeout_ms allow_crash quiet =
+    run_checked @@ fun () ->
+    let* address = parse_address addr_spec in
+    let* () =
+      match jobs with
+      | Some j when j < 1 ->
+          Error
+            (Engine_error.Invalid_input
+               (Printf.sprintf "--jobs must be >= 1, got %d" j))
+      | _ -> Ok ()
+    in
+    let* () =
+      if queue_cap < 1 || cache_cap < 0 || max_conns < 1 || retry_after < 0
+      then
+        Error
+          (Engine_error.Invalid_input
+             "need --queue-cap >= 1, --cache-cap >= 0, --max-conns >= 1, \
+              --retry-after-ms >= 0")
+      else Ok ()
+    in
+    let jobs =
+      match jobs with Some j -> j | None -> Iolb_util.Pool.default_jobs ()
+    in
+    let config =
+      {
+        Server.address;
+        jobs;
+        queue_capacity = queue_cap;
+        cache_capacity = cache_cap;
+        max_connections = max_conns;
+        retry_after_ms = retry_after;
+        default_timeout_ms;
+        allow_crash;
+        log =
+          (if quiet then ignore
+           else fun msg -> Printf.eprintf "iolb-serve: %s\n%!" msg);
+      }
+    in
+    Engine_error.guard @@ fun () ->
+    let t = Server.start config in
+    let stop_on_signal _ = Server.stop t in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal)
+     with Invalid_argument _ -> ());
+    Server.join t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the bound service: a crash-tolerant daemon answering \
+          newline-delimited JSON derivation requests over a socket"
+       ~exits:engine_exits)
+    Term.(
+      const run $ address_args $ jobs_arg $ queue_cap_arg $ cache_cap_arg
+      $ max_conns_arg $ retry_after_arg $ default_timeout_arg
+      $ allow_crash_arg $ quiet_arg)
+
+let client_cmd =
+  let op_arg =
+    let doc =
+      "Operation: $(b,ping), $(b,list), $(b,stats), $(b,shutdown), \
+       $(b,analyze), $(b,eval), $(b,crash), or $(b,raw) (send $(i,ARG) as \
+       a verbatim request line)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let arg_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ARG"
+          ~doc:"Kernel name (analyze/eval) or raw request line (raw).")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"STAGE:K"
+          ~doc:
+            "Budget fault-injection hook forwarded with the request, e.g. \
+             $(b,derivation:2) (stages: poly_projection, cdag_build, \
+             pebble_game, cache_sim, derivation).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "connect-retries" ] ~docv:"N"
+          ~doc:
+            "Connection attempts (100 ms apart) before giving up; covers \
+             daemons still binding their socket.")
+  in
+  let budget_fields (timeout_ms, max_steps, max_nodes) fault =
+    let opt name v =
+      match v with Some i -> [ (name, Json.Int i) ] | None -> []
+    in
+    let fault_field =
+      match fault with
+      | None -> []
+      | Some (stage, k) ->
+          [
+            ( "fault",
+              Json.Obj
+                [
+                  ("stage", Json.String (Protocol.wire_of_stage stage));
+                  ("k", Json.Int k);
+                ] );
+          ]
+    in
+    opt "timeout_ms" timeout_ms
+    @ opt "max_steps" max_steps
+    @ opt "max_nodes" max_nodes
+    @ fault_field
+  in
+  let parse_fault = function
+    | None -> Ok None
+    | Some spec -> (
+        match String.index_opt spec ':' with
+        | Some i -> (
+            let stage = String.sub spec 0 i in
+            let k = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match (Protocol.stage_of_wire stage, int_of_string_opt k) with
+            | Some stage, Some k when k >= 1 -> Ok (Some (stage, k))
+            | _ ->
+                Error
+                  (Engine_error.Invalid_input
+                     (Printf.sprintf "--fault expects STAGE:K, got %S" spec)))
+        | None ->
+            Error
+              (Engine_error.Invalid_input
+                 (Printf.sprintf "--fault expects STAGE:K, got %S" spec)))
+  in
+  let run addr_spec op arg m n s budget_spec fault retries =
+    let code = ref 0 in
+    let rc =
+      run_checked @@ fun () ->
+      let* address = parse_address addr_spec in
+      let* fault = parse_fault fault in
+      let* line =
+        let fields = budget_fields budget_spec fault in
+        let kernel_fields () =
+          match arg with
+          | Some k -> Ok (("kernel", Json.String k) :: fields)
+          | None ->
+              Error
+                (Engine_error.Invalid_input
+                   (Printf.sprintf "%s needs a kernel argument" op))
+        in
+        let simple name =
+          Ok
+            (Json.to_string
+               (Json.Obj [ ("id", Json.Null); ("op", Json.String name) ]))
+        in
+        match op with
+        | "ping" | "list" | "stats" | "shutdown" | "crash" -> simple op
+        | "analyze" ->
+            let* fs = kernel_fields () in
+            Ok
+              (Json.to_string
+                 (Json.Obj
+                    (("id", Json.Null) :: ("op", Json.String "analyze") :: fs)))
+        | "eval" ->
+            let* fs = kernel_fields () in
+            Ok
+              (Json.to_string
+                 (Json.Obj
+                    (("id", Json.Null)
+                    :: ("op", Json.String "eval")
+                    :: ("m", Json.Int m) :: ("n", Json.Int n)
+                    :: ("s", Json.Int s) :: fs)))
+        | "raw" -> (
+            match arg with
+            | Some l -> Ok l
+            | None ->
+                Error
+                  (Engine_error.Invalid_input "raw needs the request line"))
+        | other ->
+            Error
+              (Engine_error.Invalid_input
+                 (Printf.sprintf
+                    "unknown client op %S (ping, list, stats, shutdown, \
+                     analyze, eval, crash, raw)"
+                    other))
+      in
+      let* client =
+        Engine_error.guard (fun () ->
+            Sclient.connect ~attempts:(max 1 retries) ~delay_s:0.1 address)
+      in
+      Fun.protect
+        ~finally:(fun () -> Sclient.close client)
+        (fun () ->
+          Sclient.send_line client line;
+          match Sclient.recv_line client with
+          | None ->
+              Error
+                (Engine_error.Internal
+                   "connection closed before a response arrived")
+          | Some response -> (
+              print_endline response;
+              match Protocol.parse_response response with
+              | Ok r ->
+                  code := r.Protocol.exit_code;
+                  Ok ()
+              | Error msg -> Error (Engine_error.Internal msg)))
+    in
+    if rc <> 0 then rc else !code
+  in
+  let exits =
+    Cmd.Exit.info 6 ~doc:"when the server shed the request (overloaded)."
+    :: engine_exits
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running bound service and print the \
+          response line (exit code mirrors the wire error code)"
+       ~exits)
+    Term.(
+      const run $ address_args $ op_arg $ arg_arg $ m_arg $ n_arg $ s_arg
+      $ budget_args $ fault_arg $ retries_arg)
+
 let dot_cmd =
   let out_arg =
     Arg.(
@@ -542,5 +858,7 @@ let () =
             simulate_cmd;
             tile_cmd;
             check_cmd;
+            serve_cmd;
+            client_cmd;
             dot_cmd;
           ]))

@@ -171,11 +171,29 @@ let analyze ?budget entry =
 let memo : (string, analysis) Hashtbl.t = Hashtbl.create 8
 let memo_mutex = Mutex.create ()
 
+(* Counters let the bound service's [stats] endpoint (and the tests)
+   observe memoization directly instead of probing physical equality.
+   A lost insertion race still counts as a miss: the analysis ran. *)
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let memo_hits = Atomic.make 0
+let memo_misses = Atomic.make 0
+
+let cache_stats () =
+  {
+    hits = Atomic.get memo_hits;
+    misses = Atomic.get memo_misses;
+    entries = Mutex.protect memo_mutex (fun () -> Hashtbl.length memo);
+  }
+
 let analyze_cached entry =
   let key = entry.display in
   match Mutex.protect memo_mutex (fun () -> Hashtbl.find_opt memo key) with
-  | Some a -> a
+  | Some a ->
+      Atomic.incr memo_hits;
+      a
   | None ->
+      Atomic.incr memo_misses;
       let a = analyze entry in
       Mutex.protect memo_mutex (fun () ->
           match Hashtbl.find_opt memo key with

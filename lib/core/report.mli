@@ -63,6 +63,15 @@ val analyze : ?budget:Iolb_util.Budget.t -> entry -> analysis
     concurrently from a {!Iolb_util.Pool} fan-out. *)
 val analyze_cached : entry -> analysis
 
+(** Observability counters for {!analyze_cached}: lookups served from the
+    memo ([hits]), analyses actually run ([misses], racing duplicates
+    included), and the current table size ([entries]).  Monotone over the
+    process lifetime; consumed by the bound service's [stats] endpoint
+    and by the memoization tests. *)
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val cache_stats : unit -> cache_stats
+
 (** [analyze_all ()] analyses the whole registry through
     {!analyze_cached}, fanning out across [jobs] domains (default
     {!Iolb_util.Pool.default_jobs}); result order follows {!registry}. *)

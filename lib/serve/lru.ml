@@ -1,0 +1,105 @@
+(* Content-addressed LRU cache for rendered response payloads.
+
+   Doubly-linked recency list threaded through the nodes of a Hashtbl,
+   guarded by one mutex: [find] bumps the entry to the front, [add]
+   evicts from the back once over capacity.  Payloads are the rendered
+   [result] fragments, so a hit is a string splice - no re-analysis, no
+   re-rendering, byte-identical output. *)
+
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable front : node option;  (* most recently used *)
+  mutable back : node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: capacity < 0";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    mutex = Mutex.create ();
+    front = None;
+    back = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink (t : t) node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.front <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.back <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front (t : t) node =
+  node.next <- t.front;
+  node.prev <- None;
+  (match t.front with Some f -> f.prev <- Some node | None -> t.back <- Some node);
+  t.front <- Some node
+
+let find (t : t) key =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+          t.hits <- t.hits + 1;
+          unlink t node;
+          push_front t node;
+          Some node.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add (t : t) key value =
+  if t.capacity > 0 then
+    Mutex.protect t.mutex (fun () ->
+        (match Hashtbl.find_opt t.table key with
+        | Some node ->
+            node.value <- value;
+            unlink t node;
+            push_front t node
+        | None ->
+            let node = { key; value; prev = None; next = None } in
+            Hashtbl.replace t.table key node;
+            push_front t node);
+        while Hashtbl.length t.table > t.capacity do
+          match t.back with
+          | None -> assert false (* length > 0 implies a back node *)
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.table lru.key;
+              t.evictions <- t.evictions + 1
+        done)
+
+let stats (t : t) =
+  Mutex.protect t.mutex (fun () ->
+      {
+        capacity = t.capacity;
+        entries = Hashtbl.length t.table;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+      })

@@ -1,0 +1,28 @@
+(** Content-addressed LRU cache for rendered response payloads (the
+    cross-request lift of [Report.analyze_cached]): string keys are
+    canonical spec strings, values are rendered [result] fragments.
+    Thread-safe; a capacity of [0] disables storage entirely (every
+    lookup misses, [add] is a no-op). *)
+
+type t
+
+type stats = {
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+(** @raise Invalid_argument if [capacity < 0]. *)
+val create : capacity:int -> t
+
+(** [find t key] returns the cached payload and marks it most recently
+    used.  Counts a hit or a miss either way. *)
+val find : t -> string -> string option
+
+(** [add t key value] inserts (or refreshes) an entry, evicting the least
+    recently used entries beyond capacity. *)
+val add : t -> string -> string -> unit
+
+val stats : t -> stats

@@ -1,0 +1,535 @@
+module Json = Iolb_util.Json
+module Pool = Iolb_util.Pool
+module Budget = Iolb_util.Budget
+module Engine_error = Iolb_util.Engine_error
+module Report = Iolb.Report
+
+type address = Unix_sock of string | Tcp of string * int
+
+let pp_address fmt = function
+  | Unix_sock path -> Format.fprintf fmt "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf fmt "tcp:%s:%d" host port
+
+type config = {
+  address : address;
+  jobs : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  max_connections : int;
+  retry_after_ms : int;
+  default_timeout_ms : int option;
+  allow_crash : bool;
+  log : string -> unit;
+}
+
+let default_config ~address =
+  {
+    address;
+    jobs = 2;
+    queue_capacity = 64;
+    cache_capacity = 128;
+    max_connections = 32;
+    retry_after_ms = 100;
+    default_timeout_ms = None;
+    allow_crash = false;
+    log = ignore;
+  }
+
+exception Injected_crash
+
+(* ------------------------------------------------------------------ *)
+(* Connections.                                                        *)
+
+(* One accepted socket.  [oc] is shared by the reader domain (inline
+   responses) and the worker domains (engine responses), serialised by
+   [oc_mutex].  [outstanding] counts requests handed to the queue whose
+   response has not been written yet, so the reader can drain in-flight
+   work before closing the socket on EOF. *)
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  oc_mutex : Mutex.t;
+  flight_mutex : Mutex.t;
+  flight_done : Condition.t;
+  mutable outstanding : int;
+}
+
+let make_conn fd =
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    oc_mutex = Mutex.create ();
+    flight_mutex = Mutex.create ();
+    flight_done = Condition.create ();
+    outstanding = 0;
+  }
+
+(* Writes to a peer that vanished (EPIPE, reset) are dropped: the
+   request is the peer's loss, the server must not care. *)
+let write_line conn line =
+  Mutex.protect conn.oc_mutex (fun () ->
+      try
+        output_string conn.oc line;
+        output_char conn.oc '\n';
+        flush conn.oc
+      with Sys_error _ | Unix.Unix_error _ -> ())
+
+let flight_incr conn =
+  Mutex.protect conn.flight_mutex (fun () ->
+      conn.outstanding <- conn.outstanding + 1)
+
+let flight_decr conn =
+  Mutex.protect conn.flight_mutex (fun () ->
+      conn.outstanding <- conn.outstanding - 1;
+      if conn.outstanding = 0 then Condition.broadcast conn.flight_done)
+
+let flight_wait conn =
+  Mutex.protect conn.flight_mutex (fun () ->
+      while conn.outstanding > 0 do
+        Condition.wait conn.flight_done conn.flight_mutex
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Server state.                                                       *)
+
+type counters = {
+  served_ok : int Atomic.t;
+  served_error : int Atomic.t;
+  shed : int Atomic.t;
+  bad_lines : int Atomic.t;
+  crashes : int Atomic.t;
+}
+
+type job = { request : Protocol.request; conn : conn }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  queue : job Pool.Bounded_queue.t;
+  cache : Lru.t;
+  counters : counters;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable conn_domains : unit Domain.t list;
+  mutable workers : Pool.Workers.t option;
+  mutable accept_domain : unit Domain.t option;
+  stop_flag : bool Atomic.t;
+  stop_mutex : Mutex.t;
+  stop_cond : Condition.t;
+}
+
+let request_stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    Mutex.protect t.stop_mutex (fun () -> Condition.broadcast t.stop_cond)
+
+let stopping t = Atomic.get t.stop_flag
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (worker side).                                     *)
+
+let make_budget t (b : Protocol.budget_spec) =
+  let timeout_ms =
+    match b.timeout_ms with
+    | Some _ as req -> req
+    | None -> t.config.default_timeout_ms
+  in
+  Engine_error.guard (fun () ->
+      Budget.make ?timeout_ms ?max_steps:b.max_steps ?max_nodes:b.max_nodes
+        ?fault:b.fault ())
+
+(* Analysis for one request: unlimited budgets ride the process-wide
+   [Report.analyze_cached] memo (this is the per-process layer the LRU
+   lifts across requests); anything budgeted or fault-injected runs the
+   resilient ladder afresh. *)
+let analysis_for t entry (budget : Protocol.budget_spec) =
+  if Protocol.is_unlimited budget && t.config.default_timeout_ms = None then
+    Engine_error.guard (fun () -> Report.analyze_cached entry)
+  else
+    Result.bind (make_budget t budget) (fun b ->
+        Report.analyze_checked ~budget:b entry)
+
+(* A result is cacheable when it is the complete answer: no degradation
+   note and no fault hook in play (fault-injected requests must exercise
+   the real path, and a degraded result is budget-specific). *)
+let cacheable (budget : Protocol.budget_spec) (a : Report.analysis) =
+  budget.fault = None && a.degradation = None
+
+let respond_ok t ~id ~op result_string =
+  Atomic.incr t.counters.served_ok;
+  Protocol.ok_response_raw ~id ~op result_string
+
+let respond_error t ~id err =
+  Atomic.incr t.counters.served_error;
+  Protocol.error_response ~id err
+
+(* Engine ops (analyze / eval / crash).  Returns the full response line.
+   Unexpected exceptions escape to the worker shell on purpose: the
+   worker loop answers the poisoned request with a typed [internal]
+   error and then lets the domain die, to be respawned. *)
+let handle_engine t (req : Protocol.request) =
+  let id = req.id in
+  match req.op with
+  | Protocol.Crash ->
+      if t.config.allow_crash then raise Injected_crash
+      else
+        respond_error t ~id
+          (Protocol.Engine
+             (Engine_error.Unsupported
+                "crash injection disabled (start the server with \
+                 --allow-crash)"))
+  | Protocol.Analyze { kernel; budget } -> (
+      match Report.find_checked kernel with
+      | Error e -> respond_error t ~id (Protocol.Engine e)
+      | Ok entry -> (
+          let key =
+            Option.get (Protocol.spec_key req.op ~display:entry.display)
+          in
+          let spec = Protocol.spec_hash key in
+          let lookup =
+            if budget.fault = None then Lru.find t.cache key else None
+          in
+          match lookup with
+          | Some result -> respond_ok t ~id ~op:"analyze" result
+          | None -> (
+              match analysis_for t entry budget with
+              | Error e -> respond_error t ~id (Protocol.Engine e)
+              | Ok a ->
+                  let result =
+                    Json.to_string (Protocol.analysis_result ~spec a)
+                  in
+                  if cacheable budget a then Lru.add t.cache key result;
+                  respond_ok t ~id ~op:"analyze" result)))
+  | Protocol.Eval { kernel; m; n; s; budget } -> (
+      match Report.find_checked kernel with
+      | Error e -> respond_error t ~id (Protocol.Engine e)
+      | Ok entry -> (
+          let key =
+            Option.get (Protocol.spec_key req.op ~display:entry.display)
+          in
+          let spec = Protocol.spec_hash key in
+          let lookup =
+            if budget.fault = None then Lru.find t.cache key else None
+          in
+          match lookup with
+          | Some result -> respond_ok t ~id ~op:"eval" result
+          | None -> (
+              match analysis_for t entry budget with
+              | Error e -> respond_error t ~id (Protocol.Engine e)
+              | Ok a ->
+                  let result =
+                    Json.to_string (Protocol.eval_result ~spec a ~m ~n ~s)
+                  in
+                  if cacheable budget a then Lru.add t.cache key result;
+                  respond_ok t ~id ~op:"eval" result)))
+  | Protocol.Ping | Protocol.List_kernels | Protocol.Stats | Protocol.Shutdown
+    ->
+      (* Inline ops never reach the queue. *)
+      respond_error t ~id
+        (Protocol.Engine (Engine_error.Internal "inline op queued"))
+
+let worker_loop t _worker =
+  let rec loop () =
+    match Pool.Bounded_queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+        (match handle_engine t job.request with
+        | line ->
+            write_line job.conn line;
+            flight_decr job.conn
+        | exception e ->
+            (* The poisoned request still gets a typed answer; then the
+               domain dies and the Workers group respawns it.  One bad
+               request never outlives its own response. *)
+            Atomic.incr t.counters.crashes;
+            Atomic.incr t.counters.served_error;
+            write_line job.conn
+              (Protocol.error_response ~id:job.request.id
+                 (Protocol.Engine (Engine_error.of_exn e)));
+            flight_decr job.conn;
+            raise e);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Inline ops (reader side).                                           *)
+
+let list_result () =
+  Json.Obj
+    [
+      ( "kernels",
+        Json.List
+          (List.map
+             (fun (e : Report.entry) -> Json.String e.display)
+             Report.registry) );
+      ( "baselines",
+        Json.List
+          (List.map (fun (name, _, _) -> Json.String name) Report.baselines)
+      );
+    ]
+
+let stats_result t =
+  let cache = Lru.stats t.cache in
+  let memo = Report.cache_stats () in
+  let respawns =
+    match t.workers with Some w -> Pool.Workers.respawns w | None -> 0
+  in
+  Json.Obj
+    [
+      ( "server",
+        Json.Obj
+          [
+            ("jobs", Json.Int t.config.jobs);
+            ("respawns", Json.Int respawns);
+            ("queue_capacity", Json.Int t.config.queue_capacity);
+            ("queue_length", Json.Int (Pool.Bounded_queue.length t.queue));
+            ("connections", Json.Int (List.length t.conns));
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.Int cache.capacity);
+            ("entries", Json.Int cache.entries);
+            ("hits", Json.Int cache.hits);
+            ("misses", Json.Int cache.misses);
+            ("evictions", Json.Int cache.evictions);
+          ] );
+      ( "memo",
+        Json.Obj
+          [
+            ("hits", Json.Int memo.hits);
+            ("misses", Json.Int memo.misses);
+            ("entries", Json.Int memo.entries);
+          ] );
+      ( "requests",
+        Json.Obj
+          [
+            ("ok", Json.Int (Atomic.get t.counters.served_ok));
+            ("errors", Json.Int (Atomic.get t.counters.served_error));
+            ("shed", Json.Int (Atomic.get t.counters.shed));
+            ("bad_lines", Json.Int (Atomic.get t.counters.bad_lines));
+            ("crashes", Json.Int (Atomic.get t.counters.crashes));
+          ] );
+    ]
+
+let handle_line t conn line =
+  match Protocol.parse_request line with
+  | Error (id, msg) ->
+      Atomic.incr t.counters.bad_lines;
+      Atomic.incr t.counters.served_error;
+      write_line conn (Protocol.error_response ~id (Protocol.Bad_request msg))
+  | Ok req -> (
+      let id = req.id in
+      match req.op with
+      | Protocol.Ping ->
+          write_line conn
+            (respond_ok t ~id ~op:"ping"
+               (Json.to_string (Json.Obj [ ("pong", Json.Bool true) ])))
+      | Protocol.List_kernels ->
+          write_line conn
+            (respond_ok t ~id ~op:"list" (Json.to_string (list_result ())))
+      | Protocol.Stats ->
+          write_line conn
+            (respond_ok t ~id ~op:"stats" (Json.to_string (stats_result t)))
+      | Protocol.Shutdown ->
+          write_line conn
+            (respond_ok t ~id ~op:"shutdown"
+               (Json.to_string (Json.Obj [ ("stopping", Json.Bool true) ])));
+          request_stop t
+      | Protocol.Analyze _ | Protocol.Eval _ | Protocol.Crash ->
+          (* Admission control: the queue either takes the request or the
+             client is told to back off now - the queue cannot grow
+             beyond its capacity and the reader never blocks. *)
+          flight_incr conn;
+          if not (Pool.Bounded_queue.try_push t.queue { request = req; conn })
+          then begin
+            Atomic.incr t.counters.shed;
+            Atomic.incr t.counters.served_error;
+            write_line conn
+              (Protocol.error_response ~id
+                 (Protocol.Overloaded
+                    { retry_after_ms = t.config.retry_after_ms }));
+            flight_decr conn
+          end)
+
+let conn_loop t conn =
+  let rec loop () =
+    match input_line conn.ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+        if String.trim line <> "" then handle_line t conn line;
+        loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Let in-flight responses drain, then release the socket.  [ic]
+         and [oc] share the fd; closing one side closes it. *)
+      flight_wait conn;
+      Mutex.protect t.conns_mutex (fun () ->
+          t.conns <- List.filter (fun c -> c != conn) t.conns);
+      close_out_noerr conn.oc)
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop.                                                        *)
+
+let refuse_connection t fd =
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     output_string oc
+       (Protocol.error_response ~id:Json.Null
+          (Protocol.Overloaded { retry_after_ms = t.config.retry_after_ms }));
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  close_out_noerr oc
+
+let accept_loop t () =
+  let rec loop () =
+    if not (stopping t) then
+      match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+          | exception Unix.Unix_error _ -> loop ()
+          | fd, _ ->
+              let admitted =
+                Mutex.protect t.conns_mutex (fun () ->
+                    List.length t.conns < t.config.max_connections)
+              in
+              if not (admitted && not (stopping t)) then refuse_connection t fd
+              else begin
+                let conn = make_conn fd in
+                Mutex.protect t.conns_mutex (fun () ->
+                    t.conns <- conn :: t.conns);
+                match Domain.spawn (fun () -> conn_loop t conn) with
+                | d ->
+                    Mutex.protect t.conns_mutex (fun () ->
+                        t.conn_domains <- d :: t.conn_domains)
+                | exception _ ->
+                    (* Domain limit: shed this connection instead of
+                       dying. *)
+                    Mutex.protect t.conns_mutex (fun () ->
+                        t.conns <- List.filter (fun c -> c != conn) t.conns);
+                    refuse_connection t fd
+              end;
+              loop ())
+      | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let bind_listener = function
+  | Unix_sock path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { h_addr_list = [||]; _ } ->
+              invalid_arg (Printf.sprintf "cannot resolve host %S" host)
+          | { h_addr_list; _ } -> h_addr_list.(0)
+          | exception Not_found ->
+              invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+      in
+      let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let start config =
+  if config.jobs < 1 then invalid_arg "Server.start: jobs < 1";
+  if config.max_connections < 1 then
+    invalid_arg "Server.start: max_connections < 1";
+  (* A peer closing mid-response must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = bind_listener config.address in
+  let t =
+    {
+      config;
+      listen_fd;
+      queue = Pool.Bounded_queue.create ~capacity:config.queue_capacity;
+      cache = Lru.create ~capacity:config.cache_capacity;
+      counters =
+        {
+          served_ok = Atomic.make 0;
+          served_error = Atomic.make 0;
+          shed = Atomic.make 0;
+          bad_lines = Atomic.make 0;
+          crashes = Atomic.make 0;
+        };
+      conns_mutex = Mutex.create ();
+      conns = [];
+      conn_domains = [];
+      workers = None;
+      accept_domain = None;
+      stop_flag = Atomic.make false;
+      stop_mutex = Mutex.create ();
+      stop_cond = Condition.create ();
+    }
+  in
+  t.workers <-
+    Some
+      (Pool.Workers.spawn ~jobs:config.jobs
+         ~on_crash:(fun ~worker e ->
+           config.log
+             (Printf.sprintf "worker %d crashed (%s); respawning" worker
+                (Printexc.to_string e)))
+         (worker_loop t));
+  t.accept_domain <- Some (Domain.spawn (accept_loop t));
+  config.log (Format.asprintf "listening on %a" pp_address config.address);
+  t
+
+let stop = request_stop
+
+(* [join t] blocks until a stop is requested (shutdown op, {!stop}, or a
+   signal handler calling {!stop}), then tears the server down in
+   dependency order: stop accepting, stop taking new work, drain the
+   queued work through the workers, unblock the readers, release the
+   socket. *)
+let join t =
+  Mutex.protect t.stop_mutex (fun () ->
+      while not (Atomic.get t.stop_flag) do
+        Condition.wait t.stop_cond t.stop_mutex
+      done);
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter Domain.join t.accept_domain;
+  (* No new jobs; already-queued jobs still drain through [pop]. *)
+  Pool.Bounded_queue.close t.queue;
+  (* Wake readers blocked in [input_line]; SHUT_RD keeps the write side
+     open so in-flight responses still reach the peer. *)
+  Mutex.protect t.conns_mutex (fun () ->
+      List.iter
+        (fun conn ->
+          try Unix.shutdown conn.fd SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        t.conns);
+  Option.iter Pool.Workers.join t.workers;
+  let conn_domains =
+    Mutex.protect t.conns_mutex (fun () -> t.conn_domains)
+  in
+  List.iter (fun d -> try Domain.join d with _ -> ()) conn_domains;
+  (match t.config.address with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  t.config.log "server stopped"
+
+let run config =
+  let t = start config in
+  join t
+
+let respawns t =
+  match t.workers with Some w -> Pool.Workers.respawns w | None -> 0

@@ -35,11 +35,31 @@ let map ?jobs f xs =
         in
         loop ()
       in
-      let domains =
-        Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-      in
+      (* Spawn helpers one at a time so a failing [Domain.spawn] (domain
+         limit, resources) cannot leave already-spawned domains behind
+         unjoined: whatever was spawned is on the list and joined below,
+         and every task still completes because this domain works through
+         the shared index regardless of how many helpers came up. *)
+      let domains = ref [] in
+      (try
+         for _ = 2 to min jobs n do
+           domains := Domain.spawn worker :: !domains
+         done
+       with _ -> ());
       worker ();
-      Array.iter Domain.join domains;
+      let join_failure = ref None in
+      List.iter
+        (fun d ->
+          try Domain.join d
+          with e ->
+            if !join_failure = None then
+              join_failure := Some (e, Printexc.get_raw_backtrace ()))
+        !domains;
+      (* Every domain is joined before any failure propagates, so a raising
+         [f] can neither leak a domain nor deadlock the joiner. *)
+      (match !join_failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
       Array.iter
         (function
           | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -51,3 +71,124 @@ let map ?jobs f xs =
            results)
 
 let iter ?jobs f xs = ignore (map ?jobs f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue.                                                      *)
+
+module Bounded_queue = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    capacity : int;
+    mutex : Mutex.t;
+    not_empty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Pool.Bounded_queue.create: capacity < 1";
+    {
+      items = Queue.create ();
+      capacity;
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      closed = false;
+    }
+
+  let try_push t x =
+    Mutex.protect t.mutex (fun () ->
+        if t.closed || Queue.length t.items >= t.capacity then false
+        else begin
+          Queue.add x t.items;
+          Condition.signal t.not_empty;
+          true
+        end)
+
+  let pop t =
+    Mutex.protect t.mutex (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+          else if t.closed then None
+          else begin
+            Condition.wait t.not_empty t.mutex;
+            wait ()
+          end
+        in
+        wait ())
+
+  let close t =
+    Mutex.protect t.mutex (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.not_empty)
+
+  let length t = Mutex.protect t.mutex (fun () -> Queue.length t.items)
+  let capacity t = t.capacity
+  let is_closed t = Mutex.protect t.mutex (fun () -> t.closed)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Long-running worker group with crash respawn.                       *)
+
+module Workers = struct
+  type t = {
+    mutex : Mutex.t;
+    mutable domains : unit Domain.t list;  (** every domain ever spawned *)
+    mutable stopping : bool;
+    respawn_count : int Atomic.t;
+    on_crash : worker:int -> exn -> unit;
+    body : int -> unit;
+  }
+
+  (* The shell around one worker slot: run the body; if it returns the
+     worker is done (its input source is closed).  If it raises, report
+     the crash and spawn a replacement into the group - unless the group
+     is already stopping.  The dying domain itself exits normally after
+     arranging its succession, so [join] never sees an exception from a
+     crash that was already reported through [on_crash]. *)
+  let rec shell t i () =
+    match t.body i with
+    | () -> ()
+    | exception e ->
+        (try t.on_crash ~worker:i e with _ -> ());
+        Mutex.protect t.mutex (fun () ->
+            if not t.stopping then begin
+              Atomic.incr t.respawn_count;
+              t.domains <- Domain.spawn (shell t i) :: t.domains
+            end)
+
+  let spawn ~jobs ?(on_crash = fun ~worker:_ _ -> ()) body =
+    if jobs < 1 then invalid_arg "Pool.Workers.spawn: jobs < 1";
+    let t =
+      {
+        mutex = Mutex.create ();
+        domains = [];
+        stopping = false;
+        respawn_count = Atomic.make 0;
+        on_crash;
+        body;
+      }
+    in
+    Mutex.protect t.mutex (fun () ->
+        t.domains <- List.init jobs (fun i -> Domain.spawn (shell t i)));
+    t
+
+  let respawns t = Atomic.get t.respawn_count
+
+  let join t =
+    Mutex.protect t.mutex (fun () -> t.stopping <- true);
+    (* Respawns racing ahead of the [stopping] flag landed on the list
+       under the same mutex, so draining until the list stays empty joins
+       every domain the group ever created. *)
+    let rec drain () =
+      match
+        Mutex.protect t.mutex (fun () ->
+            let ds = t.domains in
+            t.domains <- [];
+            ds)
+      with
+      | [] -> ()
+      | ds ->
+          List.iter (fun d -> try Domain.join d with _ -> ()) ds;
+          drain ()
+    in
+    drain ()
+end

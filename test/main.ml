@@ -26,6 +26,7 @@ let () =
       ("upper-bounds", Test_upper_bounds.suite);
       ("misc", Test_misc.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
       ("lemma-empirical", Test_lemma_empirical.suite);
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);

@@ -80,6 +80,116 @@ let test_pool_shared_budget () =
   Alcotest.(check bool) "counted past the cap" true (Budget.steps budget > 50)
 
 (* ------------------------------------------------------------------ *)
+(* Bounded_queue: the admission-control primitive of the bound          *)
+(* service.  Producers never block; consumers block until an item or    *)
+(* close; items enqueued before close are still delivered.              *)
+
+module Bq = Pool.Bounded_queue
+
+let test_queue_capacity_and_close () =
+  Alcotest.(check bool) "capacity < 1 rejected" true
+    (try
+       ignore (Bq.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true);
+  let q = Bq.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Bq.capacity q);
+  Alcotest.(check int) "empty" 0 (Bq.length q);
+  Alcotest.(check bool) "push 1" true (Bq.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Bq.try_push q 2);
+  Alcotest.(check bool) "push refused at capacity" false (Bq.try_push q 3);
+  Alcotest.(check int) "length" 2 (Bq.length q);
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Bq.pop q);
+  Alcotest.(check bool) "slot freed by pop" true (Bq.try_push q 4);
+  Bq.close q;
+  Bq.close q (* idempotent *);
+  Alcotest.(check bool) "closed" true (Bq.is_closed q);
+  Alcotest.(check bool) "push after close refused" false (Bq.try_push q 5);
+  Alcotest.(check (option int)) "drains after close" (Some 2) (Bq.pop q);
+  Alcotest.(check (option int)) "drains after close" (Some 4) (Bq.pop q);
+  Alcotest.(check (option int)) "closed and drained" None (Bq.pop q)
+
+let test_queue_blocking_pop () =
+  let q = Bq.create ~capacity:4 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let a = Bq.pop q in
+        let b = Bq.pop q in
+        (a, b))
+  in
+  (* The consumer blocks until the pushes land. *)
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "push a" true (Bq.try_push q 10);
+  Alcotest.(check bool) "push b" true (Bq.try_push q 20);
+  let a, b = Domain.join consumer in
+  Alcotest.(check (option int)) "first item" (Some 10) a;
+  Alcotest.(check (option int)) "second item" (Some 20) b
+
+let test_queue_close_wakes_consumers () =
+  let q : int Bq.t = Bq.create ~capacity:1 in
+  let consumers = List.init 3 (fun _ -> Domain.spawn (fun () -> Bq.pop q)) in
+  Unix.sleepf 0.02;
+  Bq.close q;
+  List.iter
+    (fun d ->
+      Alcotest.(check (option int)) "woken with None" None (Domain.join d))
+    consumers
+
+(* ------------------------------------------------------------------ *)
+(* Workers: a crashing body poisons only its own slot and is respawned; *)
+(* join drains every domain the group ever had.                         *)
+
+let test_workers_respawn () =
+  let q = Bq.create ~capacity:64 in
+  let processed = Atomic.make 0 in
+  let crashes_seen = Atomic.make 0 in
+  let w =
+    Pool.Workers.spawn ~jobs:2
+      ~on_crash:(fun ~worker:_ _ -> Atomic.incr crashes_seen)
+      (fun _ ->
+        let rec loop () =
+          match Bq.pop q with
+          | None -> ()
+          | Some `Crash -> raise (Boom 0)
+          | Some `Work ->
+              Atomic.incr processed;
+              loop ()
+        in
+        loop ())
+  in
+  (* 16 work items interleaved with 4 poison pills. *)
+  List.iter
+    (fun x -> Alcotest.(check bool) "enqueued" true (Bq.try_push q x))
+    (List.init 20 (fun i -> if i mod 5 = 2 then `Crash else `Work));
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (Atomic.get processed < 16 || Pool.Workers.respawns w < 4)
+    && Unix.gettimeofday () < deadline
+  do
+    Domain.cpu_relax ()
+  done;
+  Bq.close q;
+  Pool.Workers.join w;
+  Alcotest.(check int) "crashes did not lose work" 16 (Atomic.get processed);
+  Alcotest.(check int) "one respawn per crash" 4 (Pool.Workers.respawns w);
+  Alcotest.(check int) "on_crash saw every crash" 4 (Atomic.get crashes_seen)
+
+let test_pool_map_reusable_after_failure () =
+  (* A failed map joins every domain it spawned; repeated failures must
+     not accumulate leaked domains or wedge later calls. *)
+  for _ = 1 to 30 do
+    match
+      Pool.map ~jobs:4
+        (fun x -> if x = 5 then raise (Boom 5) else x)
+        (List.init 10 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom 5 -> ()
+  done;
+  Alcotest.(check (list int)) "pool still works after 30 failures" [ 0; 2; 4 ]
+    (Pool.map ~jobs:4 (fun x -> 2 * x) [ 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
 (* Interner.                                                           *)
 
 let test_interner_roundtrip () =
@@ -247,6 +357,16 @@ let suite =
     Alcotest.test_case "pool: earliest exception wins" `Quick
       test_pool_exception;
     Alcotest.test_case "pool: shared budget cap" `Quick test_pool_shared_budget;
+    Alcotest.test_case "pool: reusable after failures" `Quick
+      test_pool_map_reusable_after_failure;
+    Alcotest.test_case "queue: capacity, fifo, close" `Quick
+      test_queue_capacity_and_close;
+    Alcotest.test_case "queue: pop blocks until push" `Quick
+      test_queue_blocking_pop;
+    Alcotest.test_case "queue: close wakes consumers" `Quick
+      test_queue_close_wakes_consumers;
+    Alcotest.test_case "workers: crash isolation and respawn" `Quick
+      test_workers_respawn;
     Alcotest.test_case "interner: round-trip" `Quick test_interner_roundtrip;
     Alcotest.test_case "budget: strided deadline still fails" `Quick
       test_budget_deadline_strided;

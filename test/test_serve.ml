@@ -1,0 +1,602 @@
+(* The bound service: wire protocol, error taxonomy, response LRU, and
+   the daemon's contract - crash isolation, admission control, graceful
+   degradation, byte-identical cached responses - exercised end to end
+   over real sockets, including the fault-injected soak. *)
+
+module Json = Iolb_util.Json
+module Budget = Iolb_util.Budget
+module Engine_error = Iolb_util.Engine_error
+module Protocol = Iolb_serve.Protocol
+module Lru = Iolb_serve.Lru
+module Server = Iolb_serve.Server
+module Client = Iolb_serve.Client
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: request parsing.                                          *)
+
+let parse_ok line =
+  match Protocol.parse_request line with
+  | Ok r -> r
+  | Error (_, msg) -> Alcotest.failf "%S: unexpected parse error: %s" line msg
+
+let parse_err line =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.failf "%S: expected a parse error" line
+  | Error (id, msg) -> (id, msg)
+
+let test_parse_request () =
+  let r = parse_ok {|{"id":7,"op":"ping"}|} in
+  Alcotest.(check bool) "ping id echoed" true (r.Protocol.id = Json.Int 7);
+  Alcotest.(check bool) "ping op" true (r.Protocol.op = Protocol.Ping);
+  List.iter
+    (fun (line, op) ->
+      Alcotest.(check bool) line true ((parse_ok line).Protocol.op = op))
+    [
+      ({|{"op":"list"}|}, Protocol.List_kernels);
+      ({|{"op":"stats"}|}, Protocol.Stats);
+      ({|{"op":"crash"}|}, Protocol.Crash);
+      ({|{"op":"shutdown"}|}, Protocol.Shutdown);
+    ];
+  Alcotest.(check bool) "missing id defaults to null" true
+    ((parse_ok {|{"op":"ping"}|}).Protocol.id = Json.Null);
+  (* analyze with a full budget, fault hook included *)
+  let r =
+    parse_ok
+      {|{"id":1,"op":"analyze","kernel":"mgs","timeout_ms":5,"max_steps":10,"max_nodes":3,"fault":{"stage":"pebble_game","k":2}}|}
+  in
+  (match r.Protocol.op with
+  | Protocol.Analyze { kernel; budget } ->
+      Alcotest.(check string) "kernel" "mgs" kernel;
+      Alcotest.(check (option int)) "timeout" (Some 5) budget.timeout_ms;
+      Alcotest.(check (option int)) "steps" (Some 10) budget.max_steps;
+      Alcotest.(check (option int)) "nodes" (Some 3) budget.max_nodes;
+      Alcotest.(check bool) "fault" true
+        (budget.fault = Some (Budget.Pebble_game, 2));
+      Alcotest.(check bool) "budgeted" false (Protocol.is_unlimited budget)
+  | _ -> Alcotest.fail "expected analyze");
+  (* a bare analyze is unlimited *)
+  (match (parse_ok {|{"op":"analyze","kernel":"mgs"}|}).Protocol.op with
+  | Protocol.Analyze { budget; _ } ->
+      Alcotest.(check bool) "no budget fields means unlimited" true
+        (Protocol.is_unlimited budget)
+  | _ -> Alcotest.fail "expected analyze");
+  (* eval point defaults *)
+  (match (parse_ok {|{"op":"eval","kernel":"gemm"}|}).Protocol.op with
+  | Protocol.Eval { kernel; m; n; s; _ } ->
+      Alcotest.(check string) "kernel" "gemm" kernel;
+      Alcotest.(check (list int)) "default point" [ 64; 32; 256 ] [ m; n; s ]
+  | _ -> Alcotest.fail "expected eval");
+  (* malformed lines: typed errors, id recovered when present *)
+  List.iter
+    (fun line -> ignore (parse_err line))
+    [
+      "";
+      "not json";
+      "[1,2]";
+      {|{"id":1}|};
+      {|{"op":42}|};
+      {|{"op":"frobnicate"}|};
+      {|{"op":"analyze"}|};
+      {|{"op":"analyze","kernel":7}|};
+      {|{"op":"analyze","kernel":"mgs","timeout_ms":"soon"}|};
+      {|{"op":"analyze","kernel":"mgs","fault":{"stage":"nope","k":1}}|};
+      {|{"op":"analyze","kernel":"mgs","fault":3}|};
+    ];
+  let id, _ = parse_err {|{"id":9,"op":"frobnicate"}|} in
+  Alcotest.(check bool) "id recovered from a bad request" true (id = Json.Int 9);
+  let id, _ = parse_err "not json" in
+  Alcotest.(check bool) "unparsable line has null id" true (id = Json.Null)
+
+let test_stage_wire_roundtrip () =
+  let stages =
+    [
+      Budget.Poly_projection; Budget.Cdag_build; Budget.Pebble_game;
+      Budget.Cache_sim; Budget.Derivation;
+    ]
+  in
+  let names = List.map Protocol.wire_of_stage stages in
+  Alcotest.(check (list string))
+    "stable wire names"
+    [ "poly_projection"; "cdag_build"; "pebble_game"; "cache_sim"; "derivation" ]
+    names;
+  List.iter2
+    (fun stage name ->
+      Alcotest.(check bool) (name ^ " round-trips") true
+        (Protocol.stage_of_wire name = Some stage))
+    stages names;
+  Alcotest.(check bool) "unknown stage rejected" true
+    (Protocol.stage_of_wire "warp_drive" = None)
+
+(* Satellite: every Engine_error constructor maps to a distinct wire
+   code whose numeric exit code matches the CLI taxonomy, and the
+   service-level errors extend it without colliding. *)
+let test_error_codes_match_cli () =
+  let engine_cases =
+    Engine_error.
+      [
+        Invalid_input "bad"; Budget_exhausted Budget.Poly_projection;
+        Budget_exhausted Budget.Cdag_build; Budget_exhausted Budget.Pebble_game;
+        Budget_exhausted Budget.Cache_sim; Budget_exhausted Budget.Derivation;
+        Unsupported "scope"; Internal "bug";
+      ]
+  in
+  List.iter
+    (fun e ->
+      let err = Protocol.Engine e in
+      Alcotest.(check int)
+        (Protocol.error_code err ^ " matches the CLI exit code")
+        (Engine_error.exit_code e)
+        (Protocol.error_exit_code err))
+    engine_cases;
+  let all =
+    List.map (fun e -> Protocol.Engine e) engine_cases
+    @ [ Protocol.Bad_request "junk"; Protocol.Overloaded { retry_after_ms = 5 } ]
+  in
+  let codes = List.sort_uniq compare (List.map Protocol.error_code all) in
+  Alcotest.(check (list string))
+    "six distinct wire codes"
+    [
+      "bad_request"; "budget_exhausted"; "internal"; "invalid_input";
+      "overloaded"; "unsupported";
+    ]
+    codes;
+  Alcotest.(check int) "bad_request is an input error" 2
+    (Protocol.error_exit_code (Protocol.Bad_request "junk"));
+  Alcotest.(check int) "overloaded extends the taxonomy" 6
+    (Protocol.error_exit_code (Protocol.Overloaded { retry_after_ms = 5 }));
+  (* the structured payload carries the stage / retry hint *)
+  Alcotest.(check bool) "budget_exhausted names its stage" true
+    (Json.member "stage"
+       (Protocol.error_json (Protocol.Engine (Engine_error.Budget_exhausted Budget.Cache_sim)))
+    = Some (Json.String "cache_sim"));
+  Alcotest.(check bool) "overloaded carries retry_after_ms" true
+    (Json.member "retry_after_ms"
+       (Protocol.error_json (Protocol.Overloaded { retry_after_ms = 25 }))
+    = Some (Json.Int 25))
+
+let test_response_envelopes () =
+  let id = Json.Int 3 in
+  let result = Json.Obj [ ("pong", Json.Bool true) ] in
+  let rendered = Protocol.ok_response ~id ~op:"ping" result in
+  Alcotest.(check string) "raw splice is byte-identical" rendered
+    (Protocol.ok_response_raw ~id ~op:"ping" (Json.to_string result));
+  (match Protocol.parse_response rendered with
+  | Ok r ->
+      Alcotest.(check bool) "id echoed" true (r.Protocol.resp_id = id);
+      Alcotest.(check bool) "ok" true r.Protocol.ok;
+      Alcotest.(check int) "success exit code" 0 r.Protocol.exit_code
+  | Error m -> Alcotest.failf "ok response does not parse: %s" m);
+  let err =
+    Protocol.error_response ~id:(Json.String "x")
+      (Protocol.Engine (Engine_error.Budget_exhausted Budget.Derivation))
+  in
+  (match Protocol.parse_response err with
+  | Ok r ->
+      Alcotest.(check bool) "error id echoed" true
+        (r.Protocol.resp_id = Json.String "x");
+      Alcotest.(check bool) "not ok" false r.Protocol.ok;
+      Alcotest.(check int) "exit code surfaced" 3 r.Protocol.exit_code
+  | Error m -> Alcotest.failf "error response does not parse: %s" m);
+  (match Protocol.parse_response "garbage" with
+  | Ok _ -> Alcotest.fail "garbage parsed as a response"
+  | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lru: recency bumping, eviction order, stats, disabled cache.        *)
+
+let test_lru () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (option string)) "miss" None (Lru.find c "a");
+  Lru.add c "a" "1";
+  Lru.add c "b" "2";
+  Alcotest.(check (option string)) "hit a" (Some "1") (Lru.find c "a");
+  (* b is now least recently used; adding c evicts it *)
+  Lru.add c "c" "3";
+  Alcotest.(check (option string)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option string)) "a survived the bump" (Some "1")
+    (Lru.find c "a");
+  Alcotest.(check (option string)) "c present" (Some "3") (Lru.find c "c");
+  Lru.add c "a" "1'";
+  Alcotest.(check (option string)) "refresh updates in place" (Some "1'")
+    (Lru.find c "a");
+  let s = Lru.stats c in
+  Alcotest.(check int) "entries" 2 s.Lru.entries;
+  Alcotest.(check int) "capacity" 2 s.Lru.capacity;
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+  Alcotest.(check int) "hits" 4 s.Lru.hits;
+  Alcotest.(check int) "misses" 2 s.Lru.misses;
+  (* capacity 0 disables the cache entirely *)
+  let off = Lru.create ~capacity:0 in
+  Lru.add off "k" "v";
+  Alcotest.(check (option string)) "disabled cache never hits" None
+    (Lru.find off "k");
+  Alcotest.(check int) "disabled cache stays empty" 0 (Lru.stats off).Lru.entries;
+  Alcotest.(check bool) "negative capacity rejected" true
+    (try
+       ignore (Lru.create ~capacity:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Server end to end: real sockets, real domains.                      *)
+
+let fresh_address () =
+  let path = Filename.temp_file "iolb-serve" ".sock" in
+  Sys.remove path;
+  Server.Unix_sock path
+
+let with_server ?(jobs = 2) ?(queue = 64) ?(cache = 128) ?(allow_crash = false)
+    f =
+  let address = fresh_address () in
+  let config =
+    {
+      (Server.default_config ~address) with
+      Server.jobs;
+      queue_capacity = queue;
+      cache_capacity = cache;
+      allow_crash;
+    }
+  in
+  let t = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.join t)
+    (fun () -> f t address)
+
+let with_client address f =
+  let c = Client.connect ~attempts:50 ~delay_s:0.05 address in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let rpc c ?id ~op fields =
+  match Client.rpc c ?id ~op fields with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "op %s: unparsable response: %s" op m
+
+(* One lock-step raw exchange: send a line, read its response line. *)
+let raw_line c line =
+  Client.send_line c line;
+  match Client.recv_line c with
+  | Some l -> l
+  | None -> Alcotest.failf "connection closed after %S" line
+
+let parsed line =
+  match Protocol.parse_response line with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "unparsable response %S: %s" line m
+
+let wait_for ?(timeout_s = 10.0) what pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else (
+      Unix.sleepf 0.005;
+      go ())
+  in
+  go ()
+
+let test_server_end_to_end () =
+  with_server ~allow_crash:true (fun t address ->
+      with_client address (fun c ->
+          (* ping echoes an arbitrary id *)
+          let r = rpc c ~id:(Json.Int 42) ~op:"ping" [] in
+          Alcotest.(check bool) "ping ok" true r.Protocol.ok;
+          Alcotest.(check bool) "ping id" true (r.Protocol.resp_id = Json.Int 42);
+          (* list names the paper kernels *)
+          let r = rpc c ~op:"list" [] in
+          (match Json.member "kernels" r.Protocol.body with
+          | Some (Json.List ks) ->
+              Alcotest.(check int) "five paper kernels" 5 (List.length ks)
+          | _ -> Alcotest.fail "list: missing kernels field");
+          (* the same analyze twice: byte-identical, and the second is a
+             cache hit *)
+          let line = {|{"id":1,"op":"analyze","kernel":"mgs"}|} in
+          let a = raw_line c line in
+          let b = raw_line c line in
+          Alcotest.(check string) "cached response byte-identical" a b;
+          Alcotest.(check bool) "analysis ok" true (parsed a).Protocol.ok;
+          let r = rpc c ~op:"stats" [] in
+          (match Json.member "cache" r.Protocol.body with
+          | Some cache ->
+              Alcotest.(check bool) "stats counts the cache hit" true
+                (match Json.member "hits" cache with
+                | Some (Json.Int h) -> h >= 1
+                | _ -> false)
+          | None -> Alcotest.fail "stats: missing cache section");
+          (* eval with the default point *)
+          let r = rpc c ~op:"eval" [ ("kernel", Json.String "mgs") ] in
+          Alcotest.(check bool) "eval ok" true r.Protocol.ok;
+          Alcotest.(check bool) "eval echoes the point" true
+            (Json.member "m" r.Protocol.body = Some (Json.Int 64));
+          (* a malformed line gets a typed bad_request; the connection and
+             the server survive *)
+          let r = parsed (raw_line c "this is not json") in
+          Alcotest.(check bool) "malformed not ok" false r.Protocol.ok;
+          Alcotest.(check int) "malformed exit code" 2 r.Protocol.exit_code;
+          Alcotest.(check bool) "server alive after bad line" true
+            (rpc c ~op:"ping" []).Protocol.ok;
+          (* unknown kernel: invalid_input *)
+          let r =
+            parsed (raw_line c {|{"id":2,"op":"analyze","kernel":"nope"}|})
+          in
+          Alcotest.(check int) "unknown kernel is invalid_input" 2
+            r.Protocol.exit_code;
+          (* over-deadline request degrades into a typed budget error, not
+             a hang *)
+          let r =
+            parsed
+              (raw_line c
+                 {|{"id":3,"op":"analyze","kernel":"gehd2","timeout_ms":1}|})
+          in
+          Alcotest.(check int) "over-deadline is budget_exhausted" 3
+            r.Protocol.exit_code;
+          Alcotest.(check bool) "budget error names a stage" true
+            (Json.member "stage" r.Protocol.body <> None);
+          (* crash: the poisoned request gets a typed internal error, the
+             worker is respawned, the daemon survives *)
+          let r = rpc c ~op:"crash" [] in
+          Alcotest.(check bool) "crash not ok" false r.Protocol.ok;
+          Alcotest.(check int) "crash is internal" 5 r.Protocol.exit_code;
+          wait_for "the worker respawn" (fun () -> Server.respawns t >= 1);
+          Alcotest.(check bool) "server alive after crash" true
+            (rpc c ~op:"ping" []).Protocol.ok);
+      (* graceful shutdown over the wire: the op acknowledges, then join
+         (in the with_server finally) completes *)
+      with_client address (fun c ->
+          let r = rpc c ~op:"shutdown" [] in
+          Alcotest.(check bool) "shutdown acknowledged" true r.Protocol.ok))
+
+let test_crash_gated_by_default () =
+  with_server (fun t address ->
+      with_client address (fun c ->
+          let r = rpc c ~op:"crash" [] in
+          Alcotest.(check int) "crash refused as unsupported" 4
+            r.Protocol.exit_code;
+          Alcotest.(check int) "no respawn happened" 0 (Server.respawns t)))
+
+(* The same request sequence against different worker widths must come
+   back byte-for-byte identical - the cache and the fan-out must not
+   leak into the payload. *)
+let determinism_lines =
+  [
+    {|{"id":0,"op":"list"}|};
+    {|{"id":1,"op":"analyze","kernel":"mgs"}|};
+    {|{"id":2,"op":"analyze","kernel":"qr hh a2v"}|};
+    {|{"id":3,"op":"eval","kernel":"mgs"}|};
+    {|{"id":4,"op":"analyze","kernel":"gemm"}|};
+    {|{"id":5,"op":"analyze","kernel":"nope"}|};
+    {|{"id":6,"op":"analyze","kernel":"mgs"}|};
+    {|{"id":7,"op":"eval","kernel":"atax","m":128,"n":64,"s":512}|};
+  ]
+
+let responses_at_width jobs =
+  with_server ~jobs (fun _ address ->
+      with_client address (fun c -> List.map (raw_line c) determinism_lines))
+
+let test_byte_identical_across_widths () =
+  let narrow = responses_at_width 1 in
+  let wide = responses_at_width 4 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "request %d" i) a b)
+    (List.combine narrow wide)
+
+(* Admission control: a pipelined burst against a one-slot queue and a
+   single busy worker sheds with typed [overloaded] responses, and every
+   request id is answered exactly once. *)
+let test_overload_sheds () =
+  with_server ~jobs:1 ~queue:1 ~cache:0 (fun _ address ->
+      with_client address (fun c ->
+          let burst () =
+            let n = 24 in
+            (* A heavyweight uncached analysis parks the only worker... *)
+            Client.send_line c
+              {|{"id":0,"op":"analyze","kernel":"gehd2","max_steps":1000000000}|};
+            (* ...and the rest of the burst overflows the one-slot queue. *)
+            for i = 1 to n do
+              Client.send_line c
+                (Printf.sprintf
+                   {|{"id":%d,"op":"analyze","kernel":"mgs","max_steps":1000000000}|}
+                   i)
+            done;
+            let responses =
+              List.init (n + 1) (fun _ ->
+                  match Client.recv_line c with
+                  | Some l -> parsed l
+                  | None -> Alcotest.fail "connection closed mid-burst")
+            in
+            let ids =
+              List.sort compare
+                (List.map
+                   (fun r ->
+                     match r.Protocol.resp_id with
+                     | Json.Int i -> i
+                     | _ -> Alcotest.fail "response with a foreign id")
+                   responses)
+            in
+            Alcotest.(check (list int))
+              "every request answered exactly once"
+              (List.init (n + 1) Fun.id)
+              ids;
+            let shed =
+              List.filter (fun r -> r.Protocol.exit_code = 6) responses
+            in
+            Alcotest.(check bool) "some requests were served" true
+              (List.exists (fun r -> r.Protocol.ok) responses);
+            List.iter
+              (fun r ->
+                Alcotest.(check bool) "overloaded carries a retry hint" true
+                  (match Json.member "retry_after_ms" r.Protocol.body with
+                  | Some (Json.Int ms) -> ms >= 0
+                  | _ -> false))
+              shed;
+            List.length shed
+          in
+          (* The burst outruns the worker by construction; retry a few
+             times anyway so a pathological scheduler cannot flake us. *)
+          let rec go tries =
+            if burst () = 0 then
+              if tries > 1 then go (tries - 1)
+              else Alcotest.fail "bounded queue never shed a pipelined burst"
+          in
+          go 5))
+
+(* ------------------------------------------------------------------ *)
+(* The soak: one daemon, four connections, 520 mixed requests - valid,  *)
+(* malformed, over-budget, fault-injected, and worker-killing - with    *)
+(* zero daemon crashes and a typed response for every single one.       *)
+
+(* Analyzable kernels are the five paper entries (baselines carry no
+   paper formulas).  gehd2 is reserved for the over-budget branch: a
+   complete analysis is cached with the budget excluded from its key (a
+   complete answer is the same answer whatever budget produced it), so
+   analyzing it unbudgeted anywhere else would let the over-deadline
+   requests be answered from the cache instead of exercising the budget
+   path. *)
+let soak_kernels = [| "mgs"; "qr hh a2v"; "qr hh v2q"; "gebd2" |]
+
+(* [eval] resolves paper kernels only (baselines have no evaluation
+   point semantics); eval specs live in a separate key space, so evaling
+   gehd2 does not feed the analyze cache. *)
+let soak_eval_kernels = [| "mgs"; "qr hh a2v"; "qr hh v2q"; "gebd2"; "gehd2" |]
+
+let soak_stages =
+  [| "poly_projection"; "cdag_build"; "pebble_game"; "cache_sim"; "derivation" |]
+
+let soak_garbage =
+  [| "{"; "[]"; "not json"; {|{"op":42}|}; {|{"op":"analyze"}|}; "\"str\"" |]
+
+let test_soak () =
+  with_server ~jobs:3 ~queue:16 ~cache:32 ~allow_crash:true (fun t address ->
+      let conns =
+        Array.init 4 (fun _ -> Client.connect ~attempts:50 ~delay_s:0.05 address)
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Client.close conns)
+        (fun () ->
+          let n = 520 in
+          let crashes = ref 0 and oks = ref 0 and typed_errors = ref 0 in
+          let duplicate_responses = ref [] in
+          for i = 0 to n - 1 do
+            let c = conns.(i mod Array.length conns) in
+            (* [check_id]: the response must echo the request id.
+               [expect]: [`Ok], a fixed exit [`Code], any [`Typed]
+               outcome (fault injection degrades or errors depending on
+               where the hook lands), or [`Dup] (byte-compared at the
+               end). *)
+            let check_id, expect, line =
+              match i mod 13 with
+              | 0 ->
+                  ( false,
+                    `Code 2,
+                    soak_garbage.(i / 13 mod Array.length soak_garbage) )
+              | 1 ->
+                  incr crashes;
+                  (true, `Code 5, Printf.sprintf {|{"id":%d,"op":"crash"}|} i)
+              | 2 ->
+                  ( true,
+                    `Code 3,
+                    Printf.sprintf
+                      {|{"id":%d,"op":"analyze","kernel":"gehd2","timeout_ms":1}|}
+                      i )
+              | 3 ->
+                  ( true,
+                    `Code 2,
+                    Printf.sprintf
+                      {|{"id":%d,"op":"analyze","kernel":"no-such-kernel"}|} i )
+              | 4 ->
+                  let stage = soak_stages.(i / 13 mod Array.length soak_stages) in
+                  ( true,
+                    `Typed,
+                    Printf.sprintf
+                      {|{"id":%d,"op":"analyze","kernel":"mgs","fault":{"stage":"%s","k":%d}}|}
+                      i stage
+                      (1 + (i mod 40)) )
+              | 5 ->
+                  ( true,
+                    `Ok,
+                    Printf.sprintf {|{"id":%d,"op":"eval","kernel":"%s"}|} i
+                      soak_eval_kernels.(i mod Array.length soak_eval_kernels) )
+              | 6 -> (true, `Ok, Printf.sprintf {|{"id":%d,"op":"stats"}|} i)
+              | 7 -> (false, `Dup, {|{"id":"dup","op":"analyze","kernel":"gebd2"}|})
+              | _ ->
+                  ( true,
+                    `Ok,
+                    Printf.sprintf {|{"id":%d,"op":"analyze","kernel":"%s"}|} i
+                      soak_kernels.(i mod Array.length soak_kernels) )
+            in
+            Client.send_line c line;
+            match Client.recv_line c with
+            | None -> Alcotest.failf "request %d: connection closed" i
+            | Some resp -> (
+                let r = parsed resp in
+                if r.Protocol.ok then incr oks else incr typed_errors;
+                if check_id then
+                  Alcotest.(check bool)
+                    (Printf.sprintf "request %d: id echoed" i)
+                    true
+                    (r.Protocol.resp_id = Json.Int i);
+                match expect with
+                | `Ok ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "request %d: ok" i)
+                      true r.Protocol.ok
+                | `Code code ->
+                    Alcotest.(check int)
+                      (Printf.sprintf "request %d: exit code" i)
+                      code r.Protocol.exit_code
+                | `Typed ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "request %d: typed outcome" i)
+                      true
+                      (r.Protocol.ok
+                      || List.mem r.Protocol.exit_code [ 2; 3; 4; 5 ])
+                | `Dup ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "request %d: dup ok" i)
+                      true r.Protocol.ok;
+                    duplicate_responses := resp :: !duplicate_responses)
+          done;
+          (* the cached spec answered byte-identically every time *)
+          (match !duplicate_responses with
+          | [] -> Alcotest.fail "soak produced no duplicate-spec requests"
+          | first :: rest ->
+              List.iter
+                (Alcotest.(check string) "duplicate spec byte-identical" first)
+                rest);
+          (* every worker kill was isolated and respawned *)
+          wait_for "all crash respawns" (fun () ->
+              Server.respawns t >= !crashes);
+          Alcotest.(check int) "one respawn per crash op" !crashes
+            (Server.respawns t);
+          Alcotest.(check bool) "soak saw successes" true (!oks > 250);
+          Alcotest.(check bool) "soak saw typed failures" true
+            (!typed_errors > 100);
+          (* the daemon is still fully alive on every connection *)
+          Array.iter
+            (fun c ->
+              Alcotest.(check bool) "final ping" true
+                (rpc c ~op:"ping" []).Protocol.ok)
+            conns))
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request parsing" `Quick test_parse_request;
+    Alcotest.test_case "protocol: stage wire names" `Quick
+      test_stage_wire_roundtrip;
+    Alcotest.test_case "protocol: error codes match the CLI" `Quick
+      test_error_codes_match_cli;
+    Alcotest.test_case "protocol: response envelopes" `Quick
+      test_response_envelopes;
+    Alcotest.test_case "lru: recency, eviction, stats" `Quick test_lru;
+    Alcotest.test_case "server: end to end" `Quick test_server_end_to_end;
+    Alcotest.test_case "server: crash op gated by default" `Quick
+      test_crash_gated_by_default;
+    Alcotest.test_case "server: byte-identical across widths" `Quick
+      test_byte_identical_across_widths;
+    Alcotest.test_case "server: overload sheds typed" `Quick
+      test_overload_sheds;
+    Alcotest.test_case "server: fault-injected soak" `Slow test_soak;
+  ]

@@ -14,13 +14,19 @@
                 Defaults to IOLB_JOBS or the recommended domain count.
                 Section output is byte-identical for every N.
    --json PATH  additionally write a machine-readable report: per-section
-                wall time, throughput and key result metrics (the BENCH_*
-                baseline files; schema documented in README "Performance").
-   --compare OLD  load a prior --json baseline, print per-section wall-time
-                and per-metric ns_per_run deltas (to stderr, keeping stdout
-                byte-stable), and exit non-zero on any regression of more
-                than 25% (with absolute guards against noise: 50 ms on
-                section wall times, 50 us on microbenchmark metrics). *)
+                wall time, worker count, peak RSS, throughput and key result
+                metrics (the BENCH_* baseline files; schema_version 2,
+                documented in README "Performance").
+   --compare OLD  load a prior --json baseline (schema 1 or 2), print
+                per-section wall-time and per-metric ns_per_run deltas (to
+                stderr, keeping stdout byte-stable), and exit non-zero on any
+                regression of more than 25% (with absolute guards against
+                noise: 50 ms on section wall times, 50 us on microbenchmark
+                metrics).  Sections absent from the baseline are noted as
+                new and skipped.
+
+   The SWEEP_SCALE section additionally reads IOLB_SWEEP_SCALE
+   (default | ci | full) to pick its workload tier; see its header. *)
 
 module D = Iolb.Derive
 module PF = Iolb.Paper_formulas
@@ -57,6 +63,29 @@ let metric_i key v = current_metrics := (key, Json.Int v) :: !current_metrics
 let metric_f key v = current_metrics := (key, Json.Float v) :: !current_metrics
 
 let now = Unix.gettimeofday
+
+(* Peak resident set (VmHWM) of this process in kB; 0 where /proc is not
+   available.  Monotone over the run, so a section's value is the
+   high-water mark up to its end - enough to catch a section that drags
+   memory from O(footprint) back to O(trace). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf
+                (String.sub line 6 (String.length line - 6))
+                " %d kB"
+                (fun k -> k)
+            else go ()
+        | exception End_of_file -> 0
+      in
+      let r = try go () with Scanf.Scan_failure _ | Failure _ -> 0 in
+      close_in_noerr ic;
+      r
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: asymptotic lower bounds, old vs new.                      *)
@@ -752,6 +781,99 @@ let sweep_engine () =
   if t_sweep > 0. then metric_f "speedup" (t_per_size /. t_sweep)
 
 (* ------------------------------------------------------------------ *)
+(* Sweep at scale: the sharded streaming sweep and the SHARDS-sampled  *)
+(* sweep on the Appendix A.1 (MGS) workload, at sizes the in-memory    *)
+(* engine cannot touch.  IOLB_SWEEP_SCALE picks the tier: unset keeps  *)
+(* the run small enough for any local invocation, "ci" streams a       *)
+(* ~100M-access trace, "full" a ~1B-access one.  All timing-dependent  *)
+(* numbers go to --json only, so stdout within a tier stays            *)
+(* byte-identical across runs and across --jobs.                       *)
+
+let sweep_scale () =
+  section "SWEEP_SCALE: sharded streaming + sampled sweeps (A1 workload)";
+  let tier =
+    match Sys.getenv_opt "IOLB_SWEEP_SCALE" with
+    | None | Some "" | Some "default" -> `Default
+    | Some "ci" -> `Ci
+    | Some "full" -> `Full
+    | Some other ->
+        Printf.eprintf
+          "bench: unknown IOLB_SWEEP_SCALE %S (expected default, ci or full)\n"
+          other;
+        exit 2
+  in
+  (* Exact tier: the sharded streaming sweep must reproduce the
+     sequential sweep field by field at the configured worker count. *)
+  let em = 120 and en = 60 in
+  let eparams = [ ("M", em); ("N", en) ] in
+  let e_accesses = Program.n_accesses ~params:eparams K.Mgs.spec in
+  let t0 = now () in
+  let seq = Sweep.run_program ~jobs:1 ~params:eparams K.Mgs.spec in
+  let t_seq = now () -. t0 in
+  let t1 = now () in
+  let shd = Sweep.run_program ~jobs:!jobs ~params:eparams K.Mgs.spec in
+  let t_shd = now () -. t1 in
+  let same =
+    Sweep.footprint seq = Sweep.footprint shd
+    && Sweep.accesses seq = Sweep.accesses shd
+    && Sweep.distance_histogram seq = Sweep.distance_histogram shd
+    && List.for_all
+         (fun s -> Sweep.stats seq ~size:s = Sweep.stats shd ~size:s)
+         [ 2; 64; 1024; 4096; Sweep.footprint seq + 1 ]
+  in
+  pf "exact streaming sweep: MGS M=%d N=%d, %d accesses, footprint %d\n" em en
+    e_accesses (Sweep.footprint seq);
+  pf "sharded = sequential (every field): %b\n" same;
+  metric_i "exact_accesses" e_accesses;
+  metric_i "exact_identical" (if same then 1 else 0);
+  metric_f "exact_seq_wall_s" t_seq;
+  metric_f "exact_sharded_wall_s" t_shd;
+  if t_shd > 0. then
+    metric_f "exact_accesses_per_s" (float_of_int e_accesses /. t_shd);
+  (* Sampled tier: one scan, union + 8 group sub-samples, error bars. *)
+  let (sm, sn), rate =
+    match tier with
+    | `Default -> ((120, 60), 0.05)
+    | `Ci -> ((512, 256), 0.001)
+    | `Full -> ((1000, 500), 0.001)
+  in
+  let sparams = [ ("M", sm); ("N", sn) ] in
+  let s_accesses = Program.n_accesses ~params:sparams K.Mgs.spec in
+  pf "\nsampled sweep: MGS M=%d N=%d, %d accesses, rate %g, seed 42\n" sm sn
+    s_accesses rate;
+  Gc.compact ();
+  let t2 = now () in
+  let smp = Sweep.run_sampled ~rate ~seed:42 ~params:sparams K.Mgs.spec in
+  let t_smp = now () -. t2 in
+  pf "kept %d accesses; sampled footprint %d; degenerate error bars: %b\n"
+    (Sweep.sampled_kept_accesses smp)
+    (Sweep.footprint (Sweep.sampled_union smp))
+    (Sweep.sampled_degenerate smp);
+  (* Loads against the asymptotic untiled prediction (1/2) M^2 N^2 / S:
+     the large-size empirical validation of the A1 regime analysis. *)
+  pf "%10s | %14s %14s %14s | %12s\n" "S" "loads est" "CI lo" "CI hi"
+    "M^2N^2/2S";
+  List.iter
+    (fun s ->
+      let l, _, _ = Sweep.sampled_stats smp ~size:s in
+      let pred =
+        float_of_int sm *. float_of_int sm *. float_of_int sn
+        *. float_of_int sn
+        /. (2. *. float_of_int s)
+      in
+      pf "%10d | %14.5g %14.5g %14.5g | %12.5g\n" s l.Sweep.est l.Sweep.lo
+        l.Sweep.hi pred)
+    [ sm; 4 * sm; sm * sn / 4; sm * sn ];
+  metric_i "sampled_accesses" s_accesses;
+  metric_i "kept_accesses" (Sweep.sampled_kept_accesses smp);
+  metric_f "sample_rate" rate;
+  metric_f "sampled_wall_s" t_smp;
+  if t_smp > 0. then
+    metric_f "sampled_accesses_per_s_effective"
+      (float_of_int s_accesses /. t_smp);
+  metric_i "peak_rss_kb" (peak_rss_kb ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings of the pipeline.                                   *)
 
 (* Run a list of Bechamel tests; every estimate lands in the --json
@@ -902,6 +1024,8 @@ let derive_bench () =
 type section_record = {
   rec_name : string;
   rec_wall_s : float;
+  rec_jobs : int;
+  rec_peak_rss_kb : int;
   rec_metrics : (string * Json.t) list;
 }
 
@@ -948,8 +1072,10 @@ let compare_against ~path records =
         | Error m -> fail "parse error %s" m)
     | exception Sys_error m -> fail "%s" m
   in
+  (* v1 baselines lack the per-section jobs/peak_rss_kb fields added in
+     v2; neither is compared, so both versions are accepted. *)
   (match Json.member "schema_version" doc with
-  | Some (Json.Int 1) -> ()
+  | Some (Json.Int (1 | 2)) -> ()
   | Some v -> fail "unsupported schema_version %s" (Json.to_string v)
   | None -> fail "missing schema_version");
   let old_sections =
@@ -992,7 +1118,11 @@ let compare_against ~path records =
   List.iter
     (fun r ->
       match List.assoc_opt r.rec_name old_sections with
-      | None -> ()
+      | None ->
+          (* a section the baseline predates cannot regress; note it so
+             the skip is visible rather than silent *)
+          Printf.eprintf "%-22s %10s %10.4f %9s  (new, skipped)\n" r.rec_name
+            "-" r.rec_wall_s "-"
       | Some old_w ->
           let new_w = r.rec_wall_s in
           let delta_pct =
@@ -1075,6 +1205,7 @@ let () =
       ("ABLATION_CERTIFICATE", ablation_certificate);
       ("ABLATION_POLICY", ablation_policy);
       ("SWEEP", sweep_engine);
+      ("SWEEP_SCALE", sweep_scale);
       ("DERIVE", derive_bench);
       ("TIMINGS", timings);
     ]
@@ -1110,7 +1241,13 @@ let () =
     f ();
     let wall = now () -. t0 in
     records :=
-      { rec_name = name; rec_wall_s = wall; rec_metrics = List.rev !current_metrics }
+      {
+        rec_name = name;
+        rec_wall_s = wall;
+        rec_jobs = !jobs;
+        rec_peak_rss_kb = peak_rss_kb ();
+        rec_metrics = List.rev !current_metrics;
+      }
       :: !records
   in
   let t_start = now () in
@@ -1129,7 +1266,7 @@ let () =
       let report =
         Json.Obj
           [
-            ("schema_version", Json.Int 1);
+            ("schema_version", Json.Int 2);
             ("generator", Json.String "iolb bench");
             ("unix_time", Json.Float (now ()));
             ("ocaml_version", Json.String Sys.ocaml_version);
@@ -1144,6 +1281,8 @@ let () =
                        [
                          ("name", Json.String r.rec_name);
                          ("wall_s", Json.Float r.rec_wall_s);
+                         ("jobs", Json.Int r.rec_jobs);
+                         ("peak_rss_kb", Json.Int r.rec_peak_rss_kb);
                          ("metrics", Json.Obj r.rec_metrics);
                        ])
                    !records) );

@@ -234,14 +234,63 @@ let simulate_cmd =
     in
     Arg.(value & opt (some string) None & info [ "sizes" ] ~docv:"SIZES" ~doc)
   in
+  let sample_rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-rate" ] ~docv:"RATE"
+          ~doc:
+            "Spatially-sampled sweep: keep each cell iff its seeded hash \
+             falls below $(docv), a value in (0, 1], and report confidence \
+             intervals instead of exact counts.  Makes billion-access \
+             traces sweepable.  Requires $(b,--sizes).")
+  in
+  let sample_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "sample-seed" ] ~docv:"SEED"
+          ~doc:
+            "Hash seed for $(b,--sample-rate); the kept cell set is a pure \
+             function of (seed, cell).")
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-size" ] ~docv:"N"
+          ~doc:
+            "Stream the trace through reusable buffers of $(docv) accesses \
+             instead of materializing it; memory then follows the \
+             footprint, not the trace length.  Requires $(b,--sizes).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the sweep across $(docv) domains.  The merge is \
+             deterministic: output is identical at every width.  Requires \
+             $(b,--sizes).")
+  in
+  let parse_spec spec =
+    match Sweep.parse_sizes spec with
+    | Ok sizes -> Ok sizes
+    | Error msg -> Error (Engine_error.Invalid_input ("--sizes: " ^ msg))
+  in
+  let lower_bound a ~m ~n ~s =
+    List.fold_left
+      (fun acc tech ->
+        match Report.eval_best a ~technique:tech ~m ~n ~s with
+        | Some v -> Float.max acc v
+        | None -> acc)
+      0.
+      [ `Classical; `Hourglass ]
+  in
   (* One sweep answers every size: exact LRU stats from the reuse-distance
      pass, exact OPT loads from per-size forward runs over a shared plan. *)
   let run_sweep entry a ~m ~n ~params ~budget spec =
-    let* sizes =
-      match Sweep.parse_sizes spec with
-      | Ok sizes -> Ok sizes
-      | Error msg -> Error (Engine_error.Invalid_input ("--sizes: " ^ msg))
-    in
+    let* sizes = parse_spec spec in
     let* trace =
       Engine_error.guard (fun () ->
           Trace.of_program ~budget ~params entry.Report.program)
@@ -258,22 +307,99 @@ let simulate_cmd =
           (fun s ->
             let lru = Sweep.stats sweep ~size:s in
             let opt = Cache.opt_run ~budget ~size:s plan in
-            let lb =
-              List.fold_left
-                (fun acc tech ->
-                  match Report.eval_best a ~technique:tech ~m ~n ~s with
-                  | Some v -> Float.max acc v
-                  | None -> acc)
-                0.
-                [ `Classical; `Hourglass ]
-            in
+            let lb = lower_bound a ~m ~n ~s in
             Printf.printf "  %8d | %9d %9d %9d | %9d | %10.1f\n" s
               lru.Cache.loads lru.Cache.read_hits lru.Cache.stores
               opt.Cache.loads lb)
           sizes)
   in
-  let run name m n s seed sizes budget_spec =
+  (* Streaming / sharded variant: the trace is never materialized, so the
+     shared OPT plan (which needs the whole trace) is unavailable and its
+     column is dropped.  The LRU columns are exact and byte-identical at
+     every jobs width. *)
+  let run_sweep_streamed entry a ~m ~n ~params ~budget ~jobs ~chunk_size spec
+      =
+    let* sizes = parse_spec spec in
+    let* sweep =
+      Sweep.run_program_checked ~budget ?jobs ?chunk_size ~params
+        entry.Report.program
+    in
+    Printf.printf
+      "streamed cache sweep over %d events, footprint %d cells (no OPT \
+       column: the trace is never materialized):\n"
+      (Sweep.accesses sweep) (Sweep.footprint sweep);
+    Engine_error.guard (fun () ->
+        Printf.printf "  %8s | %9s %9s %9s | %10s\n" "S" "lru loads" "hits"
+          "stores" "lower bnd";
+        List.iter
+          (fun s ->
+            let lru = Sweep.stats sweep ~size:s in
+            Printf.printf "  %8d | %9d %9d %9d | %10.1f\n" s lru.Cache.loads
+              lru.Cache.read_hits lru.Cache.stores
+              (lower_bound a ~m ~n ~s))
+          sizes)
+  in
+  (* Sampled variant: every column is an estimate with an interval. *)
+  let run_sweep_sampled entry a ~m ~n ~params ~budget ~rate ~seed spec =
+    let* sizes = parse_spec spec in
+    let* sampled =
+      Sweep.run_sampled_checked ~budget ~rate ~seed ~params
+        entry.Report.program
+    in
+    Printf.printf
+      "sampled cache sweep: kept %d of %d accesses (rate %g, seed %d), \
+       sampled footprint %d cells%s:\n"
+      (Sweep.sampled_kept_accesses sampled)
+      (Sweep.sampled_total_accesses sampled)
+      rate seed
+      (Sweep.footprint (Sweep.sampled_union sampled))
+      (if Sweep.sampled_degenerate sampled then
+         "; sample too thin for error bars"
+       else "");
+    Engine_error.guard (fun () ->
+        Printf.printf "  %8s | %12s [%12s,%12s] | %9s %9s | %10s\n" "S"
+          "lru loads" "CI lo" "CI hi" "hits" "stores" "lower bnd";
+        List.iter
+          (fun s ->
+            let loads, hits, stores =
+              Sweep.sampled_stats sampled ~size:s
+            in
+            Printf.printf
+              "  %8d | %12.4g [%12.4g,%12.4g] | %9.4g %9.4g | %10.1f\n" s
+              loads.Sweep.est loads.Sweep.lo loads.Sweep.hi hits.Sweep.est
+              stores.Sweep.est
+              (lower_bound a ~m ~n ~s))
+          sizes)
+  in
+  let run name m n s seed sizes sample_rate sample_seed chunk_size jobs
+      budget_spec =
     run_checked @@ fun () ->
+    let* () =
+      match sample_rate with
+      | Some r when not (r > 0. && r <= 1.) ->
+          Error
+            (Engine_error.Invalid_input "--sample-rate must be in (0, 1]")
+      | _ -> Ok ()
+    in
+    let* () =
+      match (jobs, chunk_size) with
+      | Some j, _ when j < 1 ->
+          Error (Engine_error.Invalid_input "--jobs must be at least 1")
+      | _, Some c when c < 1 ->
+          Error (Engine_error.Invalid_input "--chunk-size must be at least 1")
+      | _ -> Ok ()
+    in
+    let* () =
+      if
+        sizes = None
+        && (sample_rate <> None || chunk_size <> None || jobs <> None)
+      then
+        Error
+          (Engine_error.Invalid_input
+             "--sample-rate/--chunk-size/--jobs apply to the cache sweep: \
+              pass --sizes")
+      else Ok ()
+    in
     let* budget = make_budget budget_spec in
     let* entry = Report.find_checked name in
     let* params = Report.concrete_params entry ~m ~n in
@@ -284,9 +410,16 @@ let simulate_cmd =
       | None -> ()
     in
     match sizes with
-    | Some spec ->
+    | Some spec -> (
         show_degradation ();
-        run_sweep entry a ~m ~n ~params ~budget spec
+        match sample_rate with
+        | Some rate ->
+            run_sweep_sampled entry a ~m ~n ~params ~budget ~rate
+              ~seed:sample_seed spec
+        | None when jobs <> None || chunk_size <> None ->
+            run_sweep_streamed entry a ~m ~n ~params ~budget ~jobs
+              ~chunk_size spec
+        | None -> run_sweep entry a ~m ~n ~params ~budget spec)
     | None ->
         let* cdag =
           Cdag.of_program_checked ~budget ~params entry.Report.program
@@ -328,6 +461,7 @@ let simulate_cmd =
        ~exits:engine_exits)
     Term.(
       const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg $ sizes_arg
+      $ sample_rate_arg $ sample_seed_arg $ chunk_arg $ jobs_arg
       $ budget_args)
 
 let tile_cmd =

@@ -326,6 +326,100 @@ let prop_jobs_det c =
   else fail "report differs between --jobs 1 and --jobs 3"
 
 (* ------------------------------------------------------------------ *)
+(* sweep-stream: the sharded (run_segmented) and streaming (run_program)
+   sweeps must equal the sequential in-memory sweep - same footprint,
+   histogram and per-size stats - at every jobs width, for both flush
+   modes and for adversarially small chunk sizes.  This is the
+   determinism contract behind byte-identical --jobs output.            *)
+
+let sweep_eq issues ~what ~sizes ref_sweep got =
+  if Sweep.footprint got <> Sweep.footprint ref_sweep then
+    push issues "%s: footprint %d vs %d" what (Sweep.footprint got)
+      (Sweep.footprint ref_sweep);
+  if Sweep.accesses got <> Sweep.accesses ref_sweep then
+    push issues "%s: accesses %d vs %d" what (Sweep.accesses got)
+      (Sweep.accesses ref_sweep);
+  if Sweep.distance_histogram got <> Sweep.distance_histogram ref_sweep then
+    push issues "%s: distance histogram differs" what;
+  List.iter
+    (fun s ->
+      if Sweep.stats got ~size:s <> Sweep.stats ref_sweep ~size:s then
+        push issues "%s: stats differ at S=%d" what s)
+    sizes
+
+let prop_sweep_stream c =
+  let trace = Lazy.force c.trace in
+  let sizes = Lazy.force c.sizes in
+  let issues = ref [] in
+  List.iter
+    (fun flush ->
+      let ref_sweep = Sweep.run ~budget:c.budget ~flush trace in
+      List.iter
+        (fun jobs ->
+          sweep_eq issues
+            ~what:(Printf.sprintf "segmented jobs=%d flush=%b" jobs flush)
+            ~sizes ref_sweep
+            (Sweep.run_segmented ~budget:c.budget ~flush ~jobs trace);
+          sweep_eq issues
+            ~what:(Printf.sprintf "streamed jobs=%d flush=%b" jobs flush)
+            ~sizes ref_sweep
+            (Sweep.run_program ~budget:c.budget ~flush ~jobs ~chunk_size:7
+               ~params:c.params c.prog))
+        [ 1; 2; 4; 8 ])
+    [ true; false ];
+  collect issues
+
+(* ------------------------------------------------------------------ *)
+(* sampled-ci: rate 1 falls back to the exact engine; statistical rates
+   must produce confidence intervals whose double-widened form covers
+   the exact sweep at every size (degenerate intervals are the whole
+   [0, total] range and cover trivially).  Doubling the width turns the
+   z=4 statistical statement into a hard oracle: a miss means the
+   estimator is broken, not unlucky.                                    *)
+
+let prop_sampled_ci c =
+  let trace = Lazy.force c.trace in
+  let sizes = Lazy.force c.sizes in
+  let issues = ref [] in
+  let exact = Sweep.run ~budget:c.budget trace in
+  let s1 =
+    Sweep.run_sampled ~budget:c.budget ~rate:1.0 ~seed:11 ~params:c.params
+      c.prog
+  in
+  if not (Sweep.sampled_exact s1) then push issues "rate 1 is not exact";
+  List.iter
+    (fun s ->
+      if Sweep.stats (Sweep.sampled_union s1) ~size:s <> Sweep.stats exact ~size:s
+      then push issues "rate 1: stats differ at S=%d" s)
+    sizes;
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun seed ->
+          let sp =
+            Sweep.run_sampled ~budget:c.budget ~rate ~seed ~params:c.params
+              c.prog
+          in
+          List.iter
+            (fun s ->
+              let ex = Sweep.stats exact ~size:s in
+              let l, h, st = Sweep.sampled_stats sp ~size:s in
+              let check what e (a : Sweep.estimate) =
+                let w = a.hi -. a.lo in
+                let e = float_of_int e in
+                if e < a.lo -. w || e > a.hi +. w then
+                  push issues "rate=%.2f seed=%d S=%d %s=%g outside [%g, %g]"
+                    rate seed s what e a.lo a.hi
+              in
+              check "loads" ex.Cache.loads l;
+              check "read_hits" ex.Cache.read_hits h;
+              check "stores" ex.Cache.stores st)
+            sizes)
+        [ 1; 2 ])
+    [ 0.5; 0.25 ];
+  collect issues
+
+(* ------------------------------------------------------------------ *)
 (* hourglass-path: every member of the hourglass-bearing family must be
    detected, empirically verified, and must reach the tightened
    derivation (a bound with the Hourglass technique).  This is the
@@ -363,6 +457,8 @@ let impl = function
   | "bound-le-opt" -> prop_bound_le_opt
   | "monotone-s" -> prop_monotone
   | "sweep-lru" -> prop_sweep_lru
+  | "sweep-stream" -> prop_sweep_stream
+  | "sampled-ci" -> prop_sampled_ci
   | "jobs-det" -> prop_jobs_det
   | "hourglass-path" -> prop_hourglass_path
   | "demo-broken" ->
@@ -391,6 +487,14 @@ let all =
     };
     { name = "monotone-s"; doc = "best bound never increases with S" };
     { name = "sweep-lru"; doc = "reuse-distance sweep = per-size LRU" };
+    {
+      name = "sweep-stream";
+      doc = "sharded/streaming sweeps = sequential sweep at every jobs width";
+    };
+    {
+      name = "sampled-ci";
+      doc = "sampled sweep intervals cover the exact sweep; rate 1 is exact";
+    };
     { name = "jobs-det"; doc = "reports byte-identical across worker counts" };
     {
       name = "hourglass-path";

@@ -1,0 +1,74 @@
+module Budget = Iolb_util.Budget
+
+(* Chunked streaming of a program's access trace.
+
+   A materialized [Trace.t] holds one int per access; at billions of
+   accesses that is gigabytes before any simulation starts.  This producer
+   walks the program with [Program.iter_accesses_range] and hands the
+   consumer fixed-size, REUSED chunk buffers of interned cell ids, so a
+   streaming consumer (the sharded reuse-distance sweep) holds O(chunk)
+   trace state plus whatever per-cell state it needs - never the trace.
+
+   Interning happens here, against a caller-supplied (typically
+   shard-local) interner, so the consumer's hot loop runs on dense int
+   ids and flat arrays exactly as it would on a materialized trace.  An
+   optional [keep] predicate filters cells BEFORE interning - the
+   spatially-hashed sampling mode rejects most accesses with one hash and
+   never pays interning or per-cell state for them.  Positions stay
+   global (the index the full trace would assign) whether or not a filter
+   or range restriction is active. *)
+
+type chunk = {
+  ids : int array;  (* interned cell id per kept access *)
+  writes : bool array;  (* write flag per kept access *)
+  pos : int array;  (* global trace position per kept access *)
+  mutable len : int;  (* live prefix length of the three arrays *)
+}
+
+let default_chunk_size = 65_536
+
+let iter_chunks ?(budget = Budget.unlimited) ?(chunk_size = default_chunk_size)
+    ?(lo = 0) ?(hi = max_int) ?keep ~params ~interner p f =
+  if chunk_size < 1 then invalid_arg "Stream.iter_chunks: chunk_size < 1";
+  let ch =
+    {
+      ids = Array.make chunk_size 0;
+      writes = Array.make chunk_size false;
+      pos = Array.make chunk_size 0;
+      len = 0;
+    }
+  in
+  let flush () =
+    if ch.len > 0 then begin
+      f ch;
+      ch.len <- 0
+    end
+  in
+  let unlimited = Budget.is_unlimited budget in
+  let n = ref 0 in
+  let push p name idx is_write =
+    if ch.len = chunk_size then flush ();
+    let i = ch.len in
+    ch.ids.(i) <- Interner.intern_view interner name idx;
+    ch.writes.(i) <- is_write;
+    ch.pos.(i) <- p;
+    ch.len <- i + 1
+  in
+  let on_access =
+    match keep with
+    | None -> push
+    | Some k -> fun p name idx is_write -> if k name idx then push p name idx is_write
+  in
+  Program.iter_accesses_range ~params p ~lo ~hi
+    ~on_instance:(fun () ->
+      (* Same budget semantics as [Trace.of_program]: one [Cdag_build]
+         checkpoint and a node-cap probe per visited instance.  Both are
+         no-ops on the unlimited budget, so the gate only skips dead
+         calls. *)
+      if not unlimited then begin
+        Budget.checkpoint budget Budget.Cdag_build;
+        incr n;
+        Budget.check_node_cap budget Budget.Cdag_build !n
+      end)
+    ~on_access;
+  flush ()

@@ -1,0 +1,43 @@
+(** Chunked streaming of a program's concrete access trace.
+
+    A materialized {!Trace.t} costs one word per access, which at billions
+    of accesses is gigabytes before any simulation starts.  This module
+    walks the program directly and hands the consumer fixed-size {e reused}
+    chunk buffers of interned cell ids, so streaming consumers (the sharded
+    reuse-distance sweep) hold O(chunk_size) trace state. *)
+
+type chunk = {
+  ids : int array;  (** interned cell id per kept access *)
+  writes : bool array;  (** write flag per kept access *)
+  pos : int array;  (** global trace position per kept access *)
+  mutable len : int;  (** live prefix length of the three arrays *)
+}
+(** A batch of consecutive kept accesses.  Only indices [0 .. len-1] are
+    live; the arrays are {e reused} across callbacks — copy out anything
+    you keep. *)
+
+val default_chunk_size : int
+(** 65536 accesses per chunk (~1.5 MiB of buffers). *)
+
+val iter_chunks :
+  ?budget:Iolb_util.Budget.t ->
+  ?chunk_size:int ->
+  ?lo:int ->
+  ?hi:int ->
+  ?keep:(string -> int array -> bool) ->
+  params:(string * int) list ->
+  interner:Interner.t ->
+  Program.t ->
+  (chunk -> unit) ->
+  unit
+(** [iter_chunks ~params ~interner p f] streams the accesses of [p] in
+    program order as chunks, interning cells into [interner] on the fly.
+    [lo]/[hi] restrict to global positions in [\[lo, hi)] (whole loop
+    iterations outside the range are skipped by closed-form counting, see
+    {!Program.iter_accesses_range}); [keep name index] filters cells {e
+    before} interning, so rejected accesses cost one predicate call and
+    nothing else — this is how spatially-hashed sampling skips most of the
+    trace.  [chunk.pos] always carries the global (unfiltered) position.
+    Budget semantics match {!Trace.of_program}: a [Cdag_build] checkpoint
+    and node-cap probe per visited instance.
+    @raise Invalid_argument if [chunk_size < 1] or the range is invalid. *)

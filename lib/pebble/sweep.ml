@@ -162,6 +162,756 @@ let stats t ~size =
 let run_checked ?budget ?flush trace =
   Iolb_util.Engine_error.guard (fun () -> run ?budget ?flush trace)
 
+(* ===================================================================== *)
+(* Sharded / streaming / sampled sweeps.                                 *)
+(*                                                                       *)
+(* The engine above needs the whole trace in memory and a Fenwick tree   *)
+(* over trace POSITIONS - O(T) state.  Everything below replaces that    *)
+(* with O(footprint) state so sweeps scale to traces that are streamed,  *)
+(* sharded across domains, or sampled:                                   *)
+(*                                                                       *)
+(* - [Core] is the Fenwick tree compacted to the footprint (Olken):      *)
+(*   only last-access positions are ever marked, so positions are        *)
+(*   renumbered on exhaustion and the tree size follows the number of    *)
+(*   live marks, not the trace length.                                   *)
+(* - [pass] consumes one contiguous time segment of the trace and        *)
+(*   produces (a) exact local tallies for every access whose previous    *)
+(*   access lies in the same segment, and (b) a per-cell boundary        *)
+(*   summary for the one access per cell whose distance crosses the      *)
+(*   segment start (PARDA-style time partitioning; an address partition  *)
+(*   cannot be exact for fully-associative LRU, whose distances mix all  *)
+(*   addresses - the address-hashed split is the SAMPLED mode below).    *)
+(* - [merge] folds the summaries left to right through a global [Core],  *)
+(*   resolving each boundary distance and replaying the dirty-epoch      *)
+(*   algebra, which collapses a segment's unresolved prefix to one       *)
+(*   store interval.  The result is bit-for-bit the sequential sweep,    *)
+(*   for any segment partition - hence byte-identical output at any      *)
+(*   [--jobs] width.                                                     *)
+(* ===================================================================== *)
+
+module Pool = Iolb_util.Pool
+module Interner = Iolb_ir.Interner
+module Program = Iolb_ir.Program
+module Stream = Iolb_ir.Stream
+
+module Core = struct
+  (* Fenwick tree over COMPACTED positions: [pos.(id)] is the mark of
+     [id] (-1 when unmarked), more recently touched ids have larger
+     positions.  When the position space runs out the live marks are
+     renumbered 0..marked-1; the new capacity leaves at least 3x marked
+     (and at least nids) free slots, so renumbering is amortized O(1)
+     per touch. *)
+  type t = {
+    mutable bit : int array; (* length cap+1, 1-based *)
+    mutable cap : int;
+    mutable next : int; (* next free 0-based position *)
+    mutable marked : int;
+    mutable pos : int array; (* per id: 0-based position or -1 *)
+    mutable nids : int;
+  }
+
+  let create () =
+    { bit = Array.make 65 0; cap = 64; next = 0; marked = 0;
+      pos = Array.make 64 (-1); nids = 0 }
+
+  let marked t = t.marked
+
+  let bit_add t i v =
+    let i = ref i in
+    while !i <= t.cap do
+      Array.unsafe_set t.bit !i (Array.unsafe_get t.bit !i + v);
+      i := !i + (!i land - !i)
+    done
+
+  let bit_sum t i =
+    let i = ref i and acc = ref 0 in
+    while !i > 0 do
+      acc := !acc + Array.unsafe_get t.bit !i;
+      i := !i land (!i - 1)
+    done;
+    !acc
+
+  let ensure_id t id =
+    if id >= Array.length t.pos then begin
+      let p = Array.make (max (id + 1) (2 * Array.length t.pos)) (-1) in
+      Array.blit t.pos 0 p 0 (Array.length t.pos);
+      t.pos <- p
+    end;
+    if id >= t.nids then t.nids <- id + 1
+
+  (* Number of ids whose mark is more recent than [id]'s - the stack
+     depth of [id] - or -1 if [id] is unmarked. *)
+  let dist t id =
+    if id >= t.nids then -1
+    else
+      let p = Array.unsafe_get t.pos id in
+      if p < 0 then -1 else t.marked - bit_sum t (p + 1)
+
+  let remove t id =
+    if id < t.nids then begin
+      let p = t.pos.(id) in
+      if p >= 0 then begin
+        bit_add t (p + 1) (-1);
+        t.pos.(id) <- -1;
+        t.marked <- t.marked - 1
+      end
+    end
+
+  let renumber t =
+    let order = Array.make (max t.marked 1) 0 in
+    let k = ref 0 in
+    for id = 0 to t.nids - 1 do
+      if t.pos.(id) >= 0 then begin
+        order.(!k) <- id;
+        incr k
+      end
+    done;
+    let pos = t.pos in
+    Array.sort (fun a b -> compare pos.(a) pos.(b)) order;
+    let cap = max 64 (max (4 * t.marked) t.nids) in
+    if cap <> t.cap then begin
+      t.bit <- Array.make (cap + 1) 0;
+      t.cap <- cap
+    end
+    else Array.fill t.bit 0 (cap + 1) 0;
+    t.next <- 0;
+    for i = 0 to !k - 1 do
+      pos.(order.(i)) <- t.next;
+      bit_add t (t.next + 1) 1;
+      t.next <- t.next + 1
+    done
+
+  let touch t id =
+    ensure_id t id;
+    let p = t.pos.(id) in
+    if p >= 0 then begin
+      bit_add t (p + 1) (-1);
+      t.marked <- t.marked - 1;
+      t.pos.(id) <- -1
+    end;
+    if t.next = t.cap then renumber t;
+    bit_add t (t.next + 1) 1;
+    t.pos.(id) <- t.next;
+    t.next <- t.next + 1;
+    t.marked <- t.marked + 1
+
+  (* marked ids, least recently touched first *)
+  let marked_order t =
+    let order = Array.make (max t.marked 1) 0 in
+    let k = ref 0 in
+    for id = 0 to t.nids - 1 do
+      if t.pos.(id) >= 0 then begin
+        order.(!k) <- id;
+        incr k
+      end
+    done;
+    let order = Array.sub order 0 !k in
+    let pos = t.pos in
+    Array.sort (fun a b -> compare pos.(a) pos.(b)) order;
+    order
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-segment pass.  Cells carry shard-LOCAL dense ids assigned in    *)
+(* first-occurrence order (callers guarantee this; [pass_event]        *)
+(* recognizes a new cell by [c = nloc]).  For every access other than  *)
+(* a cell's first, both endpoints of the reuse interval lie in the     *)
+(* segment, so its distance - and hence its histogram entry and, once  *)
+(* the cell has seen an in-segment write, its store interval - is      *)
+(* exact and accumulated locally.  The first access per cell only      *)
+(* records what the merge needs to resolve it: the local distinct      *)
+(* count before it ([dloc]), and the running maximum distance of the   *)
+(* accesses in the unresolved prefix before the first in-segment       *)
+(* write ([defm]), which is all the dirty-epoch algebra requires       *)
+(* because consecutive store intervals of one epoch tile: their union  *)
+(* is determined by the maximum. *)
+
+type pass = {
+  p_budget : Budget.t;
+  p_unlimited : bool;
+  p_core : Core.t;
+  mutable p_n : int; (* local cells seen *)
+  mutable p_first_w : bool array; (* first in-segment access is a write *)
+  mutable p_dloc : int array; (* distinct cells before first access *)
+  mutable p_defm : int array; (* max distance in unresolved prefix, -1 none *)
+  mutable p_seghw : bool array; (* a write occurred in this segment *)
+  mutable p_mval : int array; (* dirty-epoch mval, valid once p_seghw *)
+  mutable p_hist : int array; (* exact local distance histogram *)
+  mutable p_sdiff : int array; (* exact local store-interval diff array *)
+  mutable p_reads : int;
+  mutable p_events : int;
+}
+
+let pass_create budget =
+  {
+    p_budget = budget;
+    p_unlimited = Budget.is_unlimited budget;
+    p_core = Core.create ();
+    p_n = 0;
+    p_first_w = Array.make 64 false;
+    p_dloc = Array.make 64 0;
+    p_defm = Array.make 64 (-1);
+    p_seghw = Array.make 64 false;
+    p_mval = Array.make 64 0;
+    p_hist = Array.make 65 0;
+    p_sdiff = Array.make 66 0;
+    p_reads = 0;
+    p_events = 0;
+  }
+
+let pass_grow ps =
+  let cap = Array.length ps.p_first_w in
+  if ps.p_n = cap then begin
+    let ncap = 2 * cap in
+    let gb a = let n = Array.make ncap false in Array.blit a 0 n 0 cap; n in
+    let gi init a = let n = Array.make ncap init in Array.blit a 0 n 0 cap; n in
+    ps.p_first_w <- gb ps.p_first_w;
+    ps.p_seghw <- gb ps.p_seghw;
+    ps.p_dloc <- gi 0 ps.p_dloc;
+    ps.p_mval <- gi 0 ps.p_mval;
+    ps.p_defm <- gi (-1) ps.p_defm;
+    (let n = Array.make (ncap + 1) 0 in
+     Array.blit ps.p_hist 0 n 0 (Array.length ps.p_hist);
+     ps.p_hist <- n);
+    (let n = Array.make (ncap + 2) 0 in
+     Array.blit ps.p_sdiff 0 n 0 (Array.length ps.p_sdiff);
+     ps.p_sdiff <- n)
+  end
+
+let pass_event ps c w =
+  if not ps.p_unlimited then Budget.checkpoint ps.p_budget Budget.Cache_sim;
+  ps.p_events <- ps.p_events + 1;
+  if c = ps.p_n then begin
+    (* first in-segment access of this cell *)
+    pass_grow ps;
+    ps.p_n <- c + 1;
+    Array.unsafe_set ps.p_first_w c w;
+    Array.unsafe_set ps.p_dloc c (Core.marked ps.p_core);
+    if w then begin
+      Array.unsafe_set ps.p_seghw c true;
+      Array.unsafe_set ps.p_mval c 0
+    end
+    else ps.p_reads <- ps.p_reads + 1;
+    Core.touch ps.p_core c
+  end
+  else begin
+    let d = Core.dist ps.p_core c in
+    Core.touch ps.p_core c;
+    if w then
+      if Array.unsafe_get ps.p_seghw c then begin
+        let m = Array.unsafe_get ps.p_mval c in
+        if m + 1 <= d then begin
+          ps.p_sdiff.(m + 1) <- ps.p_sdiff.(m + 1) + 1;
+          ps.p_sdiff.(d + 1) <- ps.p_sdiff.(d + 1) - 1
+        end;
+        Array.unsafe_set ps.p_mval c 0
+      end
+      else begin
+        (* first in-segment write: close the unresolved prefix *)
+        if d > Array.unsafe_get ps.p_defm c then Array.unsafe_set ps.p_defm c d;
+        Array.unsafe_set ps.p_seghw c true;
+        Array.unsafe_set ps.p_mval c 0
+      end
+    else begin
+      ps.p_reads <- ps.p_reads + 1;
+      ps.p_hist.(d) <- ps.p_hist.(d) + 1;
+      if Array.unsafe_get ps.p_seghw c then begin
+        let m = Array.unsafe_get ps.p_mval c in
+        if m + 1 <= d then begin
+          ps.p_sdiff.(m + 1) <- ps.p_sdiff.(m + 1) + 1;
+          ps.p_sdiff.(d + 1) <- ps.p_sdiff.(d + 1) - 1
+        end;
+        if d > m then Array.unsafe_set ps.p_mval c d
+      end
+      else if d > Array.unsafe_get ps.p_defm c then
+        Array.unsafe_set ps.p_defm c d
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merge.  Segments are folded left to right; [g] holds the global    *)
+(* LRU stack at the current segment boundary.  Resolving a segment's  *)
+(* per-cell summaries in first-occurrence order while REMOVING each   *)
+(* resolved cell from [g] makes the boundary distance exact: cells    *)
+(* already resolved are precisely the ones counted by the local       *)
+(* distinct count [dloc], so what remains above the cell in [g] is    *)
+(* what [dloc] missed.  Afterwards every cell the segment touched is  *)
+(* re-inserted in last-access order, restoring the stack at the next  *)
+(* boundary.                                                          *)
+
+type gstate = {
+  g_budget : Budget.t;
+  g_unlimited : bool;
+  g : Core.t;
+  mutable g_n : int; (* distinct cells seen so far *)
+  mutable g_hw : bool array;
+  mutable g_mval : int array;
+  mutable g_hist : int array;
+  mutable g_sdiff : int array;
+  mutable g_reads : int;
+}
+
+let gstate_create budget =
+  {
+    g_budget = budget;
+    g_unlimited = Budget.is_unlimited budget;
+    g = Core.create ();
+    g_n = 0;
+    g_hw = Array.make 64 false;
+    g_mval = Array.make 64 0;
+    g_hist = Array.make 65 0;
+    g_sdiff = Array.make 66 0;
+    g_reads = 0;
+  }
+
+let gstate_ensure gs n =
+  let cap = Array.length gs.g_hw in
+  if n > cap then begin
+    let ncap = max n (2 * cap) in
+    (let a = Array.make ncap false in
+     Array.blit gs.g_hw 0 a 0 cap;
+     gs.g_hw <- a);
+    (let a = Array.make ncap 0 in
+     Array.blit gs.g_mval 0 a 0 cap;
+     gs.g_mval <- a);
+    (let a = Array.make (ncap + 1) 0 in
+     Array.blit gs.g_hist 0 a 0 (Array.length gs.g_hist);
+     gs.g_hist <- a);
+    (let a = Array.make (ncap + 2) 0 in
+     Array.blit gs.g_sdiff 0 a 0 (Array.length gs.g_sdiff);
+     gs.g_sdiff <- a)
+  end
+
+let gs_add_store gs lo hi =
+  if lo <= hi then begin
+    gs.g_sdiff.(lo) <- gs.g_sdiff.(lo) + 1;
+    gs.g_sdiff.(hi + 1) <- gs.g_sdiff.(hi + 1) - 1
+  end
+
+(* [gids.(c)] is the global id of the segment's local cell [c]. *)
+let merge_segment gs gids ps =
+  let maxg = Array.fold_left max (-1) gids in
+  gstate_ensure gs (maxg + 1);
+  if maxg >= gs.g_n then gs.g_n <- maxg + 1;
+  (* exact local tallies transfer as-is: local distances are true
+     distances, and store intervals live in the absolute size domain *)
+  gs.g_reads <- gs.g_reads + ps.p_reads;
+  for d = 0 to ps.p_n - 1 do
+    gs.g_hist.(d) <- gs.g_hist.(d) + ps.p_hist.(d)
+  done;
+  for s = 0 to ps.p_n + 1 do
+    gs.g_sdiff.(s) <- gs.g_sdiff.(s) + ps.p_sdiff.(s)
+  done;
+  (* boundary resolution, in first-occurrence order *)
+  for c = 0 to ps.p_n - 1 do
+    if not gs.g_unlimited then Budget.checkpoint gs.g_budget Budget.Cache_sim;
+    let gid = gids.(c) in
+    let gd = Core.dist gs.g gid in
+    if gd >= 0 then begin
+      (* warm: the first in-segment access has distance dloc + gd *)
+      Core.remove gs.g gid;
+      let d1 = ps.p_dloc.(c) + gd in
+      if ps.p_first_w.(c) then begin
+        if gs.g_hw.(gid) then gs_add_store gs (gs.g_mval.(gid) + 1) d1;
+        gs.g_hw.(gid) <- true;
+        gs.g_mval.(gid) <- ps.p_mval.(c)
+      end
+      else begin
+        gs.g_hist.(d1) <- gs.g_hist.(d1) + 1;
+        if gs.g_hw.(gid) then begin
+          (* the unresolved prefix is one epoch continuing the incoming
+             one; its store intervals tile up to the running maximum *)
+          let m = max gs.g_mval.(gid) (max d1 ps.p_defm.(c)) in
+          gs_add_store gs (gs.g_mval.(gid) + 1) m;
+          gs.g_mval.(gid) <-
+            (if ps.p_seghw.(c) then ps.p_mval.(c) else m)
+        end
+        else if ps.p_seghw.(c) then begin
+          gs.g_hw.(gid) <- true;
+          gs.g_mval.(gid) <- ps.p_mval.(c)
+        end
+      end
+    end
+    else if ps.p_seghw.(c) then begin
+      (* globally cold first access: no distance, no boundary store *)
+      gs.g_hw.(gid) <- true;
+      gs.g_mval.(gid) <- ps.p_mval.(c)
+    end
+  done;
+  (* restore the stack at the segment's end *)
+  let order = Core.marked_order ps.p_core in
+  Array.iter (fun c -> Core.touch gs.g gids.(c)) order
+
+let merge_finish gs ~flush ~accesses =
+  let ncells = gs.g_n in
+  (* close the dirty epochs at the final stack depths *)
+  for gid = 0 to ncells - 1 do
+    if not gs.g_unlimited then Budget.checkpoint gs.g_budget Budget.Cache_sim;
+    if gs.g_hw.(gid) then begin
+      let depth = Core.dist gs.g gid in
+      gs_add_store gs (gs.g_mval.(gid) + 1) (if flush then ncells else depth)
+    end
+  done;
+  let hits_at = Array.make (ncells + 1) 0 in
+  let stores_at = Array.make (ncells + 1) 0 in
+  for s = 1 to ncells do
+    hits_at.(s) <- hits_at.(s - 1) + gs.g_hist.(s - 1);
+    stores_at.(s) <- stores_at.(s - 1) + gs.g_sdiff.(s)
+  done;
+  {
+    accesses;
+    ncells;
+    reads_total = gs.g_reads;
+    flush;
+    hits_at;
+    stores_at;
+    dist_hist = (if ncells = 0 then [||] else Array.sub gs.g_hist 0 ncells);
+  }
+
+let merge_all ~budget ~flush ~accesses parts =
+  let gs = gstate_create budget in
+  List.iter (fun (gids, ps) -> merge_segment gs gids ps) parts;
+  merge_finish gs ~flush ~accesses
+
+(* ------------------------------------------------------------------ *)
+(* Drivers.                                                            *)
+
+let run_segmented ?(budget = Budget.unlimited) ?(flush = true) ?jobs trace =
+  let jobs =
+    match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  if jobs < 1 then invalid_arg "Sweep.run_segmented: jobs < 1";
+  let n = Trace.length trace in
+  let ncells = Trace.footprint trace in
+  let cells = Trace.cells trace and wflags = Trace.write_flags trace in
+  let shard (lo, hi) =
+    (* checkpoints poll the clock once per stride; check the deadline
+       outright at shard entry so an expired budget kills the fan-out
+       before any work *)
+    if not (Budget.is_unlimited budget) then
+      Budget.check_deadline budget Budget.Cache_sim;
+    let ps = pass_create budget in
+    (* trace cell ids are global; remap to dense local first-occurrence
+       ids and remember the correspondence for the merge *)
+    let remap = Array.make (max ncells 1) (-1) in
+    let gids = ref (Array.make 64 0) in
+    for i = lo to hi - 1 do
+      let g = Array.unsafe_get cells i in
+      let c =
+        match Array.unsafe_get remap g with
+        | -1 ->
+            let c = ps.p_n in
+            remap.(g) <- c;
+            if c = Array.length !gids then begin
+              let a = Array.make (2 * c) 0 in
+              Array.blit !gids 0 a 0 c;
+              gids := a
+            end;
+            !gids.(c) <- g;
+            c
+        | c -> c
+      in
+      pass_event ps c (Array.unsafe_get wflags i)
+    done;
+    (Array.sub !gids 0 ps.p_n, ps)
+  in
+  let parts = Pool.map ~jobs shard (Pool.split ~shards:jobs n) in
+  merge_all ~budget ~flush ~accesses:n parts
+
+let run_program ?(budget = Budget.unlimited) ?(flush = true) ?jobs ?chunk_size
+    ~params prog =
+  let jobs =
+    match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  if jobs < 1 then invalid_arg "Sweep.run_program: jobs < 1";
+  let n = Program.n_accesses ~params prog in
+  let shard (lo, hi) =
+    if not (Budget.is_unlimited budget) then
+      Budget.check_deadline budget Budget.Cache_sim;
+    let pool = Interner.create () in
+    let ps = pass_create budget in
+    (* the shard-local interner assigns dense first-occurrence ids, which
+       is exactly the id discipline [pass_event] expects *)
+    Stream.iter_chunks ~budget ?chunk_size ~lo ~hi ~params ~interner:pool prog
+      (fun ch ->
+        for k = 0 to ch.len - 1 do
+          pass_event ps (Array.unsafe_get ch.ids k)
+            (Array.unsafe_get ch.writes k)
+        done);
+    (pool, ps)
+  in
+  let parts = Pool.map ~jobs shard (Pool.split ~shards:jobs n) in
+  (* a single global interner, fed in segment order, reproduces the
+     sequential first-occurrence numbering *)
+  let gpool = Interner.create () in
+  let parts =
+    List.map
+      (fun (pool, ps) ->
+        ( Array.init ps.p_n (fun c -> Interner.intern gpool (Interner.key pool c)),
+          ps ))
+      parts
+  in
+  merge_all ~budget ~flush ~accesses:n parts
+
+let run_program_checked ?budget ?flush ?jobs ?chunk_size ~params prog =
+  Iolb_util.Engine_error.guard (fun () ->
+      run_program ?budget ?flush ?jobs ?chunk_size ~params prog)
+
+(* ------------------------------------------------------------------ *)
+(* Sampled sweeps (SHARDS).  Cells are kept iff their spatial hash     *)
+(* falls below [rate * 2^62]; reuse distances of the kept subsequence  *)
+(* then scale by the rate, so a sweep of the sampled trace evaluated   *)
+(* at size ceil(S * rate), scaled back by 1/rate, estimates the exact  *)
+(* sweep at size S.  Error bars come from splitting the kept hash      *)
+(* window into [groups] disjoint sub-windows: each is an independent   *)
+(* sample at rate/groups, and the spread of their estimates gives a    *)
+(* standard error for the union estimate.                              *)
+
+type estimate = { est : float; lo : float; hi : float }
+
+type sampled = {
+  s_rate : float;
+  s_seed : int;
+  s_flush : bool;
+  s_total : int; (* accesses scanned (the full trace length) *)
+  s_kept : int; (* accesses kept by the union window *)
+  s_exact : bool; (* rate >= 1: [s_union] is the exact sweep *)
+  s_union : t;
+  s_group : t array;
+  s_gwidth : int array; (* hash-window width per group *)
+}
+
+let hash_space = 4611686018427387904.0 (* 2^62 *)
+
+let sampled_rate s = s.s_rate
+let sampled_seed s = s.s_seed
+let sampled_exact s = s.s_exact
+let sampled_total_accesses s = s.s_total
+let sampled_kept_accesses s = s.s_kept
+let sampled_groups s = Array.length s.s_group
+let sampled_union s = s.s_union
+
+(* Union footprints this small (or fewer than two populated groups)
+   cannot support a spread estimate; [sampled_stats] then reports the
+   trivially-safe interval instead of a fake tight one. *)
+let degenerate_footprint = 32
+
+let sampled_degenerate s =
+  (not s.s_exact)
+  && (footprint s.s_union < degenerate_footprint
+     || Array.fold_left
+          (fun n g -> if accesses g > 0 then n + 1 else n)
+          0 s.s_group
+        < 2)
+
+let run_sampled ?(budget = Budget.unlimited) ?(flush = true) ?(groups = 8)
+    ~rate ~seed ~params prog =
+  if not (rate > 0.0 && rate <= 1.0) then
+    invalid_arg "Sweep.run_sampled: rate must be in (0, 1]";
+  if groups < 2 then invalid_arg "Sweep.run_sampled: groups < 2";
+  if not (Budget.is_unlimited budget) then
+    Budget.check_deadline budget Budget.Cache_sim;
+  let total = Program.n_accesses ~params prog in
+  let thresh = int_of_float (rate *. hash_space) in
+  if rate >= 1.0 || float_of_int thresh >= hash_space then begin
+    let t = run_program ~budget ~flush ~params prog in
+    {
+      s_rate = 1.0;
+      s_seed = seed;
+      s_flush = flush;
+      s_total = total;
+      s_kept = total;
+      s_exact = true;
+      s_union = t;
+      s_group = [||];
+      s_gwidth = [||];
+    }
+  end
+  else begin
+    let thresh = max 1 thresh in
+    let gw = max 1 (thresh / groups) in
+    let gwidth =
+      Array.init groups (fun g ->
+          if g = groups - 1 then thresh - (gw * (groups - 1)) else gw)
+    in
+    let upass = pass_create budget in
+    let gpass = Array.init groups (fun _ -> pass_create budget) in
+    (* Kept cells are identified by their 62-bit spatial hash through an
+       open-addressing table: the hash is already in hand from the keep
+       test, so deduplication costs one probe instead of re-hashing the
+       cell name and index vector.  Two distinct cells alias only on a
+       full 62-bit hash collision (~ footprint^2 / 2^63), far below the
+       sampling error this mode accepts by construction. *)
+    let cap = ref 1024 in
+    let keys = ref (Array.make !cap (-1)) in
+    let slot = ref (Array.make !cap 0) in
+    let count = ref 0 in
+    let lookup h =
+      let keys_ = !keys and mask = !cap - 1 in
+      let i = ref (h land mask) in
+      while
+        let k = Array.unsafe_get keys_ !i in
+        k <> h && k >= 0
+      do
+        i := (!i + 1) land mask
+      done;
+      !i
+    in
+    let rehash () =
+      let okeys = !keys and oslot = !slot and ocap = !cap in
+      cap := 2 * ocap;
+      keys := Array.make !cap (-1);
+      slot := Array.make !cap 0;
+      for i = 0 to ocap - 1 do
+        let h = okeys.(i) in
+        if h >= 0 then begin
+          let j = lookup h in
+          !keys.(j) <- h;
+          !slot.(j) <- oslot.(i)
+        end
+      done
+    in
+    (* per union cell: its group and its dense id within that group *)
+    let cgroup = ref (Array.make 64 0) in
+    let cgslot = ref (Array.make 64 0) in
+    let gnext = Array.make groups 0 in
+    let unlimited = Budget.is_unlimited budget in
+    Program.iter_accesses_sampled ~params prog ~seed ~thresh
+      ~on_tick:(fun _ ->
+        (* at most once per 64k scanned accesses: cheap enough to poll
+           the wall clock outright, so a deadline stops the scan even
+           when almost nothing is kept (checkpoints alone only reach the
+           clock every 1024 steps) *)
+        if not unlimited then begin
+          Budget.checkpoint budget Budget.Cache_sim;
+          Budget.check_deadline budget Budget.Cache_sim
+        end)
+      ~on_access:(fun h _name _idx w ->
+        let i = lookup h in
+        let c =
+          if Array.unsafe_get !keys i >= 0 then Array.unsafe_get !slot i
+          else begin
+            let c = !count in
+            !keys.(i) <- h;
+            !slot.(i) <- c;
+            incr count;
+            if 2 * !count >= !cap then rehash ();
+            (* first occurrence: group assignment is a pure function of
+               the (per-cell constant) hash *)
+            if c = Array.length !cgroup then begin
+              let a = Array.make (2 * c) 0 and b = Array.make (2 * c) 0 in
+              Array.blit !cgroup 0 a 0 c;
+              Array.blit !cgslot 0 b 0 c;
+              cgroup := a;
+              cgslot := b
+            end;
+            let g = min (groups - 1) (h / gw) in
+            !cgroup.(c) <- g;
+            !cgslot.(c) <- gnext.(g);
+            gnext.(g) <- gnext.(g) + 1;
+            c
+          end
+        in
+        pass_event upass c w;
+        pass_event
+          gpass.(Array.unsafe_get !cgroup c)
+          (Array.unsafe_get !cgslot c)
+          w);
+    (* each lane is a whole (sub-)trace on its own: finalize as a
+       single-segment merge, in which every cell is cold *)
+    let finalize ps =
+      merge_all ~budget ~flush ~accesses:ps.p_events
+        [ (Array.init ps.p_n (fun c -> c), ps) ]
+    in
+    {
+      s_rate = rate;
+      s_seed = seed;
+      s_flush = flush;
+      s_total = total;
+      s_kept = upass.p_events;
+      s_exact = false;
+      s_union = finalize upass;
+      s_group = Array.map finalize gpass;
+      s_gwidth = gwidth;
+    }
+  end
+
+let run_sampled_checked ?budget ?flush ?groups ~rate ~seed ~params prog =
+  Iolb_util.Engine_error.guard (fun () ->
+      run_sampled ?budget ?flush ?groups ~rate ~seed ~params prog)
+
+(* Confidence scaling: centre from the union sample, spread from the
+   per-group estimates.  The half-width is max(z * se, floor) with z = 4
+   and a floor of 2/rate plus a bias allowance that shrinks as the
+   sampled cache gets more slots: mapping size S to round(S * rate)
+   quantizes distances to sampled units, a relative error on the order
+   of 1/(S * rate) that the group spread cannot see because every group
+   shares it.  Callers that need certainty on samples too thin for any
+   of this get the degenerate [0, T] fallback. *)
+let ci_z = 4.0
+
+let sampled_stats s ~size =
+  if size < 1 then invalid_arg "Sweep.sampled_stats: size < 1";
+  if s.s_exact then begin
+    let st = stats s.s_union ~size in
+    let e v = { est = v; lo = v; hi = v } in
+    ( e (float_of_int st.Cache.loads),
+      e (float_of_int st.Cache.read_hits),
+      e (float_of_int st.Cache.stores) )
+  end
+  else begin
+    let r = s.s_rate in
+    let scale = 1.0 /. r in
+    let ku = max 1 (int_of_float (Float.round (float_of_int size *. r))) in
+    let su = stats s.s_union ~size:ku in
+    (* Below two sampled cache slots the size quantization error is
+       unbounded relative to the answer; such sizes cannot be resolved at
+       this rate and get the trivially-safe interval. *)
+    let degenerate = sampled_degenerate s || ku < 2 in
+    let total = float_of_int s.s_total in
+    let groups =
+      Array.to_list
+        (Array.mapi
+           (fun g t ->
+             let rg = float_of_int s.s_gwidth.(g) /. hash_space in
+             let kg = max 1 (int_of_float (Float.round (float_of_int size *. rg))) in
+             (t, rg, kg))
+           s.s_group)
+      |> List.filter (fun (t, _, _) -> accesses t > 0)
+    in
+    let estimate extract =
+      let est = float_of_int (extract su) *. scale in
+      if degenerate then { est; lo = 0.0; hi = total }
+      else begin
+        let vals =
+          List.map
+            (fun (t, rg, kg) ->
+              float_of_int (extract (stats t ~size:kg)) /. rg)
+            groups
+        in
+        let ng = float_of_int (List.length vals) in
+        let mean = List.fold_left ( +. ) 0.0 vals /. ng in
+        let var =
+          List.fold_left (fun a v -> a +. ((v -. mean) ** 2.0)) 0.0 vals
+          /. (ng -. 1.0)
+        in
+        let se = sqrt var /. sqrt ng in
+        let bias_frac = 0.02 +. (1.0 /. (1.0 +. (float_of_int size *. r))) in
+        let half =
+          Float.max (ci_z *. se) ((2.0 /. r) +. (bias_frac *. Float.abs est))
+        in
+        {
+          est;
+          lo = Float.max 0.0 (est -. half);
+          hi = Float.min total (est +. half);
+        }
+      end
+    in
+    ( estimate (fun st -> st.Cache.loads),
+      estimate (fun st -> st.Cache.read_hits),
+      estimate (fun st -> st.Cache.stores) )
+  end
+
 (* Answer a size list with whichever engine is cheaper: a single size runs
    the O(T) LRU simulator directly; two or more sizes share one O(T log T)
    sweep pass.  Results are identical either way. *)

@@ -66,3 +66,127 @@ val distance_histogram : t -> int array
     the bench: either a comma-separated list ["a,b,c"] or an inclusive
     range ["lo:hi:step"].  All sizes must be positive. *)
 val parse_sizes : string -> (int list, string) result
+
+(** {1 Sharded and streaming sweeps}
+
+    The functions below replace the O(T) position tree of {!run} with a
+    footprint-compacted one and partition the pass into contiguous time
+    segments, merged deterministically: the result is {e equal, field by
+    field}, to {!run} on the same trace for any segment count, so output
+    stays byte-identical at every [--jobs] width.  [run_program] never
+    materializes the trace at all - segments are streamed straight out of
+    the program (see {!Iolb_ir.Stream}), so memory follows the footprint
+    and the chunk size, not the trace length. *)
+
+(** [run_segmented ?jobs trace] sweeps a materialized trace in [jobs]
+    segments ({!Iolb_util.Pool.default_jobs} by default) across domains.
+    Equal to [run trace] for every partition.
+    @raise Invalid_argument if [jobs < 1].
+    @raise Iolb_util.Budget.Exhausted when the budget runs out (possibly
+    inside a shard domain). *)
+val run_segmented :
+  ?budget:Iolb_util.Budget.t -> ?flush:bool -> ?jobs:int -> Trace.t -> t
+
+(** [run_program ~params p] sweeps the access trace of program [p] at
+    concrete [params] without materializing it: each of [jobs] domains
+    streams its own contiguous slice of the trace ([chunk_size] accesses
+    per buffer, default {!Iolb_ir.Stream.default_chunk_size}).  Equal to
+    [run (Trace.of_program ~params p)] in every field.  Budget semantics
+    combine the trace-build stage ([Cdag_build] checkpoints while
+    streaming) and the sweep stage ([Cache_sim] per event). *)
+val run_program :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  t
+
+(** No-raise variant of {!run_program} for the degradation ladder. *)
+val run_program_checked :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  (t, Iolb_util.Engine_error.t) result
+
+(** {1 Sampled sweeps}
+
+    SHARDS-style spatial sampling: a cell is kept iff
+    [Iolb_ir.Program.sample_hash ~seed name index < rate * 2^62], so the
+    kept set is a pure function of (seed, cell) and reuse distances of
+    the kept subsequence scale by [rate].  A sweep of the sampled trace
+    evaluated at size [round (S * rate)], scaled back by [1/rate],
+    estimates the exact sweep at size [S].  The kept hash window is
+    further split into [groups] disjoint sub-windows - independent
+    samples at [rate/groups] - whose estimate spread yields the reported
+    error bars.  Rejected accesses cost a few nanoseconds (see
+    {!Iolb_ir.Program.iter_accesses_sampled}), which is what makes
+    billion-access validation runs feasible. *)
+
+type sampled
+
+(** Point estimate with its confidence interval, [lo <= est <= hi].
+    Exact results (rate 1) have zero width. *)
+type estimate = { est : float; lo : float; hi : float }
+
+(** [run_sampled ~rate ~seed ~params p] scans the trace of [p] once,
+    keeping cells at the given [rate], and sweeps the union sample plus
+    [groups] (default 8) disjoint sub-samples.  [rate >= 1] falls back
+    to the exact {!run_program}.
+    @raise Invalid_argument if [rate] is outside (0, 1] or [groups < 2]. *)
+val run_sampled :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  ?groups:int ->
+  rate:float ->
+  seed:int ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  sampled
+
+(** No-raise variant of {!run_sampled} for the degradation ladder. *)
+val run_sampled_checked :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  ?groups:int ->
+  rate:float ->
+  seed:int ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  (sampled, Iolb_util.Engine_error.t) result
+
+(** [sampled_stats s ~size] estimates [(loads, read hits, stores)] of the
+    exact sweep at [size].  Centres come from the union sample; interval
+    half-widths are [max (4 * se, 2/rate + 2% of centre)] where [se] is
+    the standard error across the per-group estimates.  When the sample
+    is too thin to support a spread estimate ({!sampled_degenerate}),
+    the interval degrades to the trivially-safe [0, total accesses].
+    @raise Invalid_argument if [size < 1]. *)
+val sampled_stats : sampled -> size:int -> estimate * estimate * estimate
+
+val sampled_rate : sampled -> float
+val sampled_seed : sampled -> int
+
+(** [true] iff the requested rate reached 1 and the underlying sweep is
+    exact ({!sampled_stats} then has zero-width intervals). *)
+val sampled_exact : sampled -> bool
+
+(** Length of the full (unsampled) trace. *)
+val sampled_total_accesses : sampled -> int
+
+(** Number of accesses the union window kept. *)
+val sampled_kept_accesses : sampled -> int
+
+val sampled_groups : sampled -> int
+
+(** The sweep of the union sample (footprint = sampled footprint). *)
+val sampled_union : sampled -> t
+
+(** [true] when the sample cannot support error bars (union footprint
+    under 32 cells or fewer than two populated groups): intervals are
+    then [0, total accesses]. *)
+val sampled_degenerate : sampled -> bool

@@ -47,21 +47,18 @@ let push b cell is_write = push_id b (Interner.intern b.p cell) is_write
 let freeze b = { cells = b.ids; writes = b.flags; len = b.len; pool = b.p }
 
 let of_program ?(budget = Iolb_util.Budget.unlimited) ~params p =
-  (* Exact pre-count (closed-form over the loop nest): the builder never
-     grows, so a multi-hundred-thousand-event trace costs one allocation
-     and zero copies. *)
-  let b = builder (Iolb_ir.Program.n_accesses ~params p) in
-  let n = ref 0 in
-  (* Streaming path: indices arrive in a borrowed buffer and are interned
-     via [intern_view], so the (dominant) repeat-cell case allocates
-     nothing. *)
-  Iolb_ir.Program.iter_accesses ~params p
-    ~on_instance:(fun () ->
-      Iolb_util.Budget.checkpoint budget Iolb_util.Budget.Cdag_build;
-      incr n;
-      Iolb_util.Budget.check_node_cap budget Iolb_util.Budget.Cdag_build !n)
-    ~on_access:(fun name idx is_write ->
-      push_id b (Interner.intern_view b.p name idx) is_write);
+  (* Exact pre-count (closed-form over the loop nest): the arrays never
+     grow, so a multi-hundred-thousand-event trace costs one allocation
+     and zero copies.  Events arrive as reused chunks from [Stream] — the
+     same producer the sharded/sampled sweeps consume — and are blitted
+     into place; interning happens inside the stream via [intern_view],
+     so the (dominant) repeat-cell case allocates nothing. *)
+  let n = Iolb_ir.Program.n_accesses ~params p in
+  let b = builder n in
+  Iolb_ir.Stream.iter_chunks ~budget ~params ~interner:b.p p (fun ch ->
+      Array.blit ch.ids 0 b.ids b.len ch.len;
+      Array.blit ch.writes 0 b.flags b.len ch.len;
+      b.len <- b.len + ch.len);
   freeze b
 
 let of_events evs =

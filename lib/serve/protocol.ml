@@ -22,11 +22,23 @@ let is_unlimited b =
   b.timeout_ms = None && b.max_steps = None && b.max_nodes = None
   && b.fault = None
 
+(* Optional empirical validation rider on an eval: run a sampled
+   (rate < 1) or exact streaming (rate = 1) cache sweep of the kernel at
+   the evaluation point and report measured loads next to the bounds. *)
+type empirical_spec = { rate : float; seed : int }
+
 type op =
   | Ping
   | List_kernels
   | Analyze of { kernel : string; budget : budget_spec }
-  | Eval of { kernel : string; m : int; n : int; s : int; budget : budget_spec }
+  | Eval of {
+      kernel : string;
+      m : int;
+      n : int;
+      s : int;
+      empirical : empirical_spec option;
+      budget : budget_spec;
+    }
   | Stats
   | Crash
   | Shutdown
@@ -92,6 +104,25 @@ let parse_fault json =
       | _ -> Error "field \"fault\" must be {\"stage\": <name>, \"k\": <int>}")
   | Some _ -> Error "field \"fault\" must be an object"
 
+let parse_empirical json =
+  let ( let* ) = Result.bind in
+  match Json.member "empirical" json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Obj _ as e) ->
+      let* rate =
+        match Json.member "rate" e with
+        | Some (Json.Float r) -> Ok r
+        | Some (Json.Int i) -> Ok (float_of_int i)
+        | Some _ -> Error "field \"empirical.rate\" must be a number"
+        | None -> Error "missing field \"empirical.rate\""
+      in
+      if not (rate > 0. && rate <= 1.) then
+        Error "field \"empirical.rate\" must be in (0, 1]"
+      else
+        let* seed = int_field_default e "seed" 42 in
+        Ok (Some { rate; seed })
+  | Some _ -> Error "field \"empirical\" must be an object"
+
 let parse_budget json =
   let ( let* ) = Result.bind in
   let* timeout_ms = opt_int_field json "timeout_ms" in
@@ -138,8 +169,9 @@ let parse_request line : (request, Json.t * string) result =
                  let* m = int_field_default json "m" 64 in
                  let* n = int_field_default json "n" 32 in
                  let* s = int_field_default json "s" 256 in
+                 let* empirical = parse_empirical json in
                  let* budget = parse_budget json in
-                 Ok (Eval { kernel; m; n; s; budget }))
+                 Ok (Eval { kernel; m; n; s; empirical; budget }))
           | other -> fail (Printf.sprintf "unknown op %S" other))
       | Some _ -> fail "field \"op\" must be a string"
       | None -> fail "missing field \"op\"")
@@ -243,28 +275,29 @@ let analysis_result ~spec (a : Report.analysis) =
       ("bounds", Json.List (List.map bound_json a.bounds));
     ]
 
-let eval_result ~spec (a : Report.analysis) ~m ~n ~s =
+let eval_result ?empirical ~spec (a : Report.analysis) ~m ~n ~s =
   let best tech =
     match Report.eval_best a ~technique:tech ~m ~n ~s with
     | Some v -> Json.Float v
     | None -> Json.Null
   in
   Json.Obj
-    [
-      ("kernel", Json.String a.entry.display);
-      ("spec", Json.String spec);
-      ("m", Json.Int m);
-      ("n", Json.Int n);
-      ("s", Json.Int s);
-      ("degradation", degradation_json a.degradation);
-      ("classical", best `Classical);
-      ("hourglass", best `Hourglass);
-      ( "paper",
-        Json.Float
-          (Iolb.Paper_formulas.eval_at
-             (Iolb.Paper_formulas.theorem_main a.entry.kernel)
-             ~m ~n ~s) );
-    ]
+    ([
+       ("kernel", Json.String a.entry.display);
+       ("spec", Json.String spec);
+       ("m", Json.Int m);
+       ("n", Json.Int n);
+       ("s", Json.Int s);
+       ("degradation", degradation_json a.degradation);
+       ("classical", best `Classical);
+       ("hourglass", best `Hourglass);
+       ( "paper",
+         Json.Float
+           (Iolb.Paper_formulas.eval_at
+              (Iolb.Paper_formulas.theorem_main a.entry.kernel)
+              ~m ~n ~s) );
+     ]
+    @ match empirical with None -> [] | Some e -> [ ("empirical", e) ])
 
 (* ------------------------------------------------------------------ *)
 (* Content addressing.                                                 *)
@@ -277,8 +310,16 @@ let eval_result ~spec (a : Report.analysis) ~m ~n ~s =
 let spec_key op ~display =
   match op with
   | Analyze _ -> Some (Printf.sprintf "analyze\x00%s" display)
-  | Eval { m; n; s; _ } ->
-      Some (Printf.sprintf "eval\x00%s\x00%d\x00%d\x00%d" display m n s)
+  | Eval { m; n; s; empirical; _ } ->
+      (* The empirical rider is part of the content only when present:
+         plain evals keep their pre-existing keys (and cached bytes),
+         and two evals sampled differently never collide. *)
+      let suffix =
+        match empirical with
+        | None -> ""
+        | Some e -> Printf.sprintf "\x00empirical\x00%h\x00%d" e.rate e.seed
+      in
+      Some (Printf.sprintf "eval\x00%s\x00%d\x00%d\x00%d%s" display m n s suffix)
   | Ping | List_kernels | Stats | Crash | Shutdown -> None
 
 let spec_hash key = Digest.to_hex (Digest.string key)

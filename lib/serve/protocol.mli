@@ -30,11 +30,25 @@ type budget_spec = {
 val no_budget : budget_spec
 val is_unlimited : budget_spec -> bool
 
+(** Optional empirical rider on an [eval] request (wire field
+    ["empirical": {"rate": r, "seed": k}]): run a sampled ([rate < 1])
+    or exact streaming ([rate = 1]) cache sweep of the kernel at the
+    evaluation point and report measured loads next to the bounds.
+    [rate] must lie in (0, 1]; [seed] defaults to 42. *)
+type empirical_spec = { rate : float; seed : int }
+
 type op =
   | Ping
   | List_kernels
   | Analyze of { kernel : string; budget : budget_spec }
-  | Eval of { kernel : string; m : int; n : int; s : int; budget : budget_spec }
+  | Eval of {
+      kernel : string;
+      m : int;
+      n : int;
+      s : int;
+      empirical : empirical_spec option;
+      budget : budget_spec;
+    }
   | Stats
   | Crash
       (** deliberately kills the worker domain handling it; only honoured
@@ -87,13 +101,23 @@ val ok_response_raw : id:Json.t -> op:string -> string -> string
 
 val analysis_result : spec:string -> Iolb.Report.analysis -> Json.t
 
+(** [eval_result ?empirical ...] renders the eval payload; [empirical],
+    when given, is an already-rendered measurement object appended as the
+    ["empirical"] field (plain evals keep their exact historical bytes). *)
 val eval_result :
-  spec:string -> Iolb.Report.analysis -> m:int -> n:int -> s:int -> Json.t
+  ?empirical:Json.t ->
+  spec:string ->
+  Iolb.Report.analysis ->
+  m:int ->
+  n:int ->
+  s:int ->
+  Json.t
 
 (** Canonical content key of a cacheable request ([None] for the ops that
     are never cached): the resolved kernel display name plus, for [eval],
-    the evaluation point.  Budgets are excluded - a complete result is
-    the same answer whatever budget produced it. *)
+    the evaluation point and, when present, the empirical rider's rate
+    and seed.  Budgets are excluded - a complete result is the same
+    answer whatever budget produced it. *)
 val spec_key : op -> display:string -> string option
 
 (** Hex content hash (the [spec] field of result payloads). *)

@@ -3,6 +3,7 @@ module Pool = Iolb_util.Pool
 module Budget = Iolb_util.Budget
 module Engine_error = Iolb_util.Engine_error
 module Report = Iolb.Report
+module Sweep = Iolb_pebble.Sweep
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -164,6 +165,44 @@ let respond_error t ~id err =
   Atomic.incr t.counters.served_error;
   Protocol.error_response ~id err
 
+(* The empirical rider of an eval: a sampled (or, at rate 1, exact
+   streaming) cache sweep of the kernel at the evaluation point, under
+   the same request budget (including its fault hook) as the analysis.
+   The payload is a pure function of (kernel, m, n, s, rate, seed) -
+   sampling is hash-based, not randomized - so responses stay
+   byte-reproducible and cacheable. *)
+let empirical_for t entry ~m ~n ~s (budget : Protocol.budget_spec)
+    (e : Protocol.empirical_spec) =
+  let ( let* ) = Result.bind in
+  let* params = Report.concrete_params entry ~m ~n in
+  let* b = make_budget t budget in
+  let* sampled =
+    Sweep.run_sampled_checked ~budget:b ~rate:e.rate ~seed:e.seed ~params
+      entry.Report.program
+  in
+  let estimate (a : Sweep.estimate) =
+    Json.Obj
+      [
+        ("est", Json.Float a.est);
+        ("lo", Json.Float a.lo);
+        ("hi", Json.Float a.hi);
+      ]
+  in
+  let loads, read_hits, stores = Sweep.sampled_stats sampled ~size:s in
+  Ok
+    (Json.Obj
+       [
+         ("rate", Json.Float e.rate);
+         ("seed", Json.Int e.seed);
+         ("exact", Json.Bool (Sweep.sampled_exact sampled));
+         ("total_accesses", Json.Int (Sweep.sampled_total_accesses sampled));
+         ("kept_accesses", Json.Int (Sweep.sampled_kept_accesses sampled));
+         ("degenerate", Json.Bool (Sweep.sampled_degenerate sampled));
+         ("loads", estimate loads);
+         ("read_hits", estimate read_hits);
+         ("stores", estimate stores);
+       ])
+
 (* Engine ops (analyze / eval / crash).  Returns the full response line.
    Unexpected exceptions escape to the worker shell on purpose: the
    worker loop answers the poisoned request with a typed [internal]
@@ -201,7 +240,7 @@ let handle_engine t (req : Protocol.request) =
                   in
                   if cacheable budget a then Lru.add t.cache key result;
                   respond_ok t ~id ~op:"analyze" result)))
-  | Protocol.Eval { kernel; m; n; s; budget } -> (
+  | Protocol.Eval { kernel; m; n; s; empirical; budget } -> (
       match Report.find_checked kernel with
       | Error e -> respond_error t ~id (Protocol.Engine e)
       | Ok entry -> (
@@ -217,12 +256,24 @@ let handle_engine t (req : Protocol.request) =
           | None -> (
               match analysis_for t entry budget with
               | Error e -> respond_error t ~id (Protocol.Engine e)
-              | Ok a ->
-                  let result =
-                    Json.to_string (Protocol.eval_result ~spec a ~m ~n ~s)
+              | Ok a -> (
+                  let measured =
+                    match empirical with
+                    | None -> Ok None
+                    | Some e ->
+                        Result.map Option.some
+                          (empirical_for t entry ~m ~n ~s budget e)
                   in
-                  if cacheable budget a then Lru.add t.cache key result;
-                  respond_ok t ~id ~op:"eval" result)))
+                  match measured with
+                  | Error e -> respond_error t ~id (Protocol.Engine e)
+                  | Ok measured ->
+                      let result =
+                        Json.to_string
+                          (Protocol.eval_result ?empirical:measured ~spec a
+                             ~m ~n ~s)
+                      in
+                      if cacheable budget a then Lru.add t.cache key result;
+                      respond_ok t ~id ~op:"eval" result))))
   | Protocol.Ping | Protocol.List_kernels | Protocol.Stats | Protocol.Shutdown
     ->
       (* Inline ops never reach the queue. *)

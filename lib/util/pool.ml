@@ -72,6 +72,20 @@ let map ?jobs f xs =
 
 let iter ?jobs f xs = ignore (map ?jobs f xs)
 
+let split ~shards n =
+  if shards < 1 then invalid_arg "Pool.split: shards < 1";
+  if n < 0 then invalid_arg "Pool.split: n < 0";
+  let shards = min shards (max n 1) in
+  let base = n / shards and extra = n mod shards in
+  (* First [extra] shards get one more element; bounds are a pure function
+     of (shards, n), independent of who executes which shard. *)
+  let lo = ref 0 in
+  List.init shards (fun i ->
+      let len = base + if i < extra then 1 else 0 in
+      let r = (!lo, !lo + len) in
+      lo := !lo + len;
+      r)
+
 (* ------------------------------------------------------------------ *)
 (* Bounded queue.                                                      *)
 

@@ -38,6 +38,15 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [iter ?jobs f xs] is [ignore (map ?jobs f xs)]. *)
 val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 
+(** [split ~shards n] partitions [\[0, n)] into at most [shards] contiguous
+    half-open ranges [(lo, hi)], in order, with sizes differing by at most
+    one (earlier ranges get the extra elements).  The bounds are a pure
+    function of [(shards, n)] — the same partition at any worker count —
+    which is what lets sharded consumers merge deterministically.  Returns
+    fewer than [shards] ranges when [n < shards]; [(0, 0)] when [n = 0].
+    @raise Invalid_argument if [shards < 1] or [n < 0]. *)
+val split : shards:int -> int -> (int * int) list
+
 (** Bounded multi-producer multi-consumer queue: the admission-control
     primitive of the bound service.  Producers never block - [try_push]
     refuses once the capacity is reached so the caller can shed load

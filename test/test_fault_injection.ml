@@ -233,6 +233,54 @@ let test_game_and_cache_faults () =
   | Ok _ -> Alcotest.fail "trace fault: expected budget exhaustion, got Ok"
   | Error e -> Alcotest.failf "trace fault: wrong error %s" (EE.to_string e)
 
+(* The sharded, streaming and sampled sweep paths poll the same budget:
+   a fault fired mid-shard (inside a worker domain) must surface as the
+   same typed error through the _checked entry points, never as an
+   escaped exception, at any jobs width. *)
+let test_sharded_sweep_faults () =
+  let spec = K.Mgs.tiled_spec ~m:6 ~n:4 ~b:2 in
+  let trace = Trace.of_program ~params:[] spec in
+  let expect what f =
+    match f () with
+    | Error (EE.Budget_exhausted _) -> ()
+    | Ok _ -> Alcotest.failf "%s: expected budget exhaustion, got Ok" what
+    | Error e -> Alcotest.failf "%s: wrong error %s" what (EE.to_string e)
+    | exception e ->
+        Alcotest.failf "%s: escaped exception %s" what (Printexc.to_string e)
+  in
+  (* mid-shard: half the events land in the second worker's segment *)
+  let ks = [ 2; (Trace.length trace / 2) + 3 ] in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun k ->
+          expect (Printf.sprintf "segmented jobs=%d k=%d" jobs k) (fun () ->
+              EE.guard (fun () ->
+                  Iolb_pebble.Sweep.run_segmented
+                    ~budget:(Budget.make ~fault:(Budget.Cache_sim, k) ())
+                    ~jobs trace));
+          expect (Printf.sprintf "streamed jobs=%d k=%d" jobs k) (fun () ->
+              Iolb_pebble.Sweep.run_program_checked
+                ~budget:(Budget.make ~fault:(Budget.Cache_sim, k) ())
+                ~jobs ~params:[] spec))
+        ks;
+      (* a deadline that has already passed must also kill the shards *)
+      expect (Printf.sprintf "deadline jobs=%d" jobs) (fun () ->
+          Iolb_pebble.Sweep.run_program_checked
+            ~budget:(Budget.make ~timeout_ms:0 ())
+            ~jobs ~params:[] spec))
+    [ 1; 2; 4 ];
+  (* the sampled scan checkpoints Cache_sim too (per kept event and per
+     64k-access tick) *)
+  expect "sampled k=2" (fun () ->
+      Iolb_pebble.Sweep.run_sampled_checked
+        ~budget:(Budget.make ~fault:(Budget.Cache_sim, 2) ())
+        ~rate:0.6 ~seed:0 ~params:[] spec);
+  expect "sampled deadline" (fun () ->
+      Iolb_pebble.Sweep.run_sampled_checked
+        ~budget:(Budget.make ~timeout_ms:0 ())
+        ~rate:0.6 ~seed:0 ~params:[] spec)
+
 (* An already-passed wall-clock deadline is the one budget not even the
    trivial rung survives: the ladder must fail with the typed error (the
    CLI maps it to exit code 3). *)
@@ -260,6 +308,8 @@ let suite =
       test_generous_budget_is_transparent;
     Alcotest.test_case "pebble/cache/trace fault injection" `Quick
       test_game_and_cache_faults;
+    Alcotest.test_case "sharded/sampled sweep fault injection" `Quick
+      test_sharded_sweep_faults;
     Alcotest.test_case "passed deadline always fails" `Quick
       test_deadline_always_fails;
   ]

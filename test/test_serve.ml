@@ -62,10 +62,20 @@ let test_parse_request () =
   | _ -> Alcotest.fail "expected analyze");
   (* eval point defaults *)
   (match (parse_ok {|{"op":"eval","kernel":"gemm"}|}).Protocol.op with
-  | Protocol.Eval { kernel; m; n; s; _ } ->
+  | Protocol.Eval { kernel; m; n; s; empirical; _ } ->
       Alcotest.(check string) "kernel" "gemm" kernel;
-      Alcotest.(check (list int)) "default point" [ 64; 32; 256 ] [ m; n; s ]
+      Alcotest.(check (list int)) "default point" [ 64; 32; 256 ] [ m; n; s ];
+      Alcotest.(check bool) "no empirical rider" true (empirical = None)
   | _ -> Alcotest.fail "expected eval");
+  (* empirical rider: seed defaults, rate validated at parse time *)
+  (match
+     (parse_ok {|{"op":"eval","kernel":"mgs","empirical":{"rate":0.25}}|})
+       .Protocol.op
+   with
+  | Protocol.Eval { empirical = Some e; _ } ->
+      Alcotest.(check (float 0.0)) "rate" 0.25 e.Protocol.rate;
+      Alcotest.(check int) "default seed" 42 e.Protocol.seed
+  | _ -> Alcotest.fail "expected eval with empirical rider");
   (* malformed lines: typed errors, id recovered when present *)
   List.iter
     (fun line -> ignore (parse_err line))
@@ -81,6 +91,11 @@ let test_parse_request () =
       {|{"op":"analyze","kernel":"mgs","timeout_ms":"soon"}|};
       {|{"op":"analyze","kernel":"mgs","fault":{"stage":"nope","k":1}}|};
       {|{"op":"analyze","kernel":"mgs","fault":3}|};
+      {|{"op":"eval","kernel":"mgs","empirical":{"rate":1.5}}|};
+      {|{"op":"eval","kernel":"mgs","empirical":{"rate":0}}|};
+      {|{"op":"eval","kernel":"mgs","empirical":{}}|};
+      {|{"op":"eval","kernel":"mgs","empirical":"yes"}|};
+      {|{"op":"eval","kernel":"mgs","empirical":{"rate":0.5,"seed":"x"}}|};
     ];
   let id, _ = parse_err {|{"id":9,"op":"frobnicate"}|} in
   Alcotest.(check bool) "id recovered from a bad request" true (id = Json.Int 9);
@@ -310,6 +325,69 @@ let test_server_end_to_end () =
           Alcotest.(check bool) "eval ok" true r.Protocol.ok;
           Alcotest.(check bool) "eval echoes the point" true
             (Json.member "m" r.Protocol.body = Some (Json.Int 64));
+          Alcotest.(check bool) "plain eval has no empirical field" true
+            (Json.member "empirical" r.Protocol.body = None);
+          (* the empirical rider: a sampled sweep at the evaluation point,
+             byte-reproducible (sampling is hash-based) and bracketing the
+             exact measured loads *)
+          let line =
+            {|{"id":11,"op":"eval","kernel":"mgs","m":24,"n":12,"s":64,"empirical":{"rate":0.5,"seed":1}}|}
+          in
+          let a = raw_line c line in
+          Alcotest.(check string) "empirical eval byte-reproducible" a
+            (raw_line c line);
+          let r = parsed a in
+          Alcotest.(check bool) "empirical eval ok" true r.Protocol.ok;
+          (match Json.member "empirical" r.Protocol.body with
+          | Some emp ->
+              let num key =
+                match Json.member key emp with
+                | Some (Json.Int i) -> float_of_int i
+                | Some (Json.Float f) -> f
+                | _ -> Alcotest.failf "empirical: missing %s" key
+              in
+              Alcotest.(check (float 0.0)) "rate echoed" 0.5 (num "rate");
+              Alcotest.(check bool) "partial sample" true
+                (num "kept_accesses" < num "total_accesses");
+              let exact =
+                let module Sweep = Iolb_pebble.Sweep in
+                let module Trace = Iolb_pebble.Trace in
+                let entry = Result.get_ok (Iolb.Report.find_checked "mgs") in
+                let params =
+                  Result.get_ok (Iolb.Report.concrete_params entry ~m:24 ~n:12)
+                in
+                let sw = Sweep.run (Trace.of_program ~params entry.program) in
+                float_of_int (Sweep.stats sw ~size:64).Iolb_pebble.Cache.loads
+              in
+              let lo, hi =
+                match Json.member "loads" emp with
+                | Some l ->
+                    ( (match Json.member "lo" l with
+                      | Some (Json.Float f) -> f
+                      | _ -> Alcotest.fail "loads.lo"),
+                      match Json.member "hi" l with
+                      | Some (Json.Float f) -> f
+                      | _ -> Alcotest.fail "loads.hi" )
+                | None -> Alcotest.fail "empirical: missing loads"
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "interval [%g, %g] covers exact loads %g" lo
+                   hi exact)
+                true
+                (lo -. (hi -. lo) <= exact && exact <= hi +. (hi -. lo))
+          | None -> Alcotest.fail "empirical field missing");
+          (* rate 1 rides the exact streaming sweep *)
+          let r =
+            parsed
+              (raw_line c
+                 {|{"id":12,"op":"eval","kernel":"mgs","m":24,"n":12,"s":64,"empirical":{"rate":1}}|})
+          in
+          Alcotest.(check bool) "rate-1 empirical ok" true r.Protocol.ok;
+          (match Json.member "empirical" r.Protocol.body with
+          | Some emp ->
+              Alcotest.(check bool) "rate 1 is exact" true
+                (Json.member "exact" emp = Some (Json.Bool true))
+          | None -> Alcotest.fail "rate-1 empirical field missing");
           (* a malformed line gets a typed bad_request; the connection and
              the server survive *)
           let r = parsed (raw_line c "this is not json") in

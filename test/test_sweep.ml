@@ -103,6 +103,141 @@ let test_parse_sizes () =
   err "1:10";
   err "1:2:3:4"
 
+(* --------------------------------------------------------------------- *)
+(* Sharded, streaming and sampled sweeps.                                  *)
+
+module P = Iolb_ir.Program
+
+let mgs = Iolb_kernels.Mgs.spec
+let mgs_params = [ ("M", 24); ("N", 12) ]
+
+let sweeps_equal a b =
+  S.footprint a = S.footprint b
+  && S.accesses a = S.accesses b
+  && S.distance_histogram a = S.distance_histogram b
+  && List.for_all
+       (fun size -> S.stats a ~size = S.stats b ~size)
+       (List.init (S.footprint a + 2) (fun i -> i + 1))
+
+let test_segmented_matches_run () =
+  (* randomized below; here the empty and one-event edges *)
+  List.iter
+    (fun events ->
+      let trace = tr events in
+      let seq = S.run trace in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "len=%d jobs=%d" (List.length events) jobs)
+            true
+            (sweeps_equal seq (S.run_segmented ~jobs trace)))
+        [ 1; 2; 8 ])
+    [ []; [ r "A" 0 ]; [ w "A" 0; r "A" 0; r "B" 0 ] ]
+
+let test_run_program_streams () =
+  (* streamed chunked sweep = materialized sweep, across jobs widths and
+     an adversarially small chunk size *)
+  let trace = T.of_program ~params:mgs_params mgs in
+  List.iter
+    (fun flush ->
+      let seq = S.run ~flush trace in
+      List.iter
+        (fun jobs ->
+          let got =
+            S.run_program ~flush ~jobs ~chunk_size:7 ~params:mgs_params mgs
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d flush=%b" jobs flush)
+            true (sweeps_equal seq got))
+        [ 1; 2; 4; 8 ])
+    [ true; false ]
+
+let test_sampled_rate_one_exact () =
+  let s = S.run_sampled ~rate:1.0 ~seed:3 ~params:mgs_params mgs in
+  Alcotest.(check bool) "exact" true (S.sampled_exact s);
+  Alcotest.(check bool) "zero kept loss" true
+    (S.sampled_kept_accesses s = S.sampled_total_accesses s);
+  let seq = S.run (T.of_program ~params:mgs_params mgs) in
+  Alcotest.(check bool) "equals exact sweep" true
+    (sweeps_equal seq (S.sampled_union s));
+  List.iter
+    (fun size ->
+      let l, h, st = S.sampled_stats s ~size in
+      let ex = S.stats seq ~size in
+      Alcotest.(check (float 0.0)) "loads zero-width" l.S.est l.S.lo;
+      Alcotest.(check (float 0.0)) "loads centre" (float_of_int ex.C.loads) l.S.est;
+      Alcotest.(check (float 0.0)) "hits centre" (float_of_int ex.C.read_hits) h.S.est;
+      Alcotest.(check (float 0.0)) "stores centre" (float_of_int ex.C.stores) st.S.est)
+    [ 2; 5; 40; 700 ]
+
+let test_sampled_coverage_fixed_seeds () =
+  (* statistical mode with pinned seeds: the interval must cover the
+     exact value at every size (deterministic given the seed) *)
+  let seq = S.run (T.of_program ~params:mgs_params mgs) in
+  List.iter
+    (fun (rate, seed) ->
+      let s = S.run_sampled ~rate ~seed ~params:mgs_params mgs in
+      Alcotest.(check bool) "not exact" false (S.sampled_exact s);
+      for size = 1 to S.footprint seq + 2 do
+        let ex = S.stats seq ~size in
+        let l, h, st = S.sampled_stats s ~size in
+        (* double-widened: a z=4 interval may miss on a ~0.4% tail, but a
+           miss beyond twice its width means the estimator is broken *)
+        let cover what v (a : S.estimate) =
+          let v = float_of_int v in
+          let w = a.S.hi -. a.S.lo in
+          if not (a.S.lo -. w <= v && v <= a.S.hi +. w) then
+            Alcotest.failf "rate=%g seed=%d size=%d %s=%g outside [%g, %g]"
+              rate seed size what v a.S.lo a.S.hi
+        in
+        cover "loads" ex.C.loads l;
+        cover "read_hits" ex.C.read_hits h;
+        cover "stores" ex.C.stores st
+      done)
+    [ (0.5, 0); (0.5, 3); (0.3, 1); (0.2, 2) ]
+
+let test_iter_accesses_range_slices () =
+  (* concatenating any slicing of [0, n) reproduces the full stream *)
+  let full = ref [] in
+  P.iter_accesses ~params:mgs_params mgs
+    ~on_instance:(fun () -> ())
+    ~on_access:(fun name idx w -> full := (name, Array.copy idx, w) :: !full);
+  let full = Array.of_list (List.rev !full) in
+  let n = Array.length full in
+  Alcotest.(check int) "n_accesses" n (P.n_accesses ~params:mgs_params mgs);
+  List.iter
+    (fun cuts ->
+      let bounds = (0 :: cuts) @ [ n ] in
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | _ -> []
+      in
+      let pos = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          P.iter_accesses_range ~params:mgs_params mgs ~lo ~hi
+            ~on_instance:(fun () -> ())
+            ~on_access:(fun p name idx w ->
+              Alcotest.(check int) "position" !pos p;
+              let en, ei, ew = full.(p) in
+              if not (en = name && ei = idx && ew = w) then
+                Alcotest.failf "access %d differs in slice [%d, %d)" p lo hi;
+              incr pos))
+        (pairs bounds);
+      Alcotest.(check int) "all accesses covered" n !pos)
+    [ []; [ n / 2 ]; [ 1; 2; 3 ]; [ n / 3; n / 2; n - 1 ]; [ 7; 7 ] ]
+
+let prop_segmented =
+  prop "segmented sweep = sequential sweep" (fun events ->
+      let trace = tr events in
+      List.for_all
+        (fun flush ->
+          let seq = S.run ~flush trace in
+          List.for_all
+            (fun jobs -> sweeps_equal seq (S.run_segmented ~flush ~jobs trace))
+            [ 1; 2; 4; 8 ])
+        [ true; false ])
+
 let suite =
   [
     Alcotest.test_case "hand-computed sweep" `Quick test_sweep_hand;
@@ -122,4 +257,14 @@ let suite =
                  (C.opt_run ~size ~flush:false plan)
                  (C.opt ~size ~flush:false trace))
           [ 1; 2; 4; 8; 1_000 ]);
+    Alcotest.test_case "segmented edge cases" `Quick test_segmented_matches_run;
+    Alcotest.test_case "streamed run_program = run" `Quick
+      test_run_program_streams;
+    Alcotest.test_case "sampled rate 1 is exact" `Quick
+      test_sampled_rate_one_exact;
+    Alcotest.test_case "sampled CIs cover exact (fixed seeds)" `Quick
+      test_sampled_coverage_fixed_seeds;
+    Alcotest.test_case "iter_accesses_range slices" `Quick
+      test_iter_accesses_range_slices;
+    prop_segmented;
   ]

@@ -176,6 +176,13 @@ let fig5 () =
 (* ------------------------------------------------------------------ *)
 (* Theorem 5 and the Section 5.1 regime analysis for MGS.              *)
 
+let tech_name (b : D.t) =
+  match b.technique with
+  | D.Classical -> "classical"
+  | D.Hourglass -> "hourglass (main)"
+  | D.Hourglass_small_s -> "hourglass (small cache)"
+  | D.Trivial -> "trivial"
+
 let thm5 () =
   section "THM5: MGS closed forms and regimes (Section 5.1)";
   let a = Report.analyze_cached (Report.find "mgs") in
@@ -206,7 +213,30 @@ let thm5 () =
       in
       pf "%10d | %12.4g | %14.3f | %14.3f\n" s b (b /. small_ref)
         (b /. large_ref))
-    [ 64; 256; 512; 2048; 8192; 65536; 524288 ]
+    [ 64; 256; 512; 2048; 8192; 65536; 524288 ];
+  (* The same table read off mechanically: maximal integer ranges of S by
+     winning bound.  The paper's hand split is S <= M vs S > M; the
+     recovered edge sits at S = M = 1024. *)
+  pf "\nwinning-bound regions (M=1024, N=256), S in [1, 8192]:\n";
+  let hg_only =
+    List.filter
+      (fun (b : D.t) ->
+        b.technique = D.Hourglass || b.technique = D.Hourglass_small_s)
+      a.bounds
+  in
+  let ranges =
+    D.best_regions ~params:[ ("M", 1024); ("N", 256) ] ~lo:1 ~hi:8192 hg_only
+  in
+  List.iter
+    (fun (r : D.winner_range) ->
+      let who =
+        match r.winner with
+        | None -> "(no applicable bound)"
+        | Some b -> tech_name b ^ "  (" ^ b.D.validity ^ ")"
+      in
+      pf "  S in [%6d, %6d]: %s\n" r.s_from r.s_to who)
+    ranges;
+  metric_i "thm5_regions" (List.length ranges)
 
 (* ------------------------------------------------------------------ *)
 (* Theorems 6-8.                                                       *)
@@ -235,6 +265,12 @@ let thm6_7_8 () =
 (* ------------------------------------------------------------------ *)
 (* Theorem 9: GEHD2 with both loop-split choices.                      *)
 
+(* GEHD2 bounds with the loop split M left symbolic: the registry entry
+   finalizes M = N/2 - 1, so the split searches analyze the spec directly.
+   Shared and forced once (PREWARM forces it when THM9/REGIMES run). *)
+let gehd2_free_bounds =
+  lazy (D.analyze ~verify_params:[ ("N", 9); ("M", 3) ] K.Gehd2.split_spec)
+
 let thm9 () =
   section "THM9: GEHD2 (loop split at M = N/2 - 1, and M = N - S - 2)";
   thm_table "Theorem 9 (split at N/2 - 1)" PF.Gehd2;
@@ -243,9 +279,7 @@ let thm9 () =
   pf "\nsplit at M = N - S - 2 (regime N >> S), engine vs paper N^3/24:\n";
   pf "  %8s %8s | %12s %12s %8s\n" "n" "s" "engine" "N^3/24" "ratio";
   let module P = Iolb_symbolic.Polynomial in
-  let bounds =
-    D.analyze ~verify_params:[ ("N", 9); ("M", 3) ] K.Gehd2.split_spec
-  in
+  let bounds = Lazy.force gehd2_free_bounds in
   List.iter
     (fun (n, s) ->
       let subst_m = P.add (P.var "N") (P.of_int (-s - 2)) in
@@ -269,40 +303,114 @@ let thm9 () =
       pf "  %8d %8d | %12.4g %12.4g %8.3f\n" n s best paper (best /. paper))
     [ (256, 4); (512, 8); (1024, 16); (4096, 32) ];
   (* Automatic split search: the engine picks the split point maximising
-     its own symbolic bound, recovering the paper's two hand choices.  The
-     candidate evaluations fan out across the domain pool. *)
-  pf "\nautomatic split search (argmax over M of the engine bound):\n";
-  pf "  %8s %8s | %10s %12s | %14s %14s\n" "n" "s" "best M" "bound"
-    "paper N/2-1" "paper N-S-2";
-  let candidates_evaluated = ref 0 in
+     its own symbolic bound, recovering the paper's two hand choices.
+     Region-based (Sturm root isolation of the bound's M-derivative): only
+     the interval ends and the integers adjacent to derivative roots are
+     evaluated, instead of every M in [1, N-3]. *)
+  pf "\nautomatic split search (argmax over M of the engine bound, by regions):\n";
+  pf "  %8s %8s | %10s %12s | %14s %14s | %7s %5s\n" "n" "s" "best M" "bound"
+    "paper N/2-1" "paper N-S-2" "regions" "evals";
+  let evaluations = ref 0 and monotone = ref 0 and all_exact = ref true in
   List.iter
     (fun (n, s) ->
+      let point_evals = ref 0 and point_regions = ref 0 in
       let best =
         List.fold_left
           (fun acc (b : D.t) ->
             if b.technique <> D.Hourglass then acc
             else
-              let candidates = List.init (n - 3) (fun i -> i + 1) in
-              candidates_evaluated :=
-                !candidates_evaluated + List.length candidates;
               match
-                D.optimize_split ~jobs:!jobs b ~param:"M" ~candidates
-                  ~params:[ ("N", n) ] ~s
+                D.optimize_split_regions ~jobs:!jobs b ~param:"M" ~lo:1
+                  ~hi:(n - 3) ~params:[ ("N", n) ] ~s
               with
-              | Some (m, v) -> (
-                  match acc with
-                  | Some (_, v') when v' >= v -> acc
-                  | _ -> Some (m, v))
+              | Some r ->
+                  point_evals := !point_evals + r.D.evaluated;
+                  point_regions := !point_regions + r.D.monotone_regions;
+                  if not r.D.exact then all_exact := false;
+                  (match acc with
+                  | Some (_, v') when v' >= r.D.split_value -> acc
+                  | _ -> Some (r.D.split, r.D.split_value))
               | None -> acc)
           None bounds
       in
+      evaluations := !evaluations + !point_evals;
+      monotone := !monotone + !point_regions;
       match best with
       | Some (m, v) ->
-          pf "  %8d %8d | %10d %12.4g | %14d %14d\n" n s m v ((n / 2) - 1)
+          pf "  %8d %8d | %10d %12.4g | %14d %14d | %7d %5d\n" n s m v
+            ((n / 2) - 1)
             (n - s - 2)
+            !point_regions !point_evals
       | None -> pf "  %8d %8d | (no bound)\n" n s)
     [ (64, 4); (64, 16); (64, 256); (128, 8); (128, 1024) ];
-  metric_i "split_candidates" !candidates_evaluated
+  pf "all searches symbolic (no enumeration fallback): %b\n" !all_exact;
+  metric_i "split_evaluations" !evaluations;
+  metric_i "split_monotone_regions" !monotone;
+  metric_i "split_exact" (if !all_exact then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Regime decompositions: the parametric sweeps behind THM5 and THM9.  *)
+
+let regimes () =
+  section "REGIMES: parametric exponent sweeps and winning-bound regions";
+  (* One parametric-simplex sweep per verified hourglass: the regimes of
+     the sharpened |I'| LP as W = K^theta runs over [1/2, 1]. *)
+  pf "exponent regimes of the sharpened |I'| LP (W = K^theta):\n";
+  let total_regions = ref 0 and total_pivots = ref 0 in
+  List.iter
+    (fun (entry : Report.entry) ->
+      let a = Report.analyze_cached entry in
+      List.iter
+        (fun (h : Hourglass.t) ->
+          let dims, projs = D.sharpened_projections entry.Report.program h in
+          match Bl.exponent_regions ~dims projs with
+          | None -> ()
+          | Some rs ->
+              let pivots =
+                List.fold_left
+                  (fun acc (r : Bl.exponent_region) ->
+                    acc + r.Bl.region_pivots)
+                  0 rs
+              in
+              total_regions := !total_regions + List.length rs;
+              total_pivots := !total_pivots + pivots;
+              pf "  %-9s %-5s: %d region(s), %d pivot(s)\n"
+                entry.Report.display h.update_stmt (List.length rs) pivots;
+              List.iter
+                (fun r ->
+                  pf "      %s\n" (Format.asprintf "%a" Bl.pp_exponent_region r))
+                rs)
+        a.Report.hourglasses)
+    Report.registry;
+  metric_i "theta_regions" !total_regions;
+  metric_i "theta_pivots" !total_pivots;
+  (* Winning-bound regions over the cache-size axis: Thm 5's hand split
+     (S <= M vs larger) and its analogues, read off mechanically. *)
+  pf "\nwinning-bound regions over S (at the largest grid point):\n";
+  let winner_regions = ref 0 in
+  List.iter
+    (fun (entry : Report.entry) ->
+      let a = Report.analyze_cached entry in
+      let m, n, _ =
+        List.nth entry.Report.grid (List.length entry.Report.grid - 1)
+      in
+      let params = if m = 0 then [ ("N", n) ] else [ ("M", m); ("N", n) ] in
+      let ranges = D.best_regions ~params ~lo:1 ~hi:4096 a.Report.bounds in
+      winner_regions := !winner_regions + List.length ranges;
+      pf "  %s (%s):\n" entry.Report.display
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) params));
+      List.iter
+        (fun (r : D.winner_range) ->
+          let who =
+            match r.winner with
+            | None -> "(no applicable bound)"
+            | Some b -> tech_name b
+          in
+          pf "    S in [%4d, %4d]: %s\n" r.s_from r.s_to who)
+        ranges)
+    Report.registry;
+  metric_i "winner_regions" !winner_regions
 
 (* ------------------------------------------------------------------ *)
 (* Appendix A.1: tiled MGS upper bound.                                *)
@@ -1033,8 +1141,8 @@ type section_record = {
    memo table with one pool fan-out so the per-section cost is lookup. *)
 let analysis_sections =
   [
-    "FIG4"; "FIG5"; "THM5"; "THM6_7_8"; "THM9"; "APPENDIX_A1"; "APPENDIX_A2";
-    "VALIDATION"; "SCHEDULES";
+    "FIG4"; "FIG5"; "THM5"; "THM6_7_8"; "THM9"; "REGIMES"; "APPENDIX_A1";
+    "APPENDIX_A2"; "VALIDATION"; "SCHEDULES";
   ]
 
 let usage () =
@@ -1195,6 +1303,7 @@ let () =
       ("THM5", thm5);
       ("THM6_7_8", thm6_7_8);
       ("THM9", thm9);
+      ("REGIMES", regimes);
       ("APPENDIX_A1", appendix_a1);
       ("APPENDIX_A2", appendix_a2);
       ("VALIDATION", validation);
@@ -1255,6 +1364,10 @@ let () =
   if List.exists (fun name -> List.mem name analysis_sections) chosen then
     record "PREWARM" (fun () ->
         let analyses = Report.analyze_all ~jobs:!jobs () in
+        (* THM9's split searches need the un-finalized GEHD2 analysis (the
+           registry entry pins M); warm it here so the section times only
+           the searches themselves. *)
+        if List.mem "THM9" chosen then ignore (Lazy.force gehd2_free_bounds);
         metric_i "analyses" (List.length analyses));
   List.iter
     (fun (name, f) -> if List.mem name chosen then record name f)

@@ -9,6 +9,8 @@ module Sweep = Iolb_pebble.Sweep
 module Budget = Iolb_util.Budget
 module Pool = Iolb_util.Pool
 module P = Iolb_symbolic.Polynomial
+module R = Iolb_symbolic.Ratfun
+module Rat = Iolb_util.Rat
 module D = Iolb.Derive
 
 type outcome = Pass | Fail of string | Skip of string
@@ -444,6 +446,138 @@ let prop_hourglass_path c =
           else Fail "hourglass detected but the tightened derivation produced no bound")
 
 (* ------------------------------------------------------------------ *)
+(* split-regions: the region-based split search must agree with brute
+   force.  Each program parameter occurring in a bound's formula is
+   treated as a free split knob; the region path's argmax value must
+   equal full enumeration's exactly (same [Derive.eval] floats on both
+   sides), and a differing argmax is legal only on an exact value tie
+   (first-maximum-wins over the full list vs. the candidate subset).     *)
+
+let prop_split_regions c =
+  let bounds = Lazy.force c.bounds in
+  let issues = ref [] in
+  let exercised = ref false in
+  List.iter
+    (fun (b : D.t) ->
+      let vars = R.vars b.D.formula in
+      List.iter
+        (fun (name, v) ->
+          if List.mem name vars then begin
+            let others = List.remove_assoc name c.params in
+            let lo = 2 and hi = max (v + 8) 24 in
+            List.iter
+              (fun s ->
+                exercised := true;
+                let full = List.init (hi - lo + 1) (fun i -> lo + i) in
+                let brute =
+                  D.optimize_split b ~param:name ~candidates:full
+                    ~params:others ~s
+                in
+                match
+                  D.optimize_split_regions b ~param:name ~lo ~hi
+                    ~params:others ~s
+                with
+                | None ->
+                    if brute <> None then
+                      push issues
+                        "%s/%s param %s S=%d: regions found no bound, \
+                         enumeration did"
+                        b.D.program b.D.stmt name s
+                | Some r -> (
+                    if r.D.evaluated > List.length full then
+                      push issues
+                        "%s/%s param %s S=%d: %d evaluations exceed the \
+                         enumeration's %d"
+                        b.D.program b.D.stmt name s r.D.evaluated
+                        (List.length full);
+                    match brute with
+                    | None ->
+                        push issues
+                          "%s/%s param %s S=%d: enumeration found no bound, \
+                           regions did"
+                          b.D.program b.D.stmt name s
+                    | Some (_bm, bv) ->
+                        if bv <> r.D.split_value then
+                          push issues
+                            "%s/%s param %s S=%d: region value %h <> \
+                             enumeration value %h"
+                            b.D.program b.D.stmt name s r.D.split_value bv
+                        (* a differing argmax with an exact value tie is the
+                           legal first-maximum-wins plateau case *)))
+              [ 2; 8; 32 ]
+          end)
+        c.params)
+    bounds;
+  if not !exercised then Skip "no bound formula mentions a program parameter"
+  else collect issues
+
+(* ------------------------------------------------------------------ *)
+(* region-cover: the parametric-simplex regions of the sharpened
+   Brascamp-Lieb LP must tile [1/2, 1] contiguously, and on each region
+   the closed-form optimum must match a plain pinned-theta simplex solve
+   exactly (rational arithmetic on both sides).                          *)
+
+let prop_region_cover c =
+  match ctx_hourglasses c with
+  | [] -> Skip "no verified hourglass (parametric LP not exercised)"
+  | hs ->
+      let issues = ref [] in
+      List.iter
+        (fun h ->
+          let dims, projs = D.sharpened_projections c.prog h in
+          match Iolb.Bl.exponent_regions ~dims projs with
+          | None ->
+              push issues "parametric sweep infeasible on a verified hourglass"
+          | Some [] -> push issues "empty region decomposition"
+          | Some (r0 :: _ as rs) ->
+              if not (Rat.equal r0.Iolb.Bl.theta_lo Rat.half) then
+                push issues "regions start at %s, not 1/2"
+                  (Rat.to_string r0.Iolb.Bl.theta_lo);
+              let rec contig = function
+                | a :: (b :: _ as tl) ->
+                    if
+                      not (Rat.equal a.Iolb.Bl.theta_hi b.Iolb.Bl.theta_lo)
+                    then
+                      push issues "gap between regions at %s"
+                        (Rat.to_string a.Iolb.Bl.theta_hi);
+                    contig tl
+                | [ last ] ->
+                    if not (Rat.equal last.Iolb.Bl.theta_hi Rat.one) then
+                      push issues "regions end at %s, not 1"
+                        (Rat.to_string last.Iolb.Bl.theta_hi)
+                | [] -> ()
+              in
+              contig rs;
+              List.iter
+                (fun (r : Iolb.Bl.exponent_region) ->
+                  let mid =
+                    Rat.mul Rat.half (Rat.add r.theta_lo r.theta_hi)
+                  in
+                  List.iter
+                    (fun theta ->
+                      let predicted =
+                        Rat.add r.region_sol.Iolb.Bl.k_exponent
+                          (Rat.mul theta r.region_sol.Iolb.Bl.w_exponent)
+                      in
+                      match Iolb.Bl.exponent_at ~dims projs ~theta with
+                      | None ->
+                          push issues
+                            "plain solve infeasible at theta = %s inside a \
+                             region"
+                            (Rat.to_string theta)
+                      | Some v ->
+                          if not (Rat.equal v predicted) then
+                            push issues
+                              "theta = %s: region predicts %s, plain solve \
+                               gives %s"
+                              (Rat.to_string theta) (Rat.to_string predicted)
+                              (Rat.to_string v))
+                    [ r.theta_lo; mid; r.theta_hi ])
+                rs)
+        hs;
+      collect issues
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 
 type t = { name : string; doc : string }
@@ -461,6 +595,8 @@ let impl = function
   | "sampled-ci" -> prop_sampled_ci
   | "jobs-det" -> prop_jobs_det
   | "hourglass-path" -> prop_hourglass_path
+  | "split-regions" -> prop_split_regions
+  | "region-cover" -> prop_region_cover
   | "demo-broken" ->
       fun _ ->
         Fail
@@ -499,6 +635,14 @@ let all =
     {
       name = "hourglass-path";
       doc = "hourglass family reaches the tightened derivation";
+    };
+    {
+      name = "split-regions";
+      doc = "region-based split search = brute-force enumeration";
+    };
+    {
+      name = "region-cover";
+      doc = "parametric-simplex regions tile [1/2,1] and match pinned solves";
     };
   ]
 

@@ -39,7 +39,10 @@ val run : t -> ctx -> outcome
 
 (** The default registry, in pipeline order: [card], [iset-ref], [cdag],
     [footprint], [phi], [bound-le-opt], [monotone-s], [sweep-lru],
-    [jobs-det], [hourglass-path]. *)
+    [jobs-det], [hourglass-path], [split-regions] (region-based split
+    search = brute-force enumeration), [region-cover] (parametric-simplex
+    regions tile [1/2, 1] and agree exactly with pinned-theta plain
+    solves). *)
 val all : t list
 
 (** A deliberately failing oracle ([demo-broken]), excluded from {!all}:

@@ -1,5 +1,6 @@
 module Rat = Iolb_util.Rat
 module Simplex = Iolb_lp.Simplex
+module Psimplex = Iolb_lp.Psimplex
 
 type bounded_proj = {
   proj_dims : string list;
@@ -78,6 +79,70 @@ let lex_minimize ~constraints stages =
   in
   go constraints stages
 
+type exponent_region = {
+  theta_lo : Rat.t;
+  theta_hi : Rat.t;
+  region_sol : solution;
+  region_pivots : int;
+}
+
+let solution_of_vertex projs ~alphas ~betas ~gammas s =
+  {
+    k_exponent = dot alphas s;
+    w_exponent = dot betas s;
+    two_exponent = dot gammas s;
+    exponents =
+      List.mapi (fun j p -> (p.label, s.(j))) projs
+      |> List.filter (fun (_, e) -> not (Rat.is_zero e));
+  }
+
+(* One parametric sweep of min (alpha + theta * beta) . s over the
+   admissibility polytope, theta in [1/2, 1] (W = K^theta in the regime
+   where the hourglass matters): the full regime decomposition of the
+   K-side exponent, instead of endpoint solves.  The polytope is bounded
+   (0 <= s_j <= 1), so a feasible system never sweeps unbounded. *)
+let exponent_regions ?budget ~dims projs =
+  if projs = [] then None
+  else
+    let constraints = admissibility_constraints ~dims projs in
+    let vec f = Array.of_list (List.map f projs) in
+    let alphas = vec (fun p -> p.alpha)
+    and betas = vec (fun p -> p.beta)
+    and gammas = vec (fun p -> p.gamma) in
+    let cost = Array.mapi (fun j a -> Psimplex.pcost a ~slope:betas.(j)) alphas in
+    match
+      Psimplex.minimize ?budget ~cost ~lo:Rat.half ~hi:Rat.one constraints
+    with
+    | Psimplex.Infeasible | Psimplex.Unbounded_at _ -> None
+    | Psimplex.Regions rs ->
+        Some
+          (List.map
+             (fun (r : Psimplex.region) ->
+               {
+                 theta_lo = r.Psimplex.lo;
+                 theta_hi =
+                   (match r.Psimplex.hi with Some h -> h | None -> Rat.one);
+                 region_sol =
+                   solution_of_vertex projs ~alphas ~betas ~gammas
+                     r.Psimplex.solution;
+                 region_pivots = r.Psimplex.pivots;
+               })
+             rs)
+
+(* Plain (non-parametric) solve of the sweep's objective pinned at one
+   theta; the differential reference for [exponent_regions]. *)
+let exponent_at ~dims projs ~theta =
+  if projs = [] then None
+  else
+    let constraints = admissibility_constraints ~dims projs in
+    let cost =
+      Array.of_list
+        (List.map (fun p -> Rat.add p.alpha (Rat.mul theta p.beta)) projs)
+    in
+    match Simplex.minimize ~cost constraints with
+    | Simplex.Optimal { value; _ } -> Some value
+    | Simplex.Infeasible | Simplex.Unbounded -> None
+
 let optimize ~dims projs =
   if projs = [] then None
   else
@@ -90,18 +155,24 @@ let optimize ~dims projs =
       Array.mapi (fun j a -> Rat.add a (Rat.mul Rat.half betas.(j))) alphas
     in
     let stage2 = Array.mapi (fun j a -> Rat.add a betas.(j)) alphas in
-    match lex_minimize ~constraints [ stage1; stage2; gammas ] with
+    (* Stage 1 (theta = 1/2) comes from the parametric sweep: its first
+       region is optimal at 1/2, so its value there is the stage-1
+       optimum.  The remaining lexicographic stages are minimised under
+       that pin exactly as before (the stage-2 optimum under the pin is
+       *not* the unpinned theta = 1 sweep value, so those stay as plain
+       solves). *)
+    match exponent_regions ~dims projs with
     | None -> None
-    | Some s ->
-        Some
-          {
-            k_exponent = dot alphas s;
-            w_exponent = dot betas s;
-            two_exponent = dot gammas s;
-            exponents =
-              List.mapi (fun j p -> (p.label, s.(j))) projs
-              |> List.filter (fun (_, e) -> not (Rat.is_zero e));
-          }
+    | Some regions ->
+        let r0 = (List.hd regions).region_sol in
+        let v1 =
+          Rat.add r0.k_exponent (Rat.mul Rat.half r0.w_exponent)
+        in
+        let pin = Simplex.{ coeffs = stage1; rel = Le; rhs = v1 } in
+        (match lex_minimize ~constraints:(pin :: constraints) [ stage2; gammas ]
+         with
+        | None -> None
+        | Some s -> Some (solution_of_vertex projs ~alphas ~betas ~gammas s))
 
 let classical ~dims dimsets =
   let projs =
@@ -111,6 +182,11 @@ let classical ~dims dimsets =
       dimsets
   in
   optimize ~dims projs
+
+let pp_exponent_region fmt r =
+  Format.fprintf fmt "theta in [%a, %a]: K^(%a + %a*theta)" Rat.pp r.theta_lo
+    Rat.pp r.theta_hi Rat.pp r.region_sol.k_exponent Rat.pp
+    r.region_sol.w_exponent
 
 let pp_solution fmt s =
   Format.fprintf fmt "K^%a * W^%a * 2^%a via {%a}" Rat.pp s.k_exponent Rat.pp

@@ -44,8 +44,50 @@ val proj :
 (** [optimize ~dims projs] minimises lexicographically
     [(rho_K + rho_W/2, rho_K + rho_W, rho_2)] over admissible exponent
     families.  Returns [None] when no admissible family exists (some
-    dimension of [dims] is covered by no projection). *)
+    dimension of [dims] is covered by no projection).  The first stage is
+    obtained from the {!exponent_regions} parametric sweep (its leftmost
+    region is optimal at [theta = 1/2]); the result is identical to three
+    independent endpoint solves. *)
 val optimize : dims:string list -> bounded_proj list -> solution option
+
+(** One regime of the K-side exponent: writing [W = K^theta], on
+    [theta_lo <= theta <= theta_hi] the exponent family [region_sol] is
+    optimal, so the bound behaves as
+    [K^(k_exponent + theta * w_exponent)].  [two_exponent] is the
+    constant-factor exponent of that same vertex (not separately
+    lexicographically optimised). *)
+type exponent_region = {
+  theta_lo : Iolb_util.Rat.t;
+  theta_hi : Iolb_util.Rat.t;
+  region_sol : solution;
+  region_pivots : int;  (** simplex pivots spent entering the region *)
+}
+
+(** [exponent_regions ~dims projs] decomposes [theta in [1/2, 1]] into the
+    finitely many regimes of [min (rho_K + theta * rho_W)] in one
+    parametric sweep ({!Iolb_lp.Psimplex}).  Regions are ordered and
+    contiguous; adjacent regions agree at their shared endpoint.  [None]
+    when no admissible family exists. *)
+val exponent_regions :
+  ?budget:Iolb_util.Budget.t ->
+  dims:string list ->
+  bounded_proj list ->
+  exponent_region list option
+
+val pp_exponent_region : Format.formatter -> exponent_region -> unit
+
+(** [exponent_at ~dims projs ~theta] is the optimum of the sweep's
+    objective [min (rho_K + theta * rho_W)] at one pinned [theta], by a
+    plain {!Iolb_lp.Simplex} solve.  The differential reference for
+    {!exponent_regions}: on a region [r] containing [theta] it must equal
+    [r.region_sol.k_exponent + theta * r.region_sol.w_exponent] exactly
+    (the [region-cover] oracle in [lib/check] asserts this).  [None] when
+    the admissibility polytope is empty. *)
+val exponent_at :
+  dims:string list ->
+  bounded_proj list ->
+  theta:Iolb_util.Rat.t ->
+  Iolb_util.Rat.t option
 
 (** [classical ~dims dimsets] is the classical K-partition optimisation:
     every projection bounded by [K] (alpha 1); minimises the plain exponent

@@ -3,11 +3,25 @@ module Budget = Iolb_util.Budget
 module Engine_error = Iolb_util.Engine_error
 module P = Iolb_symbolic.Polynomial
 module R = Iolb_symbolic.Ratfun
+module Sturm = Iolb_symbolic.Sturm
 module Affine = Iolb_poly.Affine
 module Access = Iolb_ir.Access
 module Program = Iolb_ir.Program
 
 type technique = Classical | Hourglass | Hourglass_small_s | Trivial
+
+type sregion = { s_lo : R.t; s_hi : R.t option }
+
+let region_validity v =
+  let lo_trivial = R.equal v.s_lo R.one in
+  match (v.s_hi, lo_trivial) with
+  | None, true -> "any S >= 1"
+  | None, false -> Printf.sprintf "S >= %s" (R.to_string v.s_lo)
+  | Some hi, true -> Printf.sprintf "1 <= S <= %s" (R.to_string hi)
+  | Some hi, false ->
+      Printf.sprintf "%s <= S <= %s" (R.to_string v.s_lo) (R.to_string hi)
+
+let any_s = { s_lo = R.one; s_hi = None }
 
 type t = {
   program : string;
@@ -15,6 +29,7 @@ type t = {
   technique : technique;
   formula : R.t;
   validity : string;
+  valid : sregion;
   s_max : R.t option;
   log : string list;
 }
@@ -82,7 +97,8 @@ let classical_of_info ?(budget = Budget.unlimited) p
               stmt;
               technique = Classical;
               formula;
-              validity = "any S >= 1";
+              validity = region_validity any_s;
+              valid = any_s;
               s_max = None;
               log =
                 log
@@ -96,6 +112,43 @@ let classical_of_info ?(budget = Budget.unlimited) p
 let classical ?budget p ~stmt =
   classical_of_info ?budget p (Program.find_stmt p stmt)
 
+(* Sharpened projections for I' (Section 4.2).  Each entry records the LP
+   cost (alpha, beta) and the actual symbolic bound as a function of K. *)
+let iprime_projections (h : Hourglass.t) (info : Program.stmt_info) phis =
+  let width = Hourglass.width_poly h in
+  let in_reduction d = List.mem d h.reduction in
+  let phi_i =
+    ( Bl.proj ~alpha:Rat.zero ~beta:Rat.one ~label:"phi_I" h.reduction,
+      fun _k -> R.of_poly width )
+  in
+  let others =
+    List.map
+      (fun (ph : Phi.t) ->
+        let a = List.filter in_reduction ph.dims in
+        if a = [] then
+          ( Bl.proj ~alpha:Rat.one ~label:("phi_{" ^ String.concat "," ph.dims ^ "}")
+              ph.dims,
+            fun k -> R.of_poly k )
+        else
+          let x = List.filter (fun d -> not (in_reduction d)) ph.dims in
+          let w_a =
+            List.fold_left
+              (fun acc d -> P.mul acc (Affine.to_polynomial (Program.extent_min info d)))
+              P.one a
+          in
+          ( Bl.proj ~alpha:Rat.one ~beta:Rat.minus_one
+              ~label:("phi_{" ^ String.concat "," x ^ "}<=K/W")
+              x,
+            fun k -> R.make k w_a ))
+      phis
+  in
+  phi_i :: others
+
+let sharpened_projections p (h : Hourglass.t) =
+  let info = Program.find_stmt p h.update_stmt in
+  let phis = Phi.of_statement p info in
+  (info.dims, List.map fst (iprime_projections h info phis))
+
 (* The hourglass derivation, Sections 4.1-4.4. *)
 let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
   Budget.checkpoint budget Budget.Derivation;
@@ -103,36 +156,7 @@ let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
   let phis = Phi.of_statement p info in
   let width = Hourglass.width_poly h in
   let in_reduction d = List.mem d h.reduction in
-  (* Sharpened projections for I' (Section 4.2).  Each entry records the LP
-     cost (alpha, beta) and the actual symbolic bound as a function of K. *)
-  let iprime_projs =
-    let phi_i =
-      ( Bl.proj ~alpha:Rat.zero ~beta:Rat.one ~label:"phi_I" h.reduction,
-        fun _k -> R.of_poly width )
-    in
-    let others =
-      List.map
-        (fun (ph : Phi.t) ->
-          let a = List.filter in_reduction ph.dims in
-          if a = [] then
-            ( Bl.proj ~alpha:Rat.one ~label:("phi_{" ^ String.concat "," ph.dims ^ "}")
-                ph.dims,
-              fun k -> R.of_poly k )
-          else
-            let x = List.filter (fun d -> not (in_reduction d)) ph.dims in
-            let w_a =
-              List.fold_left
-                (fun acc d -> P.mul acc (Affine.to_polynomial (Program.extent_min info d)))
-                P.one a
-            in
-            ( Bl.proj ~alpha:Rat.one ~beta:Rat.minus_one
-                ~label:("phi_{" ^ String.concat "," x ^ "}<=K/W")
-                x,
-              fun k -> R.make k w_a ))
-        phis
-    in
-    phi_i :: others
-  in
+  let iprime_projs = iprime_projections h info phis in
   match Bl.optimize ~dims:info.dims (List.map fst iprime_projs) with
   | None -> []
   | Some sol ->
@@ -225,7 +249,8 @@ let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
                     stmt = h.update_stmt;
                     technique = Hourglass;
                     formula = R.div (R.of_poly (P.mul s_var v)) (e_bound k_main);
-                    validity = "any S >= 1";
+                    validity = region_validity any_s;
+                    valid = any_s;
                     s_max = None;
                     log = base_log @ [ "K = 2S" ];
                   }
@@ -235,6 +260,7 @@ let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
                    inset), so U = |F| bound at K = W; T = W - S.  Valid for
                    S <= W. *)
                 let small =
+                  let valid = { s_lo = R.one; s_hi = Some (R.of_poly width) } in
                   {
                     program = p.Program.name;
                     stmt = h.update_stmt;
@@ -243,7 +269,8 @@ let hourglass ?(budget = Budget.unlimited) p (h : Hourglass.t) =
                       R.div
                         (R.of_poly (P.mul (P.sub width s_var) v))
                         (f_bound width);
-                    validity = "S <= W";
+                    validity = region_validity valid;
+                    valid;
                     s_max = Some (R.of_poly width);
                     log = base_log @ [ "K = W (I' empty since S <= W)" ];
                   }
@@ -313,7 +340,8 @@ let trivial p =
           stmt = "inputs";
           technique = Trivial;
           formula = R.of_poly total;
-          validity = "any S >= 1";
+          validity = region_validity any_s;
+          valid = any_s;
           s_max = None;
           log =
             Printf.sprintf "input arrays: %s"
@@ -389,13 +417,22 @@ let eval b ~params ~s =
   R.eval_float_env env b.formula
 
 let optimize_split ?jobs b ~param ~candidates ~params ~s =
-  (* Candidate evaluations are independent; fan them out, then take the
-     argmax sequentially (first maximum wins, as in the sequential fold, so
-     the result does not depend on the worker count). *)
+  (* Tie-breaking contract (pinned by a regression test in test_derive):
+     the *first* candidate attaining the maximum wins.  [Pool.map]
+     preserves list order at any worker count, and the fold below is
+     sequential over that order, so the argmax is independent of [jobs]
+     and of how the evaluations were scheduled.  Callers relying on
+     reproducible splits pass candidates in ascending order.
+
+     Short candidate lists (the usual case on the region path, which
+     isolates a couple of dozen candidates) are evaluated in-process:
+     each evaluation is a microsecond-scale float Horner pass, so domain
+     spawn-up would dominate by orders of magnitude.  The result is
+     jobs-independent either way. *)
+  let evaluate v = (v, eval b ~params:((param, v) :: params) ~s) in
   let values =
-    Iolb_util.Pool.map ?jobs
-      (fun v -> (v, eval b ~params:((param, v) :: params) ~s))
-      candidates
+    if List.length candidates <= 64 then List.map evaluate candidates
+    else Iolb_util.Pool.map ?jobs evaluate candidates
   in
   List.fold_left
     (fun acc (v, value) ->
@@ -405,16 +442,125 @@ let optimize_split ?jobs b ~param ~candidates ~params ~s =
       | _ -> Some (v, value))
     None values
 
-let applicable b ~params ~s =
-  match b.s_max with
-  | None -> true
-  | Some limit ->
-      let env x =
-        match List.assoc_opt x params with
-        | Some v -> float_of_int v
-        | None -> raise Not_found
+type split_search = {
+  split : int;
+  split_value : float;
+  evaluated : int;
+  monotone_regions : int;
+  exact : bool;
+}
+
+(* The candidate set that must contain the integer argmax of the bound
+   over [param in [lo, hi]]: the interval ends plus every integer adjacent
+   to a real root of d/dparam (num/den) = (num' den - num den') / den^2.
+   Two certified tiers.  Preferred: exact Sturm isolation of the roots of
+   [g = num' den - num den'].  When the remainder chain overflows the
+   63-bit rationals (large instantiated coefficients), the certified
+   float sign-scan {!Sturm.possible_root_intervals} takes over: every
+   unit interval that may hold a root of [g] contributes both ends, which
+   is still a complete candidate set.  Only inputs outside the univariate
+   fragment (extra variables like [sqrtS]) or with a possible denominator
+   root in range abort to full enumeration. *)
+let split_candidates_exact b ~param ~lo ~hi ~params ~s =
+  let f =
+    List.fold_left
+      (fun f (x, v) -> R.subst x (P.of_int v) f)
+      (R.subst "S" (P.of_int s) b.formula)
+      params
+  in
+  (match R.vars f with
+  | [] -> ()
+  | [ v ] when String.equal v param -> ()
+  | _ -> raise Sturm.Gave_up);
+  let num = Sturm.of_polynomial ~var:param (R.num f) in
+  let den = Sturm.of_polynomial ~var:param (R.den f) in
+  if hi - lo <= 1 then (List.init (hi - lo + 1) (fun i -> lo + i), 0)
+  else if Sturm.possible_root_intervals den ~lo ~hi <> [] then
+    (* a pole (or an uncertain denominator sign) inside the range *)
+    raise Sturm.Gave_up
+  else
+    (* Certified float sign-scan first: it is overflow-free and cheap,
+       while the exact Sturm chain of the cross-derivative overflows
+       63-bit rationals on the degree-6 instances the kernels produce -
+       and building the chain just to learn that costs more than the
+       whole scan.  Exact root isolation stays as the refinement tier
+       for a flooded scan (many uncertain signs): it either sharpens the
+       candidate set or overflows, in which case the conservative scan
+       result stands. *)
+    let scan () =
+      let ivs = Sturm.possible_extremum_intervals num den ~lo ~hi in
+      let cands = ref [ lo; hi ] in
+      List.iter (fun (a, b) -> cands := a :: b :: !cands) ivs;
+      (List.sort_uniq compare !cands, List.length ivs)
+    in
+    let exact () =
+      let g =
+        Sturm.sub
+          (Sturm.mul (Sturm.derivative num) den)
+          (Sturm.mul num (Sturm.derivative den))
       in
-      float_of_int s <= R.eval_float_env env limit
+      if Sturm.is_zero g then ([ lo ], 0)
+      else begin
+        let rlo = Rat.of_int lo and rhi = Rat.of_int hi in
+        let roots = Sturm.isolate_roots g ~lo:rlo ~hi:rhi in
+        let cands = ref [ lo; hi ] in
+        List.iter
+          (fun (a, b) ->
+            for m = Rat.floor a to Rat.ceil b do
+              if m >= lo && m <= hi then cands := m :: !cands
+            done)
+          roots;
+        (List.sort_uniq compare !cands, List.length roots)
+      end
+    in
+    let ((scan_cands, _) as scanned) = scan () in
+    if 2 * List.length scan_cands <= hi - lo + 1 then scanned
+    else (
+      match exact () with
+      | result -> result
+      | exception (Sturm.Gave_up | Rat.Overflow) -> scanned)
+
+let optimize_split_regions ?jobs b ~param ~lo ~hi ~params ~s =
+  if hi < lo then None
+  else begin
+    match split_candidates_exact b ~param ~lo ~hi ~params ~s with
+    | candidates, nroots ->
+        Option.map
+          (fun (m, v) ->
+            {
+              split = m;
+              split_value = v;
+              evaluated = List.length candidates;
+              monotone_regions = nroots + 1;
+              exact = true;
+            })
+          (optimize_split ?jobs b ~param ~candidates ~params ~s)
+    | exception (Sturm.Gave_up | Rat.Overflow) ->
+        let candidates = List.init (hi - lo + 1) (fun i -> lo + i) in
+        Option.map
+          (fun (m, v) ->
+            {
+              split = m;
+              split_value = v;
+              evaluated = List.length candidates;
+              monotone_regions = 0;
+              exact = false;
+            })
+          (optimize_split ?jobs b ~param ~candidates ~params ~s)
+  end
+
+let applicable b ~params ~s =
+  let env x =
+    match List.assoc_opt x params with
+    | Some v -> float_of_int v
+    | None -> raise Not_found
+  in
+  let fs = float_of_int s in
+  fs >= R.eval_float_env env b.valid.s_lo
+  &&
+  match b.valid.s_hi with
+  | None -> true
+  | Some limit -> fs <= R.eval_float_env env limit
 
 let best ~params ~s bounds =
   List.fold_left
@@ -427,6 +573,127 @@ let best ~params ~s bounds =
         | _ -> Some (b, v))
     None bounds
   |> Option.map fst
+
+type winner_range = { s_from : int; s_to : int; winner : t option }
+
+(* Exact change-point hints for [best] over integer S in [lo, hi]: the
+   crossing points of each pair of bound formulas (roots of num1 den2 -
+   num2 den1) and every applicability edge (s_hi evaluated at params).
+   Pairs outside the symbolic fragment (sqrtS, overflow) contribute no
+   hints; the bisection refinement below still finds their switches as
+   long as a switch shows at range endpoints. *)
+let winner_hints ~params ~lo ~hi bounds =
+  let rlo = Rat.of_int lo and rhi = Rat.of_int hi in
+  let inst (b : t) =
+    List.fold_left (fun f (x, v) -> R.subst x (P.of_int v) f) b.formula params
+  in
+  let hints = ref [] in
+  let add r =
+    let m = Rat.floor r in
+    List.iter
+      (fun c -> if c >= lo && c <= hi then hints := c :: !hints)
+      [ m; m + 1 ]
+  in
+  let poly_in_s f =
+    match R.vars f with
+    | [] -> true
+    | [ v ] -> String.equal v "S"
+    | _ -> false
+  in
+  List.iter
+    (fun (b : t) ->
+      match b.valid.s_hi with
+      | None -> ()
+      | Some limit -> (
+          try
+            let l =
+              List.fold_left
+                (fun f (x, v) -> R.subst x (P.of_int v) f)
+                limit params
+            in
+            match R.as_poly l with
+            | Some p when P.vars p = [] -> add (P.eval (fun _ -> Rat.zero) p)
+            | _ -> ()
+          with Rat.Overflow -> ()))
+    bounds;
+  let rec pairs = function
+    | [] -> ()
+    | b1 :: rest ->
+        List.iter
+          (fun b2 ->
+            try
+              let f1 = inst b1 and f2 = inst b2 in
+              if poly_in_s f1 && poly_in_s f2 then begin
+                let u1 = Sturm.of_polynomial ~var:"S" (R.num f1)
+                and d1 = Sturm.of_polynomial ~var:"S" (R.den f1)
+                and u2 = Sturm.of_polynomial ~var:"S" (R.num f2)
+                and d2 = Sturm.of_polynomial ~var:"S" (R.den f2) in
+                let cross = Sturm.sub (Sturm.mul u1 d2) (Sturm.mul u2 d1) in
+                if not (Sturm.is_zero cross) then
+                  List.iter
+                    (fun (a, b) ->
+                      add a;
+                      add b)
+                    (Sturm.isolate_roots cross ~lo:rlo ~hi:rhi)
+              end
+            with Sturm.Gave_up | Rat.Overflow -> ())
+          rest;
+        pairs rest
+  in
+  pairs bounds;
+  List.sort_uniq compare !hints
+
+let best_regions ~params ~lo ~hi bounds =
+  if hi < lo || bounds = [] then []
+  else begin
+    let cache = Hashtbl.create 64 in
+    let winner s =
+      match Hashtbl.find_opt cache s with
+      | Some w -> w
+      | None ->
+          let w = best ~params ~s bounds in
+          Hashtbl.add cache s w;
+          w
+    in
+    let same a b =
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y -> x == y
+      | _ -> false
+    in
+    (* Cut at every hint, then refine each cut interval by bisection when
+       its endpoints disagree.  A double switch strictly inside an
+       interval with equal endpoint winners is only found if hinted -
+       exact hints cover the polynomial formulas; sqrtS formulas rely on
+       the endpoints. *)
+    let cuts = winner_hints ~params ~lo ~hi bounds in
+    let rec seg a b =
+      if same (winner a) (winner b) then [ (a, b) ]
+      else if b = a + 1 then [ (a, a); (b, b) ]
+      else begin
+        let m = (a + b) / 2 in
+        seg a m @ seg (min (m + 1) b) b
+      end
+    in
+    let rec walk a = function
+      | [] -> seg a hi
+      | c :: rest ->
+          if c <= a then walk a rest
+          else if c > hi then seg a hi
+          else seg a (c - 1) @ walk c rest
+    in
+    let segs = walk lo (List.filter (fun c -> c > lo) cuts) in
+    (* merge adjacent segments with the same winner *)
+    List.fold_left
+      (fun acc (a, b) ->
+        let w = winner a in
+        match acc with
+        | { s_from; winner = w'; _ } :: tl when same w w' ->
+            { s_from; s_to = b; winner = w } :: tl
+        | _ -> { s_from = a; s_to = b; winner = w } :: acc)
+      [] segs
+    |> List.rev
+  end
 
 let pp fmt b =
   let tech =

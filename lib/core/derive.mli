@@ -26,6 +26,22 @@
 
 type technique = Classical | Hourglass | Hourglass_small_s | Trivial
 
+(** The validity region of a bound, as symbolic cache-size limits: the
+    bound holds for [s_lo <= S <= s_hi] ([s_hi = None] = unbounded above;
+    [s_lo] is 1 for every current derivation).  This is the structured
+    form behind the printed validity condition — reports and the CLI
+    render it per bound, and {!best_regions} uses it as exact regime
+    edges. *)
+type sregion = {
+  s_lo : Iolb_symbolic.Ratfun.t;
+  s_hi : Iolb_symbolic.Ratfun.t option;
+}
+
+(** [region_validity v] renders the validity region for display (e.g.
+    ["1 <= S <= N - M - 1"]); used by every construction site and by
+    report finalization after substituting the loop split. *)
+val region_validity : sregion -> string
+
 type t = {
   program : string;
   stmt : string;  (** statement whose instances are counted *)
@@ -33,10 +49,13 @@ type t = {
   formula : Iolb_symbolic.Ratfun.t;
       (** lower bound on the I/O volume Q, over the program parameters plus
           [S] (and [sqrtS] for classical bounds, with [S = sqrtS^2]) *)
-  validity : string;  (** human-readable regime of validity *)
+  validity : string;
+      (** human-readable rendering of [valid], kept in sync at
+          construction *)
+  valid : sregion;  (** structured validity region *)
   s_max : Iolb_symbolic.Ratfun.t option;
-      (** when set, the bound only applies for [S <= s_max] (small-cache
-          hourglass bounds); [None] means unconditional *)
+      (** [= valid.s_hi]; retained as a plain field for the serve wire
+          protocol and older call sites *)
   log : string list;  (** derivation trace, for reports *)
 }
 
@@ -54,6 +73,15 @@ val classical :
     @raise Iolb_util.Budget.Exhausted when the budget runs out. *)
 val hourglass :
   ?budget:Iolb_util.Budget.t -> Iolb_ir.Program.t -> Hourglass.t -> t list
+
+(** [sharpened_projections p h] is the sharpened Brascamp-Lieb input of
+    the hourglass derivation (Section 4.2): the statement dimensions and
+    the projections with their (alpha, beta) LP costs — [phi_I] bounded
+    by [W] alone and every reduction-touching [phi_x] by [K/W].  Exposed
+    so regime reports can run {!Bl.exponent_regions} on exactly the LP
+    the derivation solves. *)
+val sharpened_projections :
+  Iolb_ir.Program.t -> Hourglass.t -> string list * Bl.bounded_proj list
 
 (** [trivial p] is the input-footprint bound [Q >= distinct input cells]:
     each never-written array contributes the image cardinality of one of
@@ -107,9 +135,13 @@ val eval : t -> params:(string * int) list -> s:int -> float
     Section 5.3 of the paper) at each candidate value and returns the one
     maximising the bound, with its value.  Returns [None] if no candidate
     gives a positive bound.  Candidates are evaluated across [jobs] domains
-    (default {!Iolb_util.Pool.default_jobs}); the argmax is
-    worker-count-independent (ties break towards the earliest candidate,
-    as sequentially). *)
+    (default {!Iolb_util.Pool.default_jobs}).
+
+    {b Tie-breaking is part of the contract}: the first candidate (in list
+    order) attaining the maximum wins, at every worker count — [Pool.map]
+    preserves order and the argmax fold is sequential.  Pinned by a
+    regression test with equal-value candidates across [--jobs] widths;
+    {!optimize_split_regions} and its differential oracle rely on it. *)
 val optimize_split :
   ?jobs:int ->
   t ->
@@ -119,9 +151,68 @@ val optimize_split :
   s:int ->
   (int * float) option
 
+(** Result of a region-based split search. *)
+type split_search = {
+  split : int;  (** argmax of the bound over the split parameter *)
+  split_value : float;  (** bound value at [split] *)
+  evaluated : int;  (** candidate evaluations actually performed *)
+  monotone_regions : int;
+      (** monotone pieces of the bound over the parameter range (flagged
+          unit intervals + 1 on the certified-scan tier, or isolated
+          derivative roots + 1 on the exact-refinement tier); 0 on the
+          enumeration fallback *)
+  exact : bool;
+      (** [true]: certified path — the overflow-free float sign-scan of
+          the derivative
+          ({!Iolb_symbolic.Sturm.possible_extremum_intervals}), refined
+          by exact Sturm root isolation when the scan floods with
+          uncertain signs; [false]: fell back to full enumeration (extra
+          variables such as [sqrtS], or a possible pole in range) *)
+}
+
+(** [optimize_split_regions b ~param ~lo ~hi ~params ~s] maximises the
+    bound over the integer split range [[lo, hi]] by regions instead of
+    enumeration: the bound is a univariate rational function of [param]
+    once [params] and [S] are substituted, so its integer argmax lies at
+    a range end or adjacent to a root of its derivative — the candidates
+    are isolated exactly (Sturm sequences) and only those few are
+    evaluated.  Agrees with [optimize_split] over the full enumeration
+    (same first-maximum-wins rule over an ascending candidate list; the
+    [split-regions] differential oracle in [lib/check] asserts it).
+    Returns [None] when no candidate gives a positive bound. *)
+val optimize_split_regions :
+  ?jobs:int ->
+  t ->
+  param:string ->
+  lo:int ->
+  hi:int ->
+  params:(string * int) list ->
+  s:int ->
+  split_search option
+
 (** [best ~params ~s bounds] picks the bound evaluating highest at the given
     point, restricted to those applicable there (small-cache bounds require
     [S <= W]). *)
 val best : params:(string * int) list -> s:int -> t list -> t option
+
+(** A maximal integer cache-size range on which one bound (or none) wins
+    {!best}. *)
+type winner_range = { s_from : int; s_to : int; winner : t option }
+
+(** [best_regions ~params ~lo ~hi bounds] partitions the integer range
+    [[lo, hi]] of cache sizes into maximal ranges by winning bound: the
+    regime table (e.g. Thm 5's [S <= M/2] vs [M/2 <= S] hand split) read
+    off mechanically.  Change points are located exactly where the
+    formulas stay polynomial in [S] (pairwise crossing roots plus
+    applicability edges, via Sturm); elsewhere (e.g. [sqrtS] classical
+    formulas) they are refined by bisection on winner disagreement, which
+    can miss a switch that both appears and reverts strictly inside a
+    range.  Ranges are contiguous, ascending, and cover [[lo, hi]]. *)
+val best_regions :
+  params:(string * int) list ->
+  lo:int ->
+  hi:int ->
+  t list ->
+  winner_range list
 
 val pp : Format.formatter -> t -> unit

@@ -144,10 +144,19 @@ let analyze_checked ?(budget = Budget.unlimited) entry =
         bounds =
           List.map
             (fun (b : Derive.t) ->
+              let valid =
+                {
+                  Derive.s_lo = entry.finalize b.Derive.valid.Derive.s_lo;
+                  s_hi =
+                    Option.map entry.finalize b.Derive.valid.Derive.s_hi;
+                }
+              in
               {
                 b with
                 Derive.formula = entry.finalize b.Derive.formula;
-                s_max = Option.map entry.finalize b.Derive.s_max;
+                valid;
+                validity = Derive.region_validity valid;
+                s_max = valid.Derive.s_hi;
               })
             o.bounds;
         degradation = o.degradation;
@@ -261,7 +270,21 @@ let pp_analysis fmt a =
   Format.fprintf fmt "@[<v>== %s ==@," a.entry.display;
   (match a.hourglasses with
   | [] -> Format.fprintf fmt "no verified hourglass pattern@,"
-  | hs -> List.iter (fun h -> Format.fprintf fmt "%a@," Hourglass.pp h) hs);
+  | hs ->
+      List.iter
+        (fun h ->
+          Format.fprintf fmt "%a@," Hourglass.pp h;
+          (* Regime decomposition of the sharpened Brascamp-Lieb LP: one
+             parametric sweep over W = K^theta, theta in [1/2, 1]. *)
+          let dims, projs = Derive.sharpened_projections a.entry.program h in
+          match Bl.exponent_regions ~dims projs with
+          | None -> ()
+          | Some rs ->
+              Format.fprintf fmt "  |I'| regimes (W = K^theta):@,";
+              List.iter
+                (fun r -> Format.fprintf fmt "    %a@," Bl.pp_exponent_region r)
+                rs)
+        hs);
   (match a.degradation with
   | None -> ()
   | Some why -> Format.fprintf fmt "degraded: %s@," why);

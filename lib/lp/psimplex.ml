@@ -1,0 +1,199 @@
+module Rat = Iolb_util.Rat
+module Budget = Iolb_util.Budget
+module T = Simplex.Tableau
+
+type pcost = { const : Rat.t; slope : Rat.t }
+
+let pcost ?(slope = Rat.zero) const = { const; slope }
+let pc ?(slope = 0) const = { const = Rat.of_int const; slope = Rat.of_int slope }
+
+type region = {
+  lo : Rat.t;
+  hi : Rat.t option;
+  const : Rat.t;
+  slope : Rat.t;
+  solution : Rat.t array;
+  basis : int array;
+  pivots : int;
+}
+
+type outcome =
+  | Regions of region list
+  | Unbounded_at of Rat.t
+  | Infeasible
+
+let value_at r theta = Rat.add r.const (Rat.mul r.slope theta)
+
+(* The sweep keeps two reduced-cost rows: the tableau's own objective row
+   holds the constant part c of the parametric cost c + theta * s, and a
+   caller-side auxiliary row (sn/sd, with value pair sv) holds the slope
+   part s, updated after every pivot with {!Simplex.Tableau.eliminate}.
+   The reduced cost of column j at parameter theta is then the affine form
+   d_j(theta) = obj_j + theta * slope_j, exactly. *)
+type sweep = {
+  t : T.t;
+  sn : int array;
+  sd : int array;
+  mutable svn : int;
+  mutable svd : int;
+  budget : Budget.t;
+  mutable pivots : int;
+}
+
+let sweep_pivot w ~row ~col =
+  Budget.checkpoint w.budget Budget.Derivation;
+  T.pivot w.t ~row ~col;
+  let svn, svd = T.eliminate w.t ~row ~col w.sn w.sd w.svn w.svd in
+  w.svn <- svn;
+  w.svd <- svd;
+  w.pivots <- w.pivots + 1
+
+(* Reduced cost of column j at theta, as an exact rational. *)
+let reduced_cost w ~theta j =
+  let t = w.t in
+  let c = Rat.make t.T.objn.(j) t.T.objd.(j) in
+  let s = Rat.make w.sn.(j) w.sd.(j) in
+  Rat.add c (Rat.mul theta s)
+
+(* Optimise for theta^+, i.e. lexicographically for the perturbed
+   objective c + (theta + epsilon) * s: a column enters iff its reduced
+   cost is negative at theta, or zero at theta with a negative slope
+   (about to turn negative just above theta).  Entering column = lowest
+   index satisfying this (Bland), leaving row = the tableau's
+   lowest-basic-index min-ratio rule; the pair is Bland's rule for the
+   perturbed objective over the ordered field Q(epsilon), so no cycling. *)
+let optimise_at w ~theta =
+  let t = w.t in
+  let n = t.T.ncols in
+  let allowed j = j < t.T.art_start in
+  let enters j =
+    allowed j
+    &&
+    let c = Rat.compare (reduced_cost w ~theta j) Rat.zero in
+    c < 0 || (c = 0 && w.sn.(j) < 0)
+  in
+  let rec loop () =
+    let entering = ref (-1) in
+    (let j = ref 0 in
+     while !entering < 0 && !j < n do
+       if enters !j then entering := !j;
+       incr j
+     done);
+    if !entering < 0 then Ok ()
+    else begin
+      let col = !entering in
+      match T.choose_leaving t ~col with
+      | None -> Error `Unbounded
+      | Some row ->
+          sweep_pivot w ~row ~col;
+          loop ()
+    end
+  in
+  loop ()
+
+(* First parameter value above [theta] at which the current basis stops
+   being optimal: the smallest root of a reduced-cost form d_j that is
+   positive at theta but decreasing (slope_j < 0).  [None] = optimal for
+   every theta' >= theta. *)
+let next_breakpoint w ~theta =
+  let t = w.t in
+  let best = ref None in
+  for j = 0 to t.T.ncols - 1 do
+    if j < t.T.art_start && w.sn.(j) < 0 then begin
+      let c = Rat.make t.T.objn.(j) t.T.objd.(j) in
+      let s = Rat.make w.sn.(j) w.sd.(j) in
+      let root = Rat.neg (Rat.div c s) in
+      if Rat.compare root theta > 0 then
+        match !best with
+        | Some b when Rat.compare b root <= 0 -> ()
+        | _ -> best := Some root
+    end
+  done;
+  !best
+
+let minimize ?(budget = Budget.unlimited) ~(cost : pcost array) ~lo ?hi
+    constraints =
+  (match hi with
+  | Some h when Rat.compare lo h > 0 ->
+      invalid_arg "Psimplex.minimize: empty parameter interval"
+  | _ -> ());
+  let nvars = Array.length cost in
+  let t = T.setup ~nvars constraints in
+  if not (T.phase1_feasible t) then Infeasible
+  else begin
+    (* The vertex moves with theta but the feasible set does not (the rhs
+       is parameter-free), so one phase 1 serves the whole sweep. *)
+    T.install_cost t ~cost:(Array.map (fun (c : pcost) -> c.const) cost);
+    let sn, sd, (svn, svd) =
+      T.reduce_cost_row t ~cost:(Array.map (fun (c : pcost) -> c.slope) cost)
+    in
+    let w = { t; sn; sd; svn; svd; budget; pivots = 0 } in
+    let neg_pair n d = Rat.neg (Rat.make n d) in
+    let rec sweep theta acc =
+      match optimise_at w ~theta with
+      | Error `Unbounded -> Unbounded_at theta
+      | Ok () ->
+          let const = neg_pair t.T.ovn t.T.ovd in
+          let slope = neg_pair w.svn w.svd in
+          let solution = T.solution t in
+          let basis = Array.copy t.T.basis in
+          let pivots = w.pivots in
+          w.pivots <- 0;
+          let break = next_breakpoint w ~theta in
+          let closes b =
+            match hi with None -> false | Some h -> Rat.compare b h >= 0
+          in
+          let finish hi =
+            Regions
+              (List.rev
+                 ({ lo = theta; hi; const; slope; solution; basis; pivots }
+                 :: acc))
+          in
+          (match break with
+          | None -> finish hi
+          | Some b when closes b -> finish hi
+          | Some b ->
+              sweep b
+                ({ lo = theta; hi = Some b; const; slope; solution; basis;
+                   pivots }
+                :: acc))
+    in
+    sweep lo []
+  end
+
+let maximize ?budget ~cost ~lo ?hi constraints =
+  let flipped =
+    Array.map
+      (fun (c : pcost) ->
+        ({ const = Rat.neg c.const; slope = Rat.neg c.slope } : pcost))
+      cost
+  in
+  match minimize ?budget ~cost:flipped ~lo ?hi constraints with
+  | Regions rs ->
+      Regions
+        (List.map
+           (fun r -> { r with const = Rat.neg r.const; slope = Rat.neg r.slope })
+           rs)
+  | (Unbounded_at _ | Infeasible) as o -> o
+
+let pp_value fmt (const, slope) =
+  if Rat.is_zero slope then Rat.pp fmt const
+  else if Rat.is_zero const then Format.fprintf fmt "%a*t" Rat.pp slope
+  else Format.fprintf fmt "%a + %a*t" Rat.pp const Rat.pp slope
+
+let pp_region fmt r =
+  let pp_hi fmt = function
+    | None -> Format.pp_print_string fmt "+inf"
+    | Some h -> Rat.pp fmt h
+  in
+  Format.fprintf fmt "t in [%a, %a]: %a" Rat.pp r.lo pp_hi r.hi pp_value
+    (r.const, r.slope)
+
+let pp_outcome fmt = function
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Unbounded_at theta ->
+      Format.fprintf fmt "unbounded at t = %a" Rat.pp theta
+  | Regions rs ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+        pp_region fmt rs

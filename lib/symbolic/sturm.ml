@@ -1,0 +1,344 @@
+module Rat = Iolb_util.Rat
+module P = Polynomial
+
+exception Gave_up
+
+(* Dense univariate polynomial, coefficient of x^i at index i; invariant:
+   empty = zero, otherwise the top coefficient is non-zero. *)
+type t = Rat.t array
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && Rat.is_zero a.(!n - 1) do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_coeffs l = normalize (Array.of_list l)
+let coeffs = Array.to_list
+
+let of_polynomial ~var p =
+  (match P.vars p with
+  | [] -> ()
+  | [ v ] when String.equal v var -> ()
+  | _ -> raise Gave_up);
+  of_coeffs
+    (List.map
+       (fun c ->
+         match P.is_constant c with Some q -> q | None -> raise Gave_up)
+       (P.as_univariate var p))
+
+let degree p = Array.length p - 1
+let is_zero p = Array.length p = 0
+
+let eval p x =
+  let acc = ref Rat.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Rat.add (Rat.mul !acc x) p.(i)
+  done;
+  !acc
+
+let derivative p =
+  if Array.length p <= 1 then [||]
+  else
+    normalize
+      (Array.init
+         (Array.length p - 1)
+         (fun i -> Rat.mul (Rat.of_int (i + 1)) p.(i + 1)))
+
+let sub p q =
+  let n = max (Array.length p) (Array.length q) in
+  let at a i = if i < Array.length a then a.(i) else Rat.zero in
+  normalize (Array.init n (fun i -> Rat.sub (at p i) (at q i)))
+
+let mul p q =
+  if is_zero p || is_zero q then [||]
+  else begin
+    let r = Array.make (Array.length p + Array.length q - 1) Rat.zero in
+    Array.iteri
+      (fun i pi ->
+        if not (Rat.is_zero pi) then
+          Array.iteri
+            (fun j qj -> r.(i + j) <- Rat.add r.(i + j) (Rat.mul pi qj))
+            q)
+      p;
+    normalize r
+  end
+
+(* Positive scaling to coprime integer coefficients (the primitive part).
+   Keeps the remainder-sequence coefficients from exploding; signs are
+   preserved, which is all Sturm's theorem cares about. *)
+let content_normalize p =
+  if is_zero p then p
+  else begin
+    let l =
+      Array.fold_left
+        (fun l c ->
+          let d = Rat.den c in
+          Rat.mul_exn (l / Rat.gcd_int l d) d)
+        1 p
+    in
+    let ints = Array.map (fun c -> Rat.mul_exn (Rat.num c) (l / Rat.den c)) p in
+    let g = Array.fold_left (fun g n -> Rat.gcd_int g n) 0 ints in
+    Array.map (fun n -> Rat.of_int (n / g)) ints
+  end
+
+(* Remainder of p by q (deg q >= 0), by long division. *)
+let rem p q =
+  if is_zero q then invalid_arg "Sturm.rem: zero divisor";
+  let dq = degree q in
+  let lq = q.(dq) in
+  let r = Array.copy p in
+  let dr = ref (degree (normalize r)) in
+  let r = Array.sub r 0 (!dr + 1) in
+  let r = ref r in
+  while degree !r >= dq && not (is_zero !r) do
+    let d = degree !r in
+    let f = Rat.div !r.(d) lq in
+    let nr = Array.copy !r in
+    for i = 0 to dq do
+      nr.(d - dq + i) <- Rat.sub nr.(d - dq + i) (Rat.mul f q.(i))
+    done;
+    (* the top term cancels exactly; normalise to expose the new degree *)
+    nr.(d) <- Rat.zero;
+    r := normalize nr
+  done;
+  !r
+
+(* The (generalised) Sturm sequence p, p', -rem(p, p'), ...: counts
+   *distinct* real roots even for non-squarefree p, because the chain
+   bottoms out at gcd(p, p'). *)
+let chain p =
+  let p0 = content_normalize p in
+  let p1 = content_normalize (derivative p) in
+  if is_zero p1 then [ p0 ]
+  else begin
+    let rec go acc a b =
+      let r = rem a b in
+      if is_zero r then List.rev (b :: acc)
+      else begin
+        let nr = content_normalize (Array.map Rat.neg r) in
+        go (b :: acc) b nr
+      end
+    in
+    go [ p0 ] p0 p1
+  end
+
+let sign_variations ch x =
+  let signs =
+    List.filter_map
+      (fun p ->
+        let s = Rat.sign (eval p x) in
+        if s = 0 then None else Some s)
+      ch
+  in
+  let rec count = function
+    | a :: (b :: _ as tl) -> (if a <> b then 1 else 0) + count tl
+    | _ -> 0
+  in
+  count signs
+
+let has_root_in p ~lo ~hi =
+  if is_zero p then raise Gave_up;
+  if Rat.compare lo hi > 0 then invalid_arg "Sturm.has_root_in: lo > hi";
+  Rat.is_zero (eval p lo)
+  || Rat.is_zero (eval p hi)
+  ||
+  let ch = chain p in
+  sign_variations ch lo - sign_variations ch hi > 0
+
+(* A point near [x] (at [x] itself when allowed) where p does not vanish:
+   p has at most [deg] roots, so among deg+1 distinct probes one works. *)
+let pick_non_root p ~x ~step =
+  let d = max 1 (degree p) in
+  let rec go k =
+    if k > d + 1 then raise Gave_up
+    else begin
+      let c = Rat.add x (Rat.mul (Rat.of_int k) step) in
+      if Rat.is_zero (eval p c) then go (k + 1) else c
+    end
+  in
+  if Rat.is_zero (eval p x) then go 1 else x
+
+let isolate_roots p ~lo ~hi =
+  if is_zero p then raise Gave_up;
+  if Rat.compare lo hi > 0 then invalid_arg "Sturm.isolate_roots: lo > hi";
+  if degree p <= 0 then []
+  else begin
+    let d = degree p in
+    let frac = Rat.make 1 (d + 2) in
+    (* Widen so roots sitting exactly on lo/hi land inside the probed
+       half-open interval (a, b]. *)
+    let a0 = pick_non_root p ~x:lo ~step:(Rat.neg frac) in
+    let b0 = pick_non_root p ~x:hi ~step:frac in
+    let ch = chain p in
+    let var x = sign_variations ch x in
+    let rec bisect depth a va b vb =
+      let n = va - vb in
+      if n = 0 then []
+      else if depth > 64 then raise Gave_up
+      else if n = 1 && Rat.compare (Rat.sub b a) Rat.one <= 0 then [ (a, b) ]
+      else begin
+        let mid = Rat.mul Rat.half (Rat.add a b) in
+        let c =
+          pick_non_root p ~x:mid
+            ~step:(Rat.mul (Rat.sub b a) (Rat.make 1 (2 * (d + 2))))
+        in
+        let vc = var c in
+        bisect (depth + 1) a va c vc @ bisect (depth + 1) c vc b vb
+      end
+    in
+    bisect 0 a0 (var a0) b0 (var b0)
+  end
+
+(* Sign of p(x) at an integer, by float Horner with a running error
+   bound (Higham's p-tilde recurrence, with slack for the Rat -> float
+   coefficient conversions): the computed value is trusted only when its
+   magnitude exceeds the accumulated bound.  Never overflows - the
+   fallback when Rat arithmetic cannot survive the remainder chain. *)
+let certified_sign p x =
+  let xf = float_of_int x in
+  let ax = Float.abs xf in
+  let acc = ref 0. and mag = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    let c = Rat.to_float p.(i) in
+    acc := (!acc *. xf) +. c;
+    mag := (!mag *. ax) +. Float.abs c
+  done;
+  let bound =
+    float_of_int (4 * (Array.length p + 2)) *. epsilon_float *. !mag
+  in
+  if Float.abs !acc > bound then Some (compare !acc 0.) else None
+
+(* Unit intervals [m, m+1] in [lo, hi] outside of which p provably has no
+   real root.  An interval is root-free when the certified endpoint signs
+   agree *and* (by Rolle, inductively) the derivative has no root inside:
+   then p is strictly monotone there, so equal nonzero endpoint signs
+   exclude a root.  Everything uncertain is reported - conservative, and
+   immune to the coefficient growth that makes {!chain} overflow. *)
+let possible_root_intervals p ~lo ~hi =
+  if is_zero p then raise Gave_up;
+  if hi < lo then invalid_arg "Sturm.possible_root_intervals: lo > hi";
+  let cells = hi - lo in
+  if cells = 0 then []
+  else begin
+    let breaks = Array.make cells false in
+    let rec scan p =
+      if degree p <= 0 then begin
+        (* a constant: no roots if certainly non-zero, else everywhere *)
+        match if is_zero p then None else certified_sign p lo with
+        | Some _ -> ()
+        | None -> Array.fill breaks 0 cells true
+      end
+      else begin
+        let signs =
+          Array.init (cells + 1) (fun i -> certified_sign p (lo + i))
+        in
+        for m = 0 to cells - 1 do
+          (match (signs.(m), signs.(m + 1)) with
+          | Some a, Some b when a = b -> ()
+          | _ -> breaks.(m) <- true)
+        done;
+        scan (derivative p)
+      end
+    in
+    scan p;
+    let out = ref [] in
+    for m = cells - 1 downto 0 do
+      if breaks.(m) then out := (lo + m, lo + m + 1) :: !out
+    done;
+    !out
+  end
+
+(* Float Horner at [xf], returning the value together with the magnitude
+   polynomial p~(|x|) = sum |c_i| |x|^i that scales its rounding error. *)
+let horner_mag p xf =
+  let ax = Float.abs xf in
+  let v = ref 0. and m = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    let c = Rat.to_float p.(i) in
+    v := (!v *. xf) +. c;
+    m := (!m *. ax) +. Float.abs c
+  done;
+  (!v, !m)
+
+(* Certified sign of [sum_k s_k p_k(x) q_k(x)] at the integer [x].  Each
+   factor is evaluated separately, so no coefficient of the expanded
+   product is ever formed - the expansion is what overflows the exact
+   path on large instantiations. *)
+let certified_prodsum_sign terms x =
+  let xf = float_of_int x in
+  let v = ref 0. and m = ref 0. and dmax = ref 0 in
+  List.iter
+    (fun (s, p, q) ->
+      let vp, mp = horner_mag p xf in
+      let vq, mq = horner_mag q xf in
+      v := !v +. (float_of_int s *. vp *. vq);
+      m := !m +. (mp *. mq);
+      dmax := max !dmax (degree p + degree q))
+    terms;
+  let bound =
+    float_of_int (4 * (!dmax + List.length terms + 4)) *. epsilon_float *. !m
+  in
+  if Float.abs !v > bound then Some (compare !v 0.) else None
+
+let prodsum_derivative terms =
+  List.concat_map
+    (fun (s, p, q) ->
+      let keep p q = if is_zero p || is_zero q then [] else [ (s, p, q) ] in
+      keep (derivative p) q @ keep p (derivative q))
+    terms
+
+let prodsum_degree terms =
+  List.fold_left (fun d (_, p, q) -> max d (degree p + degree q)) (-1) terms
+
+let possible_extremum_intervals num den ~lo ~hi =
+  if is_zero num || is_zero den then raise Gave_up;
+  if hi < lo then invalid_arg "Sturm.possible_extremum_intervals: lo > hi";
+  let cells = hi - lo in
+  if cells = 0 then []
+  else begin
+    let breaks = Array.make cells false in
+    (* g = num' den - num den', kept as a product sum *)
+    let g =
+      List.filter
+        (fun (_, p, q) -> not (is_zero p || is_zero q))
+        [ (1, derivative num, den); (-1, num, derivative den) ]
+    in
+    let rec scan terms =
+      if terms = [] then () (* identically zero at this level: constant *)
+      else if prodsum_degree terms <= 0 then begin
+        match certified_prodsum_sign terms lo with
+        | Some _ -> ()
+        | None -> Array.fill breaks 0 cells true
+      end
+      else begin
+        let signs =
+          Array.init (cells + 1) (fun i -> certified_prodsum_sign terms (lo + i))
+        in
+        for m = 0 to cells - 1 do
+          (match (signs.(m), signs.(m + 1)) with
+          | Some a, Some b when a = b -> ()
+          | _ -> breaks.(m) <- true)
+        done;
+        scan (prodsum_derivative terms)
+      end
+    in
+    scan g;
+    let out = ref [] in
+    for m = cells - 1 downto 0 do
+      if breaks.(m) then out := (lo + m, lo + m + 1) :: !out
+    done;
+    !out
+  end
+
+let pp fmt p =
+  if is_zero p then Format.pp_print_string fmt "0"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+      (fun fmt (i, c) -> Format.fprintf fmt "%a x^%d" Rat.pp c i)
+      fmt
+      (List.filteri
+         (fun _ (_, c) -> not (Rat.is_zero c))
+         (List.mapi (fun i c -> (i, c)) (Array.to_list p)))

@@ -67,6 +67,56 @@ let test_degenerate () =
   in
   check_optimal "min -2" (Rat.of_int (-2)) outcome
 
+let test_beale_cycling () =
+  (* Beale's classic cycling example: under Dantzig's most-negative rule
+     with naive tie-breaking the tableau cycles; Bland's rule must reach
+     the optimum -1/20 at x = (1/25, 0, 1, 0). *)
+  let c a b = Rat.make a b in
+  let outcome =
+    S.minimize
+      ~cost:[| c (-3) 4; Rat.of_int 150; c (-1) 50; Rat.of_int 6 |]
+      [
+        S.{ coeffs = [| c 1 4; Rat.of_int (-60); c (-1) 25; Rat.of_int 9 |];
+            rel = Le; rhs = Rat.zero };
+        S.{ coeffs = [| c 1 2; Rat.of_int (-90); c (-1) 50; Rat.of_int 3 |];
+            rel = Le; rhs = Rat.zero };
+        S.{ coeffs = [| Rat.zero; Rat.zero; Rat.one; Rat.zero |];
+            rel = Le; rhs = Rat.one };
+      ]
+  in
+  (match outcome with
+  | S.Optimal { value; solution } ->
+      Alcotest.(check string) "Beale optimum" "-1/20" (Rat.to_string value);
+      Alcotest.(check string) "x6 at its cap" "1" (Rat.to_string solution.(2))
+  | S.Infeasible | S.Unbounded ->
+      Alcotest.fail "Beale LP must have a finite optimum");
+  (* And the same tableau is fine under maximization (value 0 at the
+     origin: all profitable directions are blocked by the <= 0 rows). *)
+  match
+    S.maximize
+      ~cost:[| c (-3) 4; Rat.of_int 150; c (-1) 50; Rat.of_int 6 |]
+      [
+        S.{ coeffs = [| c 1 4; Rat.of_int (-60); c (-1) 25; Rat.of_int 9 |];
+            rel = Le; rhs = Rat.zero };
+        S.{ coeffs = [| Rat.zero; Rat.zero; Rat.one; Rat.zero |];
+            rel = Le; rhs = Rat.one };
+      ]
+  with
+  | S.Optimal _ | S.Unbounded -> ()
+  | S.Infeasible -> Alcotest.fail "origin is feasible"
+
+let test_pp_outcome () =
+  let show o = Format.asprintf "%a" S.pp_outcome o in
+  Alcotest.(check string) "unbounded" "unbounded" (show S.Unbounded);
+  Alcotest.(check string) "infeasible" "infeasible" (show S.Infeasible);
+  Alcotest.(check string) "optimal" "optimal 3/2 at (1/2, 1)"
+    (show
+       (S.Optimal
+          {
+            value = Rat.make 3 2;
+            solution = [| Rat.make 1 2; Rat.one |];
+          }))
+
 let test_mgs_bl_lp () =
   (* The Brascamp-Lieb LP for a 3D statement with the three 2D canonical
      projections: min s1+s2+s3 with every dim covered twice -> 3/2. *)
@@ -171,6 +221,9 @@ let suite =
     Alcotest.test_case "infeasible detected" `Quick test_infeasible;
     Alcotest.test_case "unbounded detected" `Quick test_unbounded;
     Alcotest.test_case "degenerate vertex (Bland)" `Quick test_degenerate;
+    Alcotest.test_case "Beale cycling example terminates" `Quick
+      test_beale_cycling;
+    Alcotest.test_case "pp_outcome" `Quick test_pp_outcome;
     Alcotest.test_case "Brascamp-Lieb LP of a 3D kernel" `Quick test_mgs_bl_lp;
     random_lp_test;
   ]

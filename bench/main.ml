@@ -458,7 +458,11 @@ let appendix_a1 () =
         let b = pick_block ~m ~n ~s in
         let spec = K.Mgs.tiled_spec ~m ~n ~b in
         let trace = Trace.of_program ~params:[] spec in
-        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
+        let opt = Cache.opt ~size:s trace in
+        (* LRU through the reuse-distance sweep (field-identical to
+           [Cache.lru] by the [sweep-lru] oracle); the trace stays
+           materialized for the OPT plan either way. *)
+        let lru = Sweep.stats (Sweep.run trace) ~size:s in
         (* Predicted dominant read cost (Appendix A.1): (1/2) M N^2 / B for
            streaming the left columns, plus M N for reading the blocks. *)
         let predicted =
@@ -515,7 +519,8 @@ let appendix_a2 () =
         let b = pick_block ~m ~n ~s in
         let spec = K.Householder.tiled_spec ~m ~n ~b in
         let trace = Trace.of_program ~params:[] spec in
-        let opt = Cache.opt ~size:s trace and lru = Cache.lru ~size:s trace in
+        let opt = Cache.opt ~size:s trace in
+        let lru = Sweep.stats (Sweep.run trace) ~size:s in
         let predicted =
           (0.5
            *. (float_of_int (m * n * n) -. (float_of_int (n * n * n) /. 3.))
@@ -576,39 +581,50 @@ let validation () =
         (name, a, Cdag.n_computes cdag, m, n, ss, plans))
       grid
   in
-  (* One task per (kernel, S) point; order is preserved, so the printed
-     table is byte-identical to the sequential one. *)
+  (* One task per (kernel, schedule): sweep every S with a single
+     reusable runner, so each task allocates its per-run state once. *)
   let tasks =
     List.concat_map
-      (fun (name, a, n_computes, m, n, ss, plans) ->
-        List.map (fun s -> (name, a, n_computes, m, n, plans, s)) ss)
+      (fun (_, _, _, _, _, ss, plans) ->
+        List.map (fun plan -> (ss, plan)) plans)
       prepped
   in
+  let swept =
+    Array.of_list
+      (pmap
+         (fun (ss, plan) ->
+           let r = Game.runner plan in
+           List.map (fun s -> (Game.run_runner r ~s).Game.loads) ss)
+         tasks)
+  in
+  (* Reassemble per-(kernel, S) rows; order is preserved, so the printed
+     table is byte-identical to the per-point version. *)
   let rows =
-    pmap
-      (fun (name, a, n_computes, m, n, plans, s) ->
-        let loads =
-          List.map (fun plan -> (Game.run_plan plan ~s).Game.loads) plans
-        in
-        let prog, r1, r2 =
-          match loads with [ a; b; c ] -> (a, b, c) | _ -> assert false
-        in
-        let lb =
-          List.fold_left
-            (fun acc tech ->
-              match Report.eval_best a ~technique:tech ~m ~n ~s with
-              | Some v -> Float.max acc v
-              | None -> acc)
-            0.
-            [ `Classical; `Hourglass ]
-        in
-        let ok = lb <= float_of_int (min prog (min r1 r2)) +. 1e-9 in
-        ( Printf.sprintf "%-12s %6d %6d %6d | %10.1f | %9d %9d %9d %s" name m n
-            s lb prog r1 r2
-            (if ok then "" else "  *** VIOLATION ***"),
-          3 * n_computes,
-          ok ))
-      tasks
+    List.concat
+      (List.mapi
+         (fun i (name, a, n_computes, m, n, ss, _) ->
+           let sweep k = Array.of_list swept.((3 * i) + k) in
+           let prog_l = sweep 0 and r1_l = sweep 1 and r2_l = sweep 2 in
+           List.mapi
+             (fun j s ->
+               let prog = prog_l.(j) and r1 = r1_l.(j) and r2 = r2_l.(j) in
+               let lb =
+                 List.fold_left
+                   (fun acc tech ->
+                     match Report.eval_best a ~technique:tech ~m ~n ~s with
+                     | Some v -> Float.max acc v
+                     | None -> acc)
+                   0.
+                   [ `Classical; `Hourglass ]
+               in
+               let ok = lb <= float_of_int (min prog (min r1 r2)) +. 1e-9 in
+               ( Printf.sprintf "%-12s %6d %6d %6d | %10.1f | %9d %9d %9d %s"
+                   name m n s lb prog r1 r2
+                   (if ok then "" else "  *** VIOLATION ***"),
+                 3 * n_computes,
+                 ok ))
+             ss)
+         prepped)
   in
   let dt = now () -. t0 in
   List.iter (fun (row, _, _) -> pf "%s\n" row) rows;
@@ -717,8 +733,8 @@ let schedules () =
   in
   pf "%6s | %9s %9s %9s %9s | %9s\n" "S" "program" "random" "blocked2"
     "blocked4" "best LB";
-  (* Four plans built once; the S-sweep fans out over the pool, each run
-     keeping its pebble state private. *)
+  (* Four plans built once; each schedule's S-column is one pool task
+     with a private reusable runner. *)
   let plans =
     List.map
       (fun schedule -> Game.plan cdag ~schedule)
@@ -731,17 +747,24 @@ let schedules () =
   in
   let ss = [ 20; 32; 48; 64; 96; 128; 176 ] in
   let t0 = now () in
+  (* One task per schedule, sweeping the whole S column with one reusable
+     runner; the rows are then transposed back together. *)
+  let swept =
+    Array.of_list
+      (pmap
+         (fun plan ->
+           let r = Game.runner plan in
+           Array.of_list
+             (List.map (fun s -> (Game.run_runner r ~s).Game.loads) ss))
+         plans)
+  in
   let rows =
-    pmap
-      (fun s ->
-        let loads =
-          List.map (fun plan -> (Game.run_plan plan ~s).Game.loads) plans
-        in
-        let prog, rand, b2, b4 =
-          match loads with
-          | [ a; b; c; d ] -> (a, b, c, d)
-          | _ -> assert false
-        in
+    List.mapi
+      (fun j s ->
+        let prog = swept.(0).(j)
+        and rand = swept.(1).(j)
+        and b2 = swept.(2).(j)
+        and b4 = swept.(3).(j) in
         let lb =
           List.fold_left
             (fun acc tech ->
@@ -938,6 +961,19 @@ let sweep_scale () =
   metric_f "exact_sharded_wall_s" t_shd;
   if t_shd > 0. then
     metric_f "exact_accesses_per_s" (float_of_int e_accesses /. t_shd);
+  (* With >= 2 workers the sharded sweep must not lose to the sequential
+     one (25% slack absorbs timer noise on loaded hosts).  A 0 here is the
+     regression that domain oversubscription used to cause; the warning
+     goes to stderr so stdout stays byte-identical across --jobs. *)
+  if !jobs >= 2 then begin
+    let not_slower = t_shd <= t_seq *. 1.25 in
+    metric_i "exact_sharded_not_slower" (if not_slower then 1 else 0);
+    if not not_slower then
+      Printf.eprintf
+        "bench: SWEEP_SCALE sharded sweep slower than sequential (%.4fs vs \
+         %.4fs at --jobs %d)\n"
+        t_shd t_seq !jobs
+  end;
   (* Sampled tier: one scan, union + 8 group sub-samples, error bars. *)
   let (sm, sn), rate =
     match tier with
@@ -1157,7 +1193,8 @@ let usage () =
    runs are compared.  The microbenchmark metrics ([ns_per_run[...]],
    from TIMINGS and DERIVE) are gated the same way with a 50 us absolute
    floor, so derive-path slowdowns fail the gate even when section wall
-   time hides them.  Reporting goes to stderr so stdout stays
+   time hides them.  [*_per_s] metrics are higher-is-better and regress
+   on a >25% drop.  Reporting goes to stderr so stdout stays
    byte-identical across runs.  Returns the number of regressions. *)
 let compare_against ~path records =
   let fail fmt =
@@ -1289,8 +1326,53 @@ let compare_against ~path records =
           (if regressed then "  REGRESSION" else ""))
       ns_rows
   end;
+  (* Throughput gate: [*_per_s] metrics are higher-is-better; one present
+     in both runs regresses when it drops by more than 25%.  This is what
+     catches an engine that got slower while its section's wall time is
+     dominated by other work. *)
+  let is_throughput_metric k =
+    let n = String.length k in
+    n >= 6 && String.sub k (n - 6) 6 = "_per_s"
+  in
+  let thr_rows =
+    List.concat_map
+      (fun r ->
+        match List.assoc_opt r.rec_name old_metrics with
+        | None -> []
+        | Some old_ms ->
+            List.filter_map
+              (fun (k, v) ->
+                if not (is_throughput_metric k) then None
+                else
+                  match (v, List.assoc_opt k old_ms) with
+                  | Json.Float new_t, Some old_t ->
+                      Some (r.rec_name ^ "." ^ k, old_t, new_t)
+                  | Json.Int i, Some old_t ->
+                      Some (r.rec_name ^ "." ^ k, old_t, float_of_int i)
+                  | _ -> None)
+              r.rec_metrics)
+      (List.rev records)
+  in
+  if thr_rows <> [] then begin
+    Printf.eprintf
+      "\nthroughputs (old -> new, higher is better, threshold -25%%):\n";
+    Printf.eprintf "%-46s %12s %12s %9s\n" "metric" "old (/s)" "new (/s)"
+      "delta";
+    List.iter
+      (fun (k, old_t, new_t) ->
+        let delta_pct =
+          if old_t > 0. then (new_t -. old_t) /. old_t *. 100. else 0.
+        in
+        let regressed = old_t > 0. && new_t < old_t *. 0.75 in
+        if regressed then incr regressions;
+        Printf.eprintf "%-46s %12.3g %12.3g %+8.1f%%%s\n" k old_t new_t
+          delta_pct
+          (if regressed then "  REGRESSION" else ""))
+      thr_rows
+  end;
   if !regressions > 0 then
-    Printf.eprintf "bench: %d regression(s) (wall-time or ns_per_run)\n"
+    Printf.eprintf
+      "bench: %d regression(s) (wall-time, ns_per_run or throughput)\n"
       !regressions
   else Printf.eprintf "bench: no regressions\n";
   !regressions

@@ -10,12 +10,29 @@ type t = {
   kinds : kind array;
   preds : int array array;
   succs : int array array;
+  preds_off : int array; (* CSR mirror of [preds]: offsets, length n+1 *)
+  preds_flat : int array;
+  succs_off : int array;
+  succs_flat : int array;
   order : int array; (* topological: program order with inputs at first use *)
   by_stmt : (string, int list) Hashtbl.t;
   instances : Interner.t; (* (stmt name, vec) -> dense instance id *)
   instance_node : int array; (* dense instance id -> node id *)
   n_inputs : int;
 }
+
+(* Flatten an adjacency array-of-arrays into CSR (offsets + one flat
+   array): engines whose inner loops walk edges per scheduled node index
+   one contiguous array instead of chasing a per-node pointer. *)
+let csr_of adj =
+  let n = Array.length adj in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + Array.length adj.(i)
+  done;
+  let flat = Array.make (max off.(n) 1) 0 in
+  Array.iteri (fun i a -> Array.blit a 0 flat off.(i) (Array.length a)) adj;
+  (off, flat)
 
 (* Int arrays indexed by interned ids, growing with the interner. *)
 let ensure arr len =
@@ -168,10 +185,16 @@ let of_program ?(budget = Budget.unlimited) ~params p =
     preds;
   let by_stmt = Hashtbl.create 16 in
   Hashtbl.iter (fun s ids -> Hashtbl.replace by_stmt s (List.rev !ids)) by_acc;
+  let preds_off, preds_flat = csr_of preds in
+  let succs_off, succs_flat = csr_of succs in
   {
     kinds;
     preds;
     succs;
+    preds_off;
+    preds_flat;
+    succs_off;
+    succs_flat;
     order = Array.init nn Fun.id;
     by_stmt;
     instances;
@@ -186,6 +209,8 @@ let n_nodes t = Array.length t.kinds
 let kind t id = t.kinds.(id)
 let preds t id = t.preds.(id)
 let succs t id = t.succs.(id)
+let preds_csr t = (t.preds_off, t.preds_flat)
+let succs_csr t = (t.succs_off, t.succs_flat)
 let program_order t = t.order
 
 let nodes_of_stmt t name =

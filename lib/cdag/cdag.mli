@@ -44,6 +44,19 @@ val preds : t -> int -> int array
 
 val succs : t -> int -> int array
 
+(** [preds_csr t] is the whole predecessor relation in CSR form,
+    [(offsets, flat)]: node [id]'s predecessors are
+    [flat.(offsets.(id)) .. flat.(offsets.(id + 1) - 1)], in the same
+    order {!preds} returns them.  [offsets] has length [n_nodes t + 1].
+    Built once with the CDAG; engines whose inner loops walk edges per
+    scheduled node (the pebble game) index one contiguous array instead
+    of chasing per-node pointers.  Never mutate the returned arrays. *)
+val preds_csr : t -> int array * int array
+
+(** [succs_csr t] is the successor relation in CSR form; see
+    {!preds_csr}. *)
+val succs_csr : t -> int array * int array
+
 (** Node ids in a valid topological (= program) order, inputs first at their
     first use point. *)
 val program_order : t -> int array

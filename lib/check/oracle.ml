@@ -3,6 +3,7 @@ module Iset = Iolb_poly.Iset
 module Iset_ref = Iolb_poly.Iset_ref
 module Cdag = Iolb_cdag.Cdag
 module Game = Iolb_pebble.Game
+module Game_ref = Iolb_pebble.Game_ref
 module Trace = Iolb_pebble.Trace
 module Cache = Iolb_pebble.Cache
 module Sweep = Iolb_pebble.Sweep
@@ -363,12 +364,66 @@ let prop_sweep_stream c =
             ~sizes ref_sweep
             (Sweep.run_segmented ~budget:c.budget ~flush ~jobs trace);
           sweep_eq issues
-            ~what:(Printf.sprintf "streamed jobs=%d flush=%b" jobs flush)
+            ~what:(Printf.sprintf "compiled jobs=%d flush=%b" jobs flush)
             ~sizes ref_sweep
             (Sweep.run_program ~budget:c.budget ~flush ~jobs ~chunk_size:7
-               ~params:c.params c.prog))
+               ~params:c.params c.prog);
+          sweep_eq issues
+            ~what:(Printf.sprintf "streamed jobs=%d flush=%b" jobs flush)
+            ~sizes ref_sweep
+            (Sweep.run_program_stream ~budget:c.budget ~flush ~jobs
+               ~chunk_size:7 ~params:c.params c.prog))
         [ 1; 2; 4; 8 ])
     [ true; false ];
+  collect issues
+
+(* ------------------------------------------------------------------ *)
+(* game-compiled: the compiled (CSR + bitset + reusable-runner) pebble
+   engine must agree with the retained reference engine on every
+   (schedule, S) point, including which points are infeasible.          *)
+
+let prop_game_compiled c =
+  let cdag = Lazy.force c.cdag in
+  let issues = ref [] in
+  if Game.program_schedule cdag <> Game_ref.program_schedule cdag then
+    push issues "program_schedule disagrees with the reference";
+  let schedules =
+    [
+      ("program", Lazy.force c.schedule);
+      ("random1", Game.random_topological ~seed:1 cdag);
+      ("random2", Game.random_topological ~seed:2 cdag);
+    ]
+  in
+  List.iter
+    (fun (what, schedule) ->
+      if
+        Game.is_topological cdag schedule
+        <> Game_ref.is_topological cdag schedule
+      then push issues "%s: is_topological disagrees" what;
+      let plan = Game.plan cdag ~schedule in
+      let runner = Game.runner plan in
+      List.iter
+        (fun s ->
+          let compiled =
+            match Game.run_runner ~budget:c.budget runner ~s with
+            | res -> Some (res.Game.loads, res.Game.peak_red)
+            | exception Game.Infeasible _ -> None
+          in
+          let reference =
+            match Game_ref.run ~budget:c.budget cdag ~s ~schedule with
+            | res -> Some (res.Game_ref.loads, res.Game_ref.peak_red)
+            | exception Game_ref.Infeasible _ -> None
+          in
+          if compiled <> reference then begin
+            let show = function
+              | None -> "infeasible"
+              | Some (l, p) -> Printf.sprintf "loads=%d peak=%d" l p
+            in
+            push issues "%s S=%d: compiled %s vs reference %s" what s
+              (show compiled) (show reference)
+          end)
+        (Lazy.force c.sizes))
+    schedules;
   collect issues
 
 (* ------------------------------------------------------------------ *)
@@ -592,6 +647,7 @@ let impl = function
   | "monotone-s" -> prop_monotone
   | "sweep-lru" -> prop_sweep_lru
   | "sweep-stream" -> prop_sweep_stream
+  | "game-compiled" -> prop_game_compiled
   | "sampled-ci" -> prop_sampled_ci
   | "jobs-det" -> prop_jobs_det
   | "hourglass-path" -> prop_hourglass_path
@@ -625,7 +681,11 @@ let all =
     { name = "sweep-lru"; doc = "reuse-distance sweep = per-size LRU" };
     {
       name = "sweep-stream";
-      doc = "sharded/streaming sweeps = sequential sweep at every jobs width";
+      doc = "sharded/compiled/streaming sweeps = sequential sweep at every jobs width";
+    };
+    {
+      name = "game-compiled";
+      doc = "compiled pebble engine = reference engine on every (schedule, S)";
     };
     {
       name = "sampled-ci";

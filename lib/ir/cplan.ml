@@ -1,0 +1,510 @@
+(* Compiled trace production over a flat integer address space.
+
+   [Program.iter_accesses_range] already skips toward a position range by
+   closed-form counting, but every emitted access still materializes an
+   index vector and the consumer pays a hash (interning) to identify the
+   cell.  At the exact-sweep production rates the empirical pipeline
+   targets, that hash dominates.
+
+   A [Cplan.t] removes both costs.  At plan-build time every array gets a
+   rectangular hull - per-dimension inclusive bounds that contain every
+   index the program can touch, obtained by interval arithmetic over the
+   loop nest - and the hulls are laid out back to back in one flat
+   row-major address space.  Each access site's index expressions then
+   compose with the layout into a single affine form over the loop
+   variables, so producing an access is one flat-integer evaluation and
+   its cell identity is an [int] already dense enough to index arrays
+   with: consumers replace interner hashing by an [addr -> id] table.
+   Along an innermost loop the address form moves by a constant, so the
+   hot path emits an access with one addition.
+
+   Addresses are injective on cells by construction (distinct arrays get
+   disjoint ranges; within an array the row-major map is injective on the
+   hull), and [decode] inverts them, so a consumer that needs the
+   symbolic cell - say, to intern a first occurrence - pays the decode
+   only once per distinct cell, never per access.
+
+   A plan is immutable; [iter] keeps all mutable state (environment,
+   per-site address cursors) in per-call buffers, so one plan can drive
+   several domains concurrently. *)
+
+module Affine = Iolb_poly.Affine
+
+exception Past_range
+
+type caff = { cconst : int; ccoefs : int array; cslots : int array }
+
+let ceval env a =
+  let acc = ref a.cconst in
+  for k = 0 to Array.length a.cslots - 1 do
+    acc :=
+      !acc
+      + Array.unsafe_get a.ccoefs k
+        * Array.unsafe_get env (Array.unsafe_get a.cslots k)
+  done;
+  !acc
+
+type cnode =
+  | Cstmt of { sa : caff array; sw : bool array }
+      (* reads then writes, in [Program.iter_accesses] emission order *)
+  | Cloop of {
+      slot : int;
+      lo : caff;
+      hi : caff;
+      rev : bool;
+      body : cnode array;
+      collapse : bool;
+          (* the body's access count does not depend on [slot]: skipping
+             the whole loop costs one multiplication *)
+    }
+  | Cinner of {
+      islot : int;
+      ilo : caff;
+      ihi : caff;
+      irev : bool;
+      ia : caff array; (* per-site composed address form *)
+      iw : bool array; (* per-site write flag *)
+      idelta : int array; (* per-site address step when the var steps +1 *)
+      iid : int; (* index into the per-call cursor scratch *)
+    }
+      (* an innermost loop whose body is one statement: the per-iteration
+         site addresses advance by constants *)
+
+type t = {
+  body : cnode array;
+  nslots : int;
+  pinits : (int * int) list;
+  inner_k : int array; (* sites per Cinner, indexed by [iid] *)
+  total : int; (* n_accesses at the plan's parameters *)
+  addr_space : int;
+  d_names : string array;
+  d_base : int array; (* length narrays + 1; last entry = addr_space *)
+  d_lo : int array array;
+  d_stride : int array array;
+}
+
+let n_accesses t = t.total
+let addr_space t = t.addr_space
+
+(* --------------------------------------------------------------------- *)
+(* Compilation.                                                           *)
+
+(* Intermediate tree: like the compiled form of [Program], with per-site
+   index forms still separate (the address layout is not known until the
+   whole tree has been hulled). *)
+type pre =
+  | Pstmt of (string * caff array * bool) array
+  | Ploop of { pslot : int; plo : caff; phi : caff; prev : bool; pbody : pre array }
+
+type hull = { h_order : int; mutable h_lo : int array; mutable h_hi : int array }
+
+(* Hull volumes are bounded; a pathological program (huge affine
+   coefficients) must fail loudly at plan time so callers can fall back
+   to the streaming producer rather than allocate an absurd table. *)
+let max_addr_space = 1 lsl 40
+
+let make ~params (p : Program.t) =
+  let nslots = ref 0 in
+  let scope = ref [] in
+  let ivlo = ref (Array.make 16 0) and ivhi = ref (Array.make 16 0) in
+  let fresh v lo hi =
+    let s = !nslots in
+    incr nslots;
+    scope := (v, s) :: !scope;
+    if s >= Array.length !ivlo then begin
+      let grow a =
+        let n = Array.make (2 * Array.length a) 0 in
+        Array.blit a 0 n 0 (Array.length a);
+        n
+      in
+      ivlo := grow !ivlo;
+      ivhi := grow !ivhi
+    end;
+    !ivlo.(s) <- lo;
+    !ivhi.(s) <- hi;
+    s
+  in
+  let slot_of x =
+    match List.assoc_opt x !scope with Some s -> s | None -> raise Not_found
+  in
+  let caffine e =
+    let ts = Affine.terms e in
+    {
+      cconst = Affine.constant e;
+      ccoefs = Array.of_list (List.map fst ts);
+      cslots = Array.of_list (List.map (fun (_, x) -> slot_of x) ts);
+    }
+  in
+  (* Interval of an affine form over the current per-slot intervals. *)
+  let interval a =
+    let mn = ref a.cconst and mx = ref a.cconst in
+    for k = 0 to Array.length a.cslots - 1 do
+      let c = a.ccoefs.(k) and s = a.cslots.(k) in
+      if c > 0 then begin
+        mn := !mn + (c * !ivlo.(s));
+        mx := !mx + (c * !ivhi.(s))
+      end
+      else begin
+        mn := !mn + (c * !ivhi.(s));
+        mx := !mx + (c * !ivlo.(s))
+      end
+    done;
+    (!mn, !mx)
+  in
+  let hulls : (string, hull) Hashtbl.t = Hashtbl.create 8 in
+  let n_arrays = ref 0 in
+  let hull_site (a : Access.t) idx =
+    let nd = Array.length idx in
+    let h =
+      match Hashtbl.find_opt hulls a.array with
+      | Some h ->
+          if Array.length h.h_lo <> nd then
+            invalid_arg
+              (Printf.sprintf
+                 "Cplan.make: array %s used with both %d and %d dimensions"
+                 a.array (Array.length h.h_lo) nd);
+          h
+      | None ->
+          let h =
+            {
+              h_order = !n_arrays;
+              h_lo = Array.make nd max_int;
+              h_hi = Array.make nd min_int;
+            }
+          in
+          incr n_arrays;
+          Hashtbl.add hulls a.array h;
+          h
+    in
+    Array.iteri
+      (fun d e ->
+        let mn, mx = interval e in
+        if mn < h.h_lo.(d) then h.h_lo.(d) <- mn;
+        if mx > h.h_hi.(d) then h.h_hi.(d) <- mx)
+      idx;
+    (a.array, idx)
+  in
+  let psite is_write (a : Access.t) =
+    let idx = Array.of_list (List.map caffine a.index) in
+    let name, idx = hull_site a idx in
+    (name, idx, is_write)
+  in
+  let pinits = List.map (fun (x, v) -> (fresh x v v, v)) params in
+  let rec pre = function
+    | Program.Stmt s ->
+        Pstmt
+          (Array.of_list
+             (List.map (psite false) s.reads @ List.map (psite true) s.writes))
+    | Program.Loop { var; lo; hi; rev; body } ->
+        let plo = caffine lo and phi = caffine hi in
+        let lo_mn, _ = interval plo and _, hi_mx = interval phi in
+        (* An everywhere-empty loop still gets a well-formed (degenerate)
+           interval so inner hulls stay defined; its accesses never run. *)
+        let hi_mx = max lo_mn hi_mx in
+        let saved = !scope in
+        let pslot = fresh var lo_mn hi_mx in
+        let pbody = Array.of_list (List.map pre body) in
+        scope := saved;
+        Ploop { pslot; plo; phi; prev = rev; pbody }
+  in
+  let pbody = Array.of_list (List.map pre p.body) in
+  (* Layout: arrays in first-appearance order, back to back, row-major. *)
+  let names = Array.make !n_arrays "" in
+  Hashtbl.iter (fun name h -> names.(h.h_order) <- name) hulls;
+  let d_lo = Array.make !n_arrays [||] and d_stride = Array.make !n_arrays [||] in
+  let d_base = Array.make (!n_arrays + 1) 0 in
+  let base = ref 0 in
+  Array.iteri
+    (fun i name ->
+      let h = Hashtbl.find hulls name in
+      let nd = Array.length h.h_lo in
+      let stride = Array.make nd 1 in
+      let size = ref 1 in
+      for d = nd - 1 downto 0 do
+        stride.(d) <- !size;
+        let ext = h.h_hi.(d) - h.h_lo.(d) + 1 in
+        (* a dimension only ever touched by dead code keeps extent 1 *)
+        let ext = max ext 1 in
+        size := !size * ext;
+        if !size > max_addr_space || !size < 0 then
+          invalid_arg
+            (Printf.sprintf "Cplan.make: array %s hull volume overflows" name)
+      done;
+      Array.iteri (fun d lo -> if lo = max_int then h.h_lo.(d) <- 0) h.h_lo;
+      d_base.(i) <- !base;
+      d_lo.(i) <- h.h_lo;
+      d_stride.(i) <- stride;
+      base := !base + !size;
+      if !base > max_addr_space then
+        invalid_arg "Cplan.make: total address space overflows")
+    names;
+  d_base.(!n_arrays) <- !base;
+  (* Compose each site's index forms with the layout into one address
+     form: addr = base - sum_d stride_d * hull_lo_d + sum_d stride_d * idx_d. *)
+  let order name = (Hashtbl.find hulls name).h_order in
+  let compose name (idx : caff array) =
+    let i = order name in
+    let stride = d_stride.(i) and hlo = d_lo.(i) in
+    let const = ref d_base.(i) in
+    let acc = Array.make !nslots 0 in
+    Array.iteri
+      (fun d e ->
+        const := !const + (stride.(d) * (e.cconst - hlo.(d)));
+        for k = 0 to Array.length e.cslots - 1 do
+          acc.(e.cslots.(k)) <- acc.(e.cslots.(k)) + (stride.(d) * e.ccoefs.(k))
+        done)
+      idx;
+    let terms = ref [] in
+    for s = !nslots - 1 downto 0 do
+      if acc.(s) <> 0 then terms := (acc.(s), s) :: !terms
+    done;
+    {
+      cconst = !const;
+      ccoefs = Array.of_list (List.map fst !terms);
+      cslots = Array.of_list (List.map snd !terms);
+    }
+  in
+  let coeff_of slot a =
+    let c = ref 0 in
+    Array.iteri (fun k s -> if s = slot then c := !c + a.ccoefs.(k)) a.cslots;
+    !c
+  in
+  let inner_k = ref [] in
+  let n_inner = ref 0 in
+  let rec cnode = function
+    | Pstmt sites ->
+        Cstmt
+          {
+            sa = Array.map (fun (n, idx, _) -> compose n idx) sites;
+            sw = Array.map (fun (_, _, w) -> w) sites;
+          }
+    | Ploop { pslot; plo; phi; prev; pbody } -> (
+        let body = Array.map cnode pbody in
+        match body with
+        | [| Cstmt { sa; sw } |] ->
+            let iid = !n_inner in
+            incr n_inner;
+            inner_k := Array.length sa :: !inner_k;
+            Cinner
+              {
+                islot = pslot;
+                ilo = plo;
+                ihi = phi;
+                irev = prev;
+                ia = sa;
+                iw = sw;
+                idelta = Array.map (coeff_of pslot) sa;
+                iid;
+              }
+        | _ ->
+            let aff_uses slot a = Array.exists (fun s -> s = slot) a.cslots in
+            let rec uses slot = function
+              | Cstmt _ -> false
+              | Cloop l ->
+                  aff_uses slot l.lo || aff_uses slot l.hi
+                  || Array.exists (uses slot) l.body
+              | Cinner c -> aff_uses slot c.ilo || aff_uses slot c.ihi
+            in
+            Cloop
+              {
+                slot = pslot;
+                lo = plo;
+                hi = phi;
+                rev = prev;
+                body;
+                collapse = not (Array.exists (uses pslot) body);
+              })
+  in
+  let body = Array.map cnode pbody in
+  let inner_k = Array.of_list (List.rev !inner_k) in
+  (* Total access count, by the same rectangular collapse as
+     [Program.n_accesses]. *)
+  let env = Array.make (max !nslots 1) 0 in
+  List.iter (fun (s, v) -> env.(s) <- v) pinits;
+  let rec count = function
+    | Cstmt { sa; _ } -> Array.length sa
+    | Cinner c ->
+        let lo_v = ceval env c.ilo and hi_v = ceval env c.ihi in
+        if hi_v < lo_v then 0
+        else (hi_v - lo_v + 1) * Array.length c.ia
+    | Cloop l ->
+        let lo_v = ceval env l.lo and hi_v = ceval env l.hi in
+        if hi_v < lo_v then 0
+        else if l.collapse then begin
+          env.(l.slot) <- lo_v;
+          (hi_v - lo_v + 1) * Array.fold_left (fun a c -> a + count c) 0 l.body
+        end
+        else begin
+          let total = ref 0 in
+          for v = lo_v to hi_v do
+            env.(l.slot) <- v;
+            Array.iter (fun c -> total := !total + count c) l.body
+          done;
+          !total
+        end
+  in
+  let total = Array.fold_left (fun a c -> a + count c) 0 body in
+  {
+    body;
+    nslots = !nslots;
+    pinits;
+    inner_k;
+    total;
+    addr_space = !base;
+    d_names = names;
+    d_base;
+    d_lo;
+    d_stride;
+  }
+
+(* --------------------------------------------------------------------- *)
+(* Decoding.                                                              *)
+
+let decode t addr =
+  if addr < 0 || addr >= t.addr_space then
+    invalid_arg "Cplan.decode: address out of range";
+  let i = ref 0 in
+  while t.d_base.(!i + 1) <= addr do
+    incr i
+  done;
+  let i = !i in
+  let strides = t.d_stride.(i) and los = t.d_lo.(i) in
+  let nd = Array.length strides in
+  let idx = Array.make nd 0 in
+  let rem = ref (addr - t.d_base.(i)) in
+  for d = 0 to nd - 1 do
+    idx.(d) <- los.(d) + (!rem / strides.(d));
+    rem := !rem mod strides.(d)
+  done;
+  (t.d_names.(i), idx)
+
+(* --------------------------------------------------------------------- *)
+(* Iteration.                                                             *)
+
+let iter t ~lo ~hi ~on_instance ~on_access =
+  if lo < 0 then invalid_arg "Cplan.iter: lo < 0";
+  if hi < lo then invalid_arg "Cplan.iter: hi < lo";
+  let env = Array.make (max t.nslots 1) 0 in
+  List.iter (fun (s, v) -> env.(s) <- v) t.pinits;
+  let cursors = Array.map (fun k -> Array.make (max k 1) 0) t.inner_k in
+  let pos = ref 0 in
+  (* Access count of a subtree at the current [env]; used only while
+     still skipping toward [lo]. *)
+  let rec count = function
+    | Cstmt { sa; _ } -> Array.length sa
+    | Cinner c ->
+        let lo_v = ceval env c.ilo and hi_v = ceval env c.ihi in
+        if hi_v < lo_v then 0 else (hi_v - lo_v + 1) * Array.length c.ia
+    | Cloop l ->
+        let lo_v = ceval env l.lo and hi_v = ceval env l.hi in
+        if hi_v < lo_v then 0
+        else if l.collapse then begin
+          env.(l.slot) <- lo_v;
+          (hi_v - lo_v + 1) * Array.fold_left (fun a c -> a + count c) 0 l.body
+        end
+        else begin
+          let total = ref 0 in
+          for v = lo_v to hi_v do
+            env.(l.slot) <- v;
+            Array.iter (fun c -> total := !total + count c) l.body
+          done;
+          !total
+        end
+  in
+  let rec exec = function
+    | Cstmt { sa; sw } ->
+        let k = Array.length sa in
+        if !pos >= hi then raise_notrace Past_range;
+        if !pos + k <= lo then pos := !pos + k
+        else begin
+          on_instance ();
+          for i = 0 to k - 1 do
+            let p = !pos in
+            if p >= lo && p < hi then
+              on_access p (ceval env (Array.unsafe_get sa i)) (Array.unsafe_get sw i);
+            pos := p + 1
+          done
+        end
+    | Cinner c ->
+        let lo_v = ceval env c.ilo and hi_v = ceval env c.ihi in
+        if hi_v >= lo_v then begin
+          let k = Array.length c.ia in
+          let trip = hi_v - lo_v + 1 in
+          if !pos + (trip * k) <= lo then pos := !pos + (trip * k)
+          else begin
+            (* skip whole iterations strictly left of the range *)
+            let skip = if lo > !pos then (lo - !pos) / k else 0 in
+            pos := !pos + (skip * k);
+            env.(c.islot) <- (if c.irev then hi_v - skip else lo_v + skip);
+            let cur = cursors.(c.iid) in
+            for i = 0 to k - 1 do
+              cur.(i) <- ceval env (Array.unsafe_get c.ia i)
+            done;
+            let sw = c.iw in
+            let deltas =
+              if c.irev then Array.map (fun d -> -d) c.idelta else c.idelta
+            in
+            let it = ref skip in
+            while !it < trip do
+              if !pos >= lo && !pos + k <= hi then begin
+                (* the hot path: whole iterations fully inside the range *)
+                let full = min (trip - !it) ((hi - !pos) / k) in
+                for _ = 1 to full do
+                  on_instance ();
+                  for i = 0 to k - 1 do
+                    let p = !pos in
+                    on_access p (Array.unsafe_get cur i) (Array.unsafe_get sw i);
+                    pos := p + 1
+                  done;
+                  for i = 0 to k - 1 do
+                    Array.unsafe_set cur i
+                      (Array.unsafe_get cur i + Array.unsafe_get deltas i)
+                  done
+                done;
+                it := !it + full
+              end
+              else begin
+                if !pos >= hi then raise_notrace Past_range;
+                (* a boundary iteration: the range cuts the site list *)
+                if !pos + k > lo then begin
+                  on_instance ();
+                  for i = 0 to k - 1 do
+                    let p = !pos in
+                    if p >= lo && p < hi then
+                      on_access p (Array.unsafe_get cur i) (Array.unsafe_get sw i);
+                    pos := p + 1
+                  done
+                end
+                else pos := !pos + k;
+                for i = 0 to k - 1 do
+                  Array.unsafe_set cur i
+                    (Array.unsafe_get cur i + Array.unsafe_get deltas i)
+                done;
+                incr it
+              end
+            done
+          end
+        end
+    | Cloop l ->
+        let lo_v = ceval env l.lo and hi_v = ceval env l.hi in
+        let body v =
+          if !pos >= hi then raise_notrace Past_range;
+          env.(l.slot) <- v;
+          if !pos < lo then begin
+            let c = Array.fold_left (fun a n -> a + count n) 0 l.body in
+            (* [count] mutates slots below ours; restore *)
+            env.(l.slot) <- v;
+            if !pos + c <= lo then pos := !pos + c else Array.iter exec l.body
+          end
+          else Array.iter exec l.body
+        in
+        if l.rev then
+          for v = hi_v downto lo_v do
+            body v
+          done
+        else
+          for v = lo_v to hi_v do
+            body v
+          done
+  in
+  try Array.iter exec t.body with Past_range -> ()

@@ -1,0 +1,65 @@
+(** Compiled trace production over a flat integer address space.
+
+    A plan compiles a program at concrete parameters into flat integer
+    stride/bound arrays: every array gets a rectangular hull (interval
+    arithmetic over the loop nest) laid out row-major in one address
+    space, and every access site's index expressions compose with the
+    layout into a single affine form over the loop variables.  Producing
+    an access is then flat integer arithmetic, and its cell identity is a
+    dense [int] address - consumers index an [addr -> id] table instead
+    of hashing interned cells, which is what lets the sharded exact sweep
+    run at production rate.  Along an innermost loop the address form
+    advances by a constant per iteration.
+
+    Addresses are injective on cells: distinct arrays occupy disjoint
+    ranges and the row-major map is injective on each hull.  The emission
+    order and the position numbering are exactly those of
+    {!Program.iter_accesses}. *)
+
+type t
+
+(** [make ~params p] compiles [p] at [params].
+
+    @raise Not_found on a variable bound neither by [params] nor by an
+    enclosing loop (like the interpreted evaluators).
+    @raise Invalid_argument when an array is used at two different ranks
+    or a hull volume overflows the supported address-space bound -
+    callers should fall back to the streaming producer. *)
+val make : params:(string * int) list -> Program.t -> t
+
+(** Exact number of accesses [iter] emits over the full range; equals
+    {!Program.n_accesses} at the plan's parameters. *)
+val n_accesses : t -> int
+
+(** Size of the flat address space ([0 <= addr < addr_space t]).  An
+    over-approximation of the footprint: consumers allocate remap tables
+    of this length, so check it against a memory policy first. *)
+val addr_space : t -> int
+
+(** [decode t addr] is the concrete cell at [addr].  Allocates; intended
+    for first occurrences only. *)
+val decode : t -> int -> string * int array
+
+(** [iter t ~lo ~hi ~on_instance ~on_access] visits the accesses whose
+    global position lies in [\[lo, hi)], in program order:
+    [on_access pos addr is_write] per access, [on_instance ()] once per
+    statement instance with at least one access in range (fired before
+    its accesses).  Whole loop iterations left of [lo] are skipped by
+    closed-form counting, iteration stops once [hi] is passed - the
+    [seek] arithmetic: reaching position [k] costs the loop structure
+    around it (O(depth) for rectangular nests), not [k] emissions.
+
+    Positions, instance granularity and emission order agree exactly
+    with {!Program.iter_accesses_range}; [decode t addr] agrees with the
+    (name, index) that iterator would emit at the same position.
+
+    All mutable iteration state lives in per-call buffers: one plan may
+    be iterated concurrently from several domains.
+    @raise Invalid_argument if [lo < 0] or [hi < lo]. *)
+val iter :
+  t ->
+  lo:int ->
+  hi:int ->
+  on_instance:(unit -> unit) ->
+  on_access:(int -> int -> bool -> unit) ->
+  unit

@@ -1,18 +1,15 @@
-(** The red-white pebble game of the paper (Section 2), executed for a given
-    schedule.
+(** Reference implementation of the red-white pebble game: the pre-compiled
+    engine, kept verbatim as the differential oracle for {!Game} (the
+    [game-compiled] check property).  Same semantics, same API, same
+    results - {!Game} is the one to use; this one exists to be compared
+    against.
 
     Inputs start with white pebbles; computing a node requires red pebbles
     on all its predecessors and places a white and a red pebble on it; red
     pebbles may be discarded at any time (spills are free, only {b Load}
     steps are counted, as in the paper).  For a fixed compute order the
     minimum number of loads is achieved by clairvoyant (Belady) discarding
-    of red pebbles, which is what [run] implements.
-
-    This is the compiled engine: schedules compile to CSR predecessor and
-    use-position tables, pebble state is a bitset, and all per-run state
-    can be reused across an S-sweep through a {!runner}.  It produces
-    bit-identical results to the reference engine {!Game_ref} (checked by
-    the [game-compiled] oracle property). *)
+    of red pebbles. *)
 
 type result = {
   loads : int;  (** red pebbles placed on already-white nodes *)
@@ -47,23 +44,8 @@ val plan : Iolb_cdag.Cdag.t -> schedule:int array -> plan
 
 (** [run_plan plan ~s] is [run] on the plan's CDAG and schedule; same
     budget accounting and exceptions (except the schedule check, already
-    done by {!plan}).  Allocates a fresh {!runner} per call, which is what
-    keeps it safe to call concurrently; S-sweeps over one plan from a
-    single domain should build one runner and use {!run_runner}. *)
+    done by {!plan}). *)
 val run_plan : ?budget:Iolb_util.Budget.t -> plan -> s:int -> result
-
-(** Reusable per-run state (cursors, pebble bitsets, the eviction heap)
-    for one plan.  A grid of games over the same plan - the validation
-    S-sweeps - resets these buffers per run instead of reallocating them.
-    Not thread-safe: use one runner per domain. *)
-type runner
-
-val runner : plan -> runner
-
-(** [run_runner runner ~s] is {!run_plan} on the runner's plan, reusing
-    the runner's buffers.  Same results, budget accounting and
-    exceptions. *)
-val run_runner : ?budget:Iolb_util.Budget.t -> runner -> s:int -> result
 
 (** [run_checked] is {!run} behind the no-raise boundary ([Infeasible] and
     bad schedules map to [Invalid_input]). *)

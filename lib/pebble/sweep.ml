@@ -193,43 +193,102 @@ module Pool = Iolb_util.Pool
 module Interner = Iolb_ir.Interner
 module Program = Iolb_ir.Program
 module Stream = Iolb_ir.Stream
+module Cplan = Iolb_ir.Cplan
 
 module Core = struct
   (* Fenwick tree over COMPACTED positions: [pos.(id)] is the mark of
      [id] (-1 when unmarked), more recently touched ids have larger
-     positions.  When the position space runs out the live marks are
-     renumbered 0..marked-1; the new capacity leaves at least 3x marked
-     (and at least nids) free slots, so renumbering is amortized O(1)
-     per touch. *)
+     positions; [who.(p)] is the inverse (the id marked at [p], -1 for a
+     hole).  When the position space runs out the live marks are
+     renumbered 0..marked-1 by one linear scan of [who] - no sort - and
+     the new capacity leaves at least 3x marked (and at least nids) free
+     slots, so renumbering is amortized O(1) per touch.
+
+     [clean_above] is the stack's hole-free top: every position in
+     [clean_above, next) is marked.  Touching appends at [next], which
+     extends the clean region; only re-touching a cell INSIDE the region
+     punches a hole there (restarting the region just above it), so for
+     the dominant near-reuse accesses the stack depth is the closed form
+     [next - 1 - pos] - no tree query at all.  Deep accesses fall back
+     to one [bit_sum]. *)
   type t = {
     mutable bit : int array; (* length cap+1, 1-based *)
     mutable cap : int;
     mutable next : int; (* next free 0-based position *)
     mutable marked : int;
+    mutable clean_above : int; (* positions [clean_above, next) all marked *)
     mutable pos : int array; (* per id: 0-based position or -1 *)
+    mutable who : int array; (* per position: id or -1; length cap *)
     mutable nids : int;
   }
 
   let create () =
     { bit = Array.make 65 0; cap = 64; next = 0; marked = 0;
-      pos = Array.make 64 (-1); nids = 0 }
+      clean_above = 0; pos = Array.make 64 (-1);
+      who = Array.make 64 (-1); nids = 0 }
 
   let marked t = t.marked
 
   let bit_add t i v =
+    let bit = t.bit and cap = t.cap in
     let i = ref i in
-    while !i <= t.cap do
-      Array.unsafe_set t.bit !i (Array.unsafe_get t.bit !i + v);
+    while !i <= cap do
+      Array.unsafe_set bit !i (Array.unsafe_get bit !i + v);
       i := !i + (!i land - !i)
     done
 
   let bit_sum t i =
+    let bit = t.bit in
     let i = ref i and acc = ref 0 in
     while !i > 0 do
-      acc := !acc + Array.unsafe_get t.bit !i;
+      acc := !acc + Array.unsafe_get bit !i;
       i := !i land (!i - 1)
     done;
     !acc
+
+  (* Marks in 1-based (j, i] = sum(i) - sum(j), as one dual descending
+     walk that stops at the common Fenwick ancestor: the probe count
+     follows log(i - j), not log(i), and the probed nodes sit in the
+     recently-touched top of the tree.  This is what makes mid-depth
+     reuse (the bulk of a loop nest's column traffic) cheap. *)
+  let bit_range t j i =
+    let bit = t.bit in
+    let i = ref i and j = ref j and acc = ref 0 in
+    while !i <> !j do
+      if !i > !j then begin
+        acc := !acc + Array.unsafe_get bit !i;
+        i := !i land (!i - 1)
+      end
+      else begin
+        acc := !acc - Array.unsafe_get bit !j;
+        j := !j land (!j - 1)
+      end
+    done;
+    !acc
+
+  (* Remove the mark at [p] and plant one at [q > p], in one pass: the
+     two up-walks merge at the lowest common Fenwick ancestor, where
+     -1 and +1 cancel and the walk stops.  For near-top moves - the
+     common case - the merge happens within a step or two. *)
+  let bit_move t p q =
+    let bit = t.bit and cap = t.cap in
+    let i = ref p and j = ref q in
+    let continue = ref true in
+    while !continue do
+      if !i < !j then
+        if !i <= cap then begin
+          Array.unsafe_set bit !i (Array.unsafe_get bit !i - 1);
+          i := !i + (!i land - !i)
+        end
+        else i := max_int
+      else if !j < !i then
+        if !j <= cap then begin
+          Array.unsafe_set bit !j (Array.unsafe_get bit !j + 1);
+          j := !j + (!j land - !j)
+        end
+        else j := max_int
+      else continue := false (* merged (or both past cap): deltas cancel *)
+    done
 
   let ensure_id t id =
     if id >= Array.length t.pos then begin
@@ -245,7 +304,10 @@ module Core = struct
     if id >= t.nids then -1
     else
       let p = Array.unsafe_get t.pos id in
-      if p < 0 then -1 else t.marked - bit_sum t (p + 1)
+      if p < 0 then -1
+      else if p >= t.clean_above then t.next - 1 - p
+      else if t.next - p <= 4096 then bit_range t (p + 1) t.next
+      else t.marked - bit_sum t (p + 1)
 
   let remove t id =
     if id < t.nids then begin
@@ -253,32 +315,47 @@ module Core = struct
       if p >= 0 then begin
         bit_add t (p + 1) (-1);
         t.pos.(id) <- -1;
+        t.who.(p) <- -1;
+        if p >= t.clean_above then t.clean_above <- p + 1;
         t.marked <- t.marked - 1
       end
     end
 
   let renumber t =
-    let order = Array.make (max t.marked 1) 0 in
+    let cap = max 64 (max (4 * t.marked) t.nids) in
+    (* compact the live marks in position order: the inverse array IS
+       the order, one forward in-place scan (writes trail reads), no
+       sort, no allocation unless the capacity itself changes *)
     let k = ref 0 in
-    for id = 0 to t.nids - 1 do
-      if t.pos.(id) >= 0 then begin
-        order.(!k) <- id;
+    let who = t.who and pos = t.pos in
+    for p = 0 to t.next - 1 do
+      let id = Array.unsafe_get who p in
+      if id >= 0 then begin
+        Array.unsafe_set who !k id;
+        Array.unsafe_set pos id !k;
         incr k
       end
     done;
-    let pos = t.pos in
-    Array.sort (fun a b -> compare pos.(a) pos.(b)) order;
-    let cap = max 64 (max (4 * t.marked) t.nids) in
     if cap <> t.cap then begin
+      let who' = Array.make cap (-1) in
+      Array.blit who 0 who' 0 !k;
+      t.who <- who';
       t.bit <- Array.make (cap + 1) 0;
       t.cap <- cap
     end
-    else Array.fill t.bit 0 (cap + 1) 0;
-    t.next <- 0;
-    for i = 0 to !k - 1 do
-      pos.(order.(i)) <- t.next;
-      bit_add t (t.next + 1) 1;
-      t.next <- t.next + 1
+    else begin
+      Array.fill t.who !k (t.next - !k) (-1);
+      Array.fill t.bit 0 (cap + 1) 0
+    end;
+    t.next <- !k;
+    t.clean_above <- 0;
+    (* rebuild the tree bottom-up: bit.(i) counts the marks in its
+       span, and every position below [k] is marked *)
+    let bit = t.bit in
+    for i = 1 to cap do
+      let span = i land (-i) in
+      let lo = i - span in
+      if lo < !k then bit.(i) <- min span (!k - lo)
     done
 
   let touch t id =
@@ -287,28 +364,62 @@ module Core = struct
     if p >= 0 then begin
       bit_add t (p + 1) (-1);
       t.marked <- t.marked - 1;
-      t.pos.(id) <- -1
+      t.pos.(id) <- -1;
+      t.who.(p) <- -1;
+      if p >= t.clean_above then t.clean_above <- p + 1
     end;
     if t.next = t.cap then renumber t;
     bit_add t (t.next + 1) 1;
     t.pos.(id) <- t.next;
+    t.who.(t.next) <- id;
     t.next <- t.next + 1;
     t.marked <- t.marked + 1
 
-  (* marked ids, least recently touched first *)
+  (* [dist t id] followed by [touch t id], fused, for an id that is
+     already marked (every non-first access is).  Three tiers: top of
+     stack (distance 0, nothing moves, no tree access); inside the
+     hole-free top region (closed-form distance, one fused tree move);
+     deep (one [bit_sum], one fused move). *)
+  let dist_touch t id =
+    let p = Array.unsafe_get t.pos id in
+    if p = t.next - 1 then 0
+    else begin
+      let d =
+        if p >= t.clean_above then t.next - 1 - p
+        else if t.next - p <= 4096 then bit_range t (p + 1) t.next
+        else t.marked - bit_sum t (p + 1)
+      in
+      Array.unsafe_set t.who p (-1);
+      if p >= t.clean_above then t.clean_above <- p + 1;
+      if t.next = t.cap then begin
+        bit_add t (p + 1) (-1);
+        Array.unsafe_set t.pos id (-1);
+        t.marked <- t.marked - 1;
+        renumber t;
+        bit_add t (t.next + 1) 1;
+        t.marked <- t.marked + 1
+      end
+      else bit_move t (p + 1) (t.next + 1);
+      Array.unsafe_set t.pos id t.next;
+      Array.unsafe_set t.who t.next id;
+      t.next <- t.next + 1;
+      d
+    end
+
+  (* marked ids, least recently touched first: one scan of the inverse
+     array, which is already in position order *)
   let marked_order t =
     let order = Array.make (max t.marked 1) 0 in
     let k = ref 0 in
-    for id = 0 to t.nids - 1 do
-      if t.pos.(id) >= 0 then begin
+    let who = t.who in
+    for p = 0 to t.next - 1 do
+      let id = Array.unsafe_get who p in
+      if id >= 0 then begin
         order.(!k) <- id;
         incr k
       end
     done;
-    let order = Array.sub order 0 !k in
-    let pos = t.pos in
-    Array.sort (fun a b -> compare pos.(a) pos.(b)) order;
-    order
+    Array.sub order 0 !k
 end
 
 (* ------------------------------------------------------------------ *)
@@ -395,14 +506,16 @@ let pass_event ps c w =
     Core.touch ps.p_core c
   end
   else begin
-    let d = Core.dist ps.p_core c in
-    Core.touch ps.p_core c;
+    let d = Core.dist_touch ps.p_core c in
+    (* indices are in bounds by construction: [d <= marked - 1 < p_n],
+       [p_hist] has [p_n + 1] slots and [p_sdiff] [p_n + 2] *)
     if w then
       if Array.unsafe_get ps.p_seghw c then begin
         let m = Array.unsafe_get ps.p_mval c in
         if m + 1 <= d then begin
-          ps.p_sdiff.(m + 1) <- ps.p_sdiff.(m + 1) + 1;
-          ps.p_sdiff.(d + 1) <- ps.p_sdiff.(d + 1) - 1
+          let sdiff = ps.p_sdiff in
+          Array.unsafe_set sdiff (m + 1) (Array.unsafe_get sdiff (m + 1) + 1);
+          Array.unsafe_set sdiff (d + 1) (Array.unsafe_get sdiff (d + 1) - 1)
         end;
         Array.unsafe_set ps.p_mval c 0
       end
@@ -414,12 +527,14 @@ let pass_event ps c w =
       end
     else begin
       ps.p_reads <- ps.p_reads + 1;
-      ps.p_hist.(d) <- ps.p_hist.(d) + 1;
+      let hist = ps.p_hist in
+      Array.unsafe_set hist d (Array.unsafe_get hist d + 1);
       if Array.unsafe_get ps.p_seghw c then begin
         let m = Array.unsafe_get ps.p_mval c in
         if m + 1 <= d then begin
-          ps.p_sdiff.(m + 1) <- ps.p_sdiff.(m + 1) + 1;
-          ps.p_sdiff.(d + 1) <- ps.p_sdiff.(d + 1) - 1
+          let sdiff = ps.p_sdiff in
+          Array.unsafe_set sdiff (m + 1) (Array.unsafe_get sdiff (m + 1) + 1);
+          Array.unsafe_set sdiff (d + 1) (Array.unsafe_get sdiff (d + 1) - 1)
         end;
         if d > m then Array.unsafe_set ps.p_mval c d
       end
@@ -618,12 +733,12 @@ let run_segmented ?(budget = Budget.unlimited) ?(flush = true) ?jobs trace =
   let parts = Pool.map ~jobs shard (Pool.split ~shards:jobs n) in
   merge_all ~budget ~flush ~accesses:n parts
 
-let run_program ?(budget = Budget.unlimited) ?(flush = true) ?jobs ?chunk_size
-    ~params prog =
+let run_program_stream ?(budget = Budget.unlimited) ?(flush = true) ?jobs
+    ?chunk_size ~params prog =
   let jobs =
     match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
-  if jobs < 1 then invalid_arg "Sweep.run_program: jobs < 1";
+  if jobs < 1 then invalid_arg "Sweep.run_program_stream: jobs < 1";
   let n = Program.n_accesses ~params prog in
   let shard (lo, hi) =
     if not (Budget.is_unlimited budget) then
@@ -652,6 +767,81 @@ let run_program ?(budget = Budget.unlimited) ?(flush = true) ?jobs ?chunk_size
       parts
   in
   merge_all ~budget ~flush ~accesses:n parts
+
+let run_program ?(budget = Budget.unlimited) ?(flush = true) ?jobs ?chunk_size
+    ~params prog =
+  let jobs =
+    match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  if jobs < 1 then invalid_arg "Sweep.run_program: jobs < 1";
+  match Trace.dense_plan ~params prog with
+  | None ->
+      (* the compiler cannot represent this program (or its address
+         space misses the memory policy): stream instead *)
+      run_program_stream ~budget ~flush ~jobs ?chunk_size ~params prog
+  | Some plan ->
+      let n = Cplan.n_accesses plan in
+      let aspace = Cplan.addr_space plan in
+      let unlimited = Budget.is_unlimited budget in
+      let shard (lo, hi) =
+        if not unlimited then Budget.check_deadline budget Budget.Cache_sim;
+        let ps = pass_create budget in
+        (* compiled addresses are dense ints: remap through a flat table
+           to shard-local first-occurrence ids - the id discipline
+           [pass_event] expects - and remember the inverse for the
+           merge.  Same trace-build budget gate as the streaming
+           producer: one [Cdag_build] checkpoint per statement instance,
+           counted against the node cap. *)
+        let remap = Array.make (max aspace 1) (-1) in
+        let addrs = ref (Array.make 64 0) in
+        let ninst = ref 0 in
+        Cplan.iter plan ~lo ~hi
+          ~on_instance:(fun () ->
+            if not unlimited then begin
+              Budget.checkpoint budget Budget.Cdag_build;
+              incr ninst;
+              Budget.check_node_cap budget Budget.Cdag_build !ninst
+            end)
+          ~on_access:(fun _pos addr w ->
+            let c =
+              match Array.unsafe_get remap addr with
+              | -1 ->
+                  let c = ps.p_n in
+                  remap.(addr) <- c;
+                  if c = Array.length !addrs then begin
+                    let a = Array.make (2 * c) 0 in
+                    Array.blit !addrs 0 a 0 c;
+                    addrs := a
+                  end;
+                  !addrs.(c) <- addr;
+                  c
+              | c -> c
+            in
+            pass_event ps c w);
+        (Array.sub !addrs 0 ps.p_n, ps)
+      in
+      let parts = Pool.map ~jobs shard (Pool.split ~shards:jobs n) in
+      (* a single global address map, fed in segment order, reproduces
+         the sequential first-occurrence numbering *)
+      let gmap = Array.make (max aspace 1) (-1) in
+      let gn = ref 0 in
+      let parts =
+        List.map
+          (fun (addrs, ps) ->
+            ( Array.map
+                (fun addr ->
+                  match gmap.(addr) with
+                  | -1 ->
+                      let g = !gn in
+                      gmap.(addr) <- g;
+                      incr gn;
+                      g
+                  | g -> g)
+                addrs,
+              ps ))
+          parts
+      in
+      merge_all ~budget ~flush ~accesses:n parts
 
 let run_program_checked ?budget ?flush ?jobs ?chunk_size ~params prog =
   Iolb_util.Engine_error.guard (fun () ->

@@ -89,12 +89,33 @@ val run_segmented :
 
 (** [run_program ~params p] sweeps the access trace of program [p] at
     concrete [params] without materializing it: each of [jobs] domains
-    streams its own contiguous slice of the trace ([chunk_size] accesses
-    per buffer, default {!Iolb_ir.Stream.default_chunk_size}).  Equal to
-    [run (Trace.of_program ~params p)] in every field.  Budget semantics
-    combine the trace-build stage ([Cdag_build] checkpoints while
-    streaming) and the sweep stage ([Cache_sim] per event). *)
+    produces its own contiguous slice of the trace in place through the
+    compiled plan ({!Iolb_ir.Cplan}) - flat integer address arithmetic
+    with an O(depth) seek to the slice start, no hashing, no chunk
+    buffers.  Programs the compiler rejects (rank mismatch, hull
+    overflow, an address space too sparse for the flat remap tables)
+    fall back to {!run_program_stream} transparently.  Equal to
+    [run (Trace.of_program ~params p)] in every field either way.
+    Budget semantics combine the trace-build stage ([Cdag_build]
+    checkpoints per statement instance, counted against the node cap)
+    and the sweep stage ([Cache_sim] per event).  [chunk_size] only
+    affects the streaming fallback. *)
 val run_program :
+  ?budget:Iolb_util.Budget.t ->
+  ?flush:bool ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  params:(string * int) list ->
+  Iolb_ir.Program.t ->
+  t
+
+(** The chunked streaming producer behind the pre-compilation
+    [run_program]: shards stream their slices through
+    {!Iolb_ir.Stream.iter_chunks} with interned cell ids.  Kept as the
+    differential oracle for the compiled path (and as its fallback);
+    equal to {!run_program} in every field, for any [jobs] and
+    [chunk_size]. *)
+val run_program_stream :
   ?budget:Iolb_util.Budget.t ->
   ?flush:bool ->
   ?jobs:int ->

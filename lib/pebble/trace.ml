@@ -1,4 +1,6 @@
 module Interner = Iolb_ir.Interner
+module Cplan = Iolb_ir.Cplan
+module Budget = Iolb_util.Budget
 
 type cell = string * int array
 
@@ -46,19 +48,68 @@ let push b cell is_write = push_id b (Interner.intern b.p cell) is_write
    multi-hundred-thousand-event trace must not copy it. *)
 let freeze b = { cells = b.ids; writes = b.flags; len = b.len; pool = b.p }
 
-let of_program ?(budget = Iolb_util.Budget.unlimited) ~params p =
+(* Address-space cap for compiled (dense-address) production: consumers
+   index flat [Cplan.addr_space]-sized remap tables, one per domain in
+   the sharded sweep, so pathologically sparse hulls (giant strides
+   around a tiny footprint) must not allocate gigabytes.  2^23 entries =
+   64 MB of table at most; beyond that the streaming producer's per-cell
+   hashing is the better trade. *)
+let max_dense_addr_space = 1 lsl 23
+
+let dense_plan ~params p =
+  match
+    let plan = Cplan.make ~params p in
+    if Cplan.addr_space plan > max_dense_addr_space then None else Some plan
+  with
+  | (exception Invalid_argument _) ->
+      (* rank mismatch or hull overflow: the compiler cannot represent
+         this program; stream it instead *)
+      None
+  | r -> r
+
+let of_program ?(budget = Budget.unlimited) ~params p =
   (* Exact pre-count (closed-form over the loop nest): the arrays never
      grow, so a multi-hundred-thousand-event trace costs one allocation
-     and zero copies.  Events arrive as reused chunks from [Stream] — the
-     same producer the sharded/sampled sweeps consume — and are blitted
-     into place; interning happens inside the stream via [intern_view],
-     so the (dominant) repeat-cell case allocates nothing. *)
+     and zero copies.  Events come from the compiled producer when the
+     program admits one - flat address arithmetic, one [decode]+intern
+     per DISTINCT cell instead of one hash per event - and otherwise
+     from the chunked [Stream] the sharded/sampled sweeps consume.
+     Either way the budget gate is the same: one [Cdag_build] checkpoint
+     per statement instance, counted against the node cap. *)
   let n = Iolb_ir.Program.n_accesses ~params p in
   let b = builder n in
-  Iolb_ir.Stream.iter_chunks ~budget ~params ~interner:b.p p (fun ch ->
-      Array.blit ch.ids 0 b.ids b.len ch.len;
-      Array.blit ch.writes 0 b.flags b.len ch.len;
-      b.len <- b.len + ch.len);
+  (match dense_plan ~params p with
+  | Some plan ->
+      let unlimited = Budget.is_unlimited budget in
+      let remap = Array.make (max (Cplan.addr_space plan) 1) (-1) in
+      let ninst = ref 0 in
+      let ids = b.ids and flags = b.flags in
+      let len = ref 0 in
+      Cplan.iter plan ~lo:0 ~hi:n
+        ~on_instance:(fun () ->
+          if not unlimited then begin
+            Budget.checkpoint budget Budget.Cdag_build;
+            incr ninst;
+            Budget.check_node_cap budget Budget.Cdag_build !ninst
+          end)
+        ~on_access:(fun _pos addr w ->
+          let id =
+            match Array.unsafe_get remap addr with
+            | -1 ->
+                let id = Interner.intern b.p (Cplan.decode plan addr) in
+                remap.(addr) <- id;
+                id
+            | id -> id
+          in
+          Array.unsafe_set ids !len id;
+          Array.unsafe_set flags !len w;
+          incr len);
+      b.len <- !len
+  | None ->
+      Iolb_ir.Stream.iter_chunks ~budget ~params ~interner:b.p p (fun ch ->
+          Array.blit ch.ids 0 b.ids b.len ch.len;
+          Array.blit ch.writes 0 b.flags b.len ch.len;
+          b.len <- b.len + ch.len));
   freeze b
 
 let of_events evs =

@@ -34,6 +34,15 @@ val of_program :
     in tests and experiments). *)
 val of_events : event list -> t
 
+(** [dense_plan ~params p] is the compiled dense-address producer
+    ({!Iolb_ir.Cplan}) for [p] at [params] when the program compiles and
+    its address space fits the flat remap-table memory policy (2^23
+    addresses) - the shared gate for every compiled consumer
+    ({!of_program}, the sharded sweep).  [None] means: use the streaming
+    producer. *)
+val dense_plan :
+  params:(string * int) list -> Iolb_ir.Program.t -> Iolb_ir.Cplan.t option
+
 (** Number of events. O(1). *)
 val length : t -> int
 

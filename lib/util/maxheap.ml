@@ -20,6 +20,7 @@ let create () =
 let is_empty h = h.len = 0
 let length h = h.len
 let peak h = h.peak
+let clear h = h.len <- 0
 
 let push h ~pos ~payload =
   if h.len = Array.length h.pos then begin

@@ -8,6 +8,11 @@ val create : unit -> t
 val is_empty : t -> bool
 val length : t -> int
 
+(** [clear h] empties the heap without releasing its storage, so a
+    reused heap (one runner, many runs) allocates nothing per run.
+    [peak] is preserved across clears. *)
+val clear : t -> unit
+
 (** [push h ~pos ~payload] inserts an entry with priority [pos]. *)
 val push : t -> pos:int -> payload:int -> unit
 

@@ -39,10 +39,19 @@ let map ?jobs f xs =
          limit, resources) cannot leave already-spawned domains behind
          unjoined: whatever was spawned is on the list and joined below,
          and every task still completes because this domain works through
-         the shared index regardless of how many helpers came up. *)
+         the shared index regardless of how many helpers came up.
+
+         Helpers are clamped to the hardware parallelism: [jobs] governs
+         the work decomposition (callers derive shard counts from it, and
+         results are partition-independent by contract), but spawning
+         more domains than cores only multiplies minor-GC stop-the-world
+         barriers - on a single-core host, [--jobs 4] used to make the
+         sharded sweep slower than the sequential one for exactly this
+         reason. *)
+      let hw = Domain.recommended_domain_count () in
       let domains = ref [] in
       (try
-         for _ = 2 to min jobs n do
+         for _ = 2 to min (min jobs n) hw do
            domains := Domain.spawn worker :: !domains
          done
        with _ -> ());

@@ -9,6 +9,7 @@ let () =
       ("psimplex", Test_psimplex.suite);
       ("poly-sets", Test_poly.suite);
       ("program", Test_program.suite);
+      ("cplan", Test_cplan.suite);
       ("kernels", Test_kernels.suite);
       ("kernel-errors", Test_kernel_errors.suite);
       ("fault-injection", Test_fault_injection.suite);

@@ -1,0 +1,152 @@
+(* The compiled address-space producer: full production must equal
+   [Program.iter_accesses] access for access (cell, write flag, position,
+   instance granularity) with injective addresses, and - the seek
+   contract - producing [0, k) and then the rest must reproduce the full
+   stream for every split point, on the paper kernels and on random
+   generated programs. *)
+
+module P = Iolb_ir.Program
+module C = Iolb_ir.Cplan
+module Report = Iolb.Report
+module K = Iolb_kernels
+module Spec = Iolb_check.Spec
+module Gen = Iolb_check.Gen
+
+(* Reference stream: (name, index, is_write) in emission order. *)
+let reference ~params prog =
+  let acc = ref [] in
+  P.iter_accesses ~params prog
+    ~on_instance:(fun () -> ())
+    ~on_access:(fun name idx w -> acc := (name, Array.copy idx, w) :: !acc);
+  Array.of_list (List.rev !acc)
+
+let reference_instances ~params prog =
+  let n = ref 0 in
+  P.iter_accesses ~params prog
+    ~on_instance:(fun () -> incr n)
+    ~on_access:(fun _ _ _ -> ());
+  !n
+
+(* Full-range production through the plan, decoded. *)
+let check_full ~what ~params prog =
+  let full = reference ~params prog in
+  let n = Array.length full in
+  let plan = C.make ~params prog in
+  Alcotest.(check int) (what ^ ": n_accesses") n (C.n_accesses plan);
+  Alcotest.(check bool)
+    (what ^ ": addr_space sane")
+    true
+    (C.addr_space plan >= 0);
+  let instances = ref 0 in
+  let pos = ref 0 in
+  let cell_of = Hashtbl.create 64 in
+  C.iter plan ~lo:0 ~hi:max_int
+    ~on_instance:(fun () -> incr instances)
+    ~on_access:(fun p addr w ->
+      Alcotest.(check int) (what ^ ": position") !pos p;
+      if p >= n then Alcotest.failf "%s: access beyond reference length" what;
+      let en, ei, ew = full.(p) in
+      if ew <> w then Alcotest.failf "%s: write flag differs at %d" what p;
+      (* the address must be injective on cells and decode to the cell *)
+      let dn, di = C.decode plan addr in
+      if not (dn = en && di = ei) then
+        Alcotest.failf "%s: decode %d gives %s, reference %s" what addr dn en;
+      (match Hashtbl.find_opt cell_of addr with
+      | Some (n0, i0) ->
+          if not (n0 = en && i0 = ei) then
+            Alcotest.failf "%s: address %d aliases two cells" what addr
+      | None -> Hashtbl.add cell_of addr (en, Array.copy ei));
+      incr pos);
+  Alcotest.(check int) (what ^ ": all accesses") n !pos;
+  Alcotest.(check int)
+    (what ^ ": instance count")
+    (reference_instances ~params prog)
+    !instances;
+  (* distinct cells <-> distinct addresses *)
+  let cells = Hashtbl.create 64 in
+  Array.iter (fun (n, i, _) -> Hashtbl.replace cells (n, i) ()) full;
+  Alcotest.(check int)
+    (what ^ ": footprint = distinct addresses")
+    (Hashtbl.length cells) (Hashtbl.length cell_of)
+
+(* The seek contract: emitting [0, k) and then [k, n) - or any finer
+   slicing - reproduces the full production. *)
+let check_slices ~what ~params prog cuts_list =
+  let full = reference ~params prog in
+  let n = Array.length full in
+  let plan = C.make ~params prog in
+  List.iter
+    (fun cuts ->
+      let bounds = (0 :: cuts) @ [ n ] in
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | _ -> []
+      in
+      let pos = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          C.iter plan ~lo ~hi
+            ~on_instance:(fun () -> ())
+            ~on_access:(fun p addr w ->
+              Alcotest.(check int) (what ^ ": slice position") !pos p;
+              let en, ei, ew = full.(p) in
+              let dn, di = C.decode plan addr in
+              if not (dn = en && di = ei && w = ew) then
+                Alcotest.failf "%s: access %d differs in slice [%d, %d)" what p
+                  lo hi;
+              incr pos))
+        (pairs bounds);
+      Alcotest.(check int) (what ^ ": slices cover") n !pos)
+    cuts_list
+
+let paper_kernels () =
+  List.iter
+    (fun (e : Report.entry) ->
+      check_full ~what:e.Report.display ~params:e.Report.verify_params
+        e.Report.program)
+    Report.registry;
+  List.iter
+    (fun (name, prog, params) -> check_full ~what:name ~params prog)
+    Report.baselines
+
+let tiled_kernels () =
+  check_full ~what:"mgs tiled" ~params:[] (K.Mgs.tiled_spec ~m:16 ~n:8 ~b:2);
+  check_full ~what:"a2v tiled" ~params:[]
+    (K.Householder.tiled_spec ~m:16 ~n:8 ~b:2)
+
+let kernel_slices () =
+  let params = [ ("M", 24); ("N", 12) ] in
+  let n = P.n_accesses ~params K.Mgs.spec in
+  check_slices ~what:"mgs" ~params K.Mgs.spec
+    [ []; [ n / 2 ]; [ 1; 2; 3 ]; [ n / 3; n / 2; n - 1 ]; [ 7; 7 ] ];
+  (* V2Q exercises reverse loops *)
+  let e = Report.find "qr_hh_v2q" in
+  let params = e.Report.verify_params in
+  let n = P.n_accesses ~params e.Report.program in
+  check_slices ~what:"v2q" ~params e.Report.program
+    [ []; [ n / 2 ]; [ n / 4; (3 * n) / 4 ] ]
+
+(* Random programs x random split points: seek k + produce-rest = full. *)
+let prop_random_slices =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"cplan: seek k + rest = full production (random)"
+       ~count:120
+       QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 9999))
+       (fun (seed, cut_seed) ->
+         let spec = Gen.spec ~seed in
+         let prog, params = Spec.to_program spec in
+         let n = P.n_accesses ~params prog in
+         let k = if n = 0 then 0 else cut_seed mod (n + 1) in
+         check_full ~what:(Spec.to_string spec) ~params prog;
+         check_slices ~what:(Spec.to_string spec) ~params prog
+           [ [ k ]; [ k / 2; k ] ];
+         true))
+
+let suite =
+  [
+    Alcotest.test_case "paper + baseline kernels" `Quick paper_kernels;
+    Alcotest.test_case "tiled kernels (concrete params)" `Quick tiled_kernels;
+    Alcotest.test_case "kernel slicings (incl. reverse loops)" `Quick
+      kernel_slices;
+    prop_random_slices;
+  ]

@@ -3,6 +3,9 @@
    iolb list                          enumerate the built-in kernels
    iolb analyze mgs                   full derivation report for one kernel
    iolb bounds --all                  formulas for every kernel
+   iolb bounds --file prog.iolb       same, for a DSL source file
+   iolb print mgs                     emit a built-in kernel as DSL source
+   iolb check --parse prog.iolb       parse/elaborate a DSL source only
    iolb eval mgs -m 128 -n 64 -s 256  numeric bounds at a concrete point
    iolb simulate mgs -m 12 -n 8 -s 16 pebble-game I/O vs the bounds
    iolb simulate mgs --sizes 8,16,32  cache sweep: every S from one pass
@@ -27,6 +30,8 @@ module Cache = Iolb_pebble.Cache
 module Sweep = Iolb_pebble.Sweep
 module Trace = Iolb_pebble.Trace
 module K = Iolb_kernels
+module Front = Iolb_front.Front
+module Driver = Iolb_front.Driver
 
 let ( let* ) = Result.bind
 
@@ -112,38 +117,13 @@ let list_cmd =
     Term.(const run $ const ())
 
 let analyze_cmd =
-  let show_bounds bounds =
-    List.iter
-      (fun (b : D.t) ->
-        Format.printf "@.%a@." D.pp b;
-        List.iter (fun l -> Format.printf "    | %s@." l) b.log)
-      bounds
-  in
+  (* Rendering lives in [Iolb_front.Driver]: the same bytes answer
+     [analyze NAME], [bounds --file], and the differential tests. *)
   let run name budget_spec =
     run_checked @@ fun () ->
     let* budget = make_budget budget_spec in
-    match Report.find_checked name with
-    | Ok entry ->
-        let* a = Report.analyze_checked ~budget entry in
-        Format.printf "%a@." Report.pp_analysis a;
-        Ok (show_bounds a.bounds)
-    | Error _ as err -> (
-        (* Baselines are analysable too; they just have no paper columns. *)
-        match
-          List.find_opt (fun (n, _, _) -> n = name) Report.baselines
-        with
-        | Some (_, prog, verify_params) ->
-            let* (o : D.outcome) =
-              D.analyze_ladder ~budget ~verify_params prog
-            in
-            (match o.degradation with
-            | Some why -> Format.printf "degraded: %s@." why
-            | None -> ());
-            if o.bounds = [] && o.degradation = None then
-              Format.printf
-                "no bound derivable (no hourglass; Brascamp-Lieb exponent <= 1)@.";
-            Ok (show_bounds o.bounds)
-        | None -> err)
+    let* report = Driver.render_kernel ~budget ~logs:true name in
+    Ok (print_string report)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Derivation report for one kernel"
@@ -158,8 +138,17 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let file_arg =
+  let doc =
+    "Analyse the affine program in $(i,FILE) (DSL source, see the README \
+     grammar) instead of a built-in kernel.  Repeatable.  A source that is \
+     structurally identical to a built-in kernel gets that kernel's full \
+     paper report; anything else gets the graceful-degradation ladder."
+  in
+  Arg.(value & opt_all string [] & info [ "file" ] ~docv:"FILE" ~doc)
+
 let bounds_cmd =
-  let run jobs budget_spec =
+  let run jobs files budget_spec =
     run_checked @@ fun () ->
     let* () =
       match jobs with
@@ -171,22 +160,35 @@ let bounds_cmd =
     in
     let* budget = make_budget budget_spec in
     (* The budget's counters are atomic, so one instance is shared soundly
-       across the fan-out; reports print sequentially in registry order, up
-       to the first failed entry. *)
+       across the fan-out; reports print sequentially in registry (or
+       command-line file) order, up to the first failed entry. *)
     let results =
-      Iolb_util.Pool.map ?jobs (Report.analyze_checked ~budget) Report.registry
+      match files with
+      | [] ->
+          Iolb_util.Pool.map ?jobs
+            (fun entry ->
+              let* a = Report.analyze_checked ~budget entry in
+              Ok (Driver.render_analysis ~logs:false a))
+            Report.registry
+      | files ->
+          Iolb_util.Pool.map ?jobs
+            (Driver.render_file ~budget ~logs:false)
+            files
     in
     List.fold_left
       (fun acc result ->
         let* () = acc in
-        let* a = result in
-        Ok (Format.printf "%a@." Report.pp_analysis a))
+        let* report = result in
+        Ok (print_string report))
       (Ok ()) results
   in
   Cmd.v
-    (Cmd.info "bounds" ~doc:"Derived bound formulas for every kernel"
+    (Cmd.info "bounds"
+       ~doc:
+         "Derived bound formulas for every kernel (or for $(b,--file) \
+          sources)"
        ~exits:engine_exits)
-    Term.(const run $ jobs_arg $ budget_args)
+    Term.(const run $ jobs_arg $ file_arg $ budget_args)
 
 let eval_cmd =
   let run name m n s budget_spec =
@@ -278,22 +280,14 @@ let simulate_cmd =
     | Ok sizes -> Ok sizes
     | Error msg -> Error (Engine_error.Invalid_input ("--sizes: " ^ msg))
   in
-  let lower_bound a ~m ~n ~s =
-    List.fold_left
-      (fun acc tech ->
-        match Report.eval_best a ~technique:tech ~m ~n ~s with
-        | Some v -> Float.max acc v
-        | None -> acc)
-      0.
-      [ `Classical; `Hourglass ]
-  in
   (* One sweep answers every size: exact LRU stats from the reuse-distance
-     pass, exact OPT loads from per-size forward runs over a shared plan. *)
-  let run_sweep entry a ~m ~n ~params ~budget spec =
+     pass, exact OPT loads from per-size forward runs over a shared plan.
+     The helpers take the program, its concrete sizes and a lower-bound
+     evaluator, so built-in kernels and parsed --file sources share them. *)
+  let run_sweep ~program ~params ~budget ~lb spec =
     let* sizes = parse_spec spec in
     let* trace =
-      Engine_error.guard (fun () ->
-          Trace.of_program ~budget ~params entry.Report.program)
+      Engine_error.guard (fun () -> Trace.of_program ~budget ~params program)
     in
     let* sweep = Sweep.run_checked ~budget trace in
     let* plan = Engine_error.guard (fun () -> Cache.opt_plan ~budget trace) in
@@ -307,22 +301,19 @@ let simulate_cmd =
           (fun s ->
             let lru = Sweep.stats sweep ~size:s in
             let opt = Cache.opt_run ~budget ~size:s plan in
-            let lb = lower_bound a ~m ~n ~s in
             Printf.printf "  %8d | %9d %9d %9d | %9d | %10.1f\n" s
               lru.Cache.loads lru.Cache.read_hits lru.Cache.stores
-              opt.Cache.loads lb)
+              opt.Cache.loads (lb ~s))
           sizes)
   in
   (* Streaming / sharded variant: the trace is never materialized, so the
      shared OPT plan (which needs the whole trace) is unavailable and its
      column is dropped.  The LRU columns are exact and byte-identical at
      every jobs width. *)
-  let run_sweep_streamed entry a ~m ~n ~params ~budget ~jobs ~chunk_size spec
-      =
+  let run_sweep_streamed ~program ~params ~budget ~jobs ~chunk_size ~lb spec =
     let* sizes = parse_spec spec in
     let* sweep =
-      Sweep.run_program_checked ~budget ?jobs ?chunk_size ~params
-        entry.Report.program
+      Sweep.run_program_checked ~budget ?jobs ?chunk_size ~params program
     in
     Printf.printf
       "streamed cache sweep over %d events, footprint %d cells (no OPT \
@@ -335,16 +326,14 @@ let simulate_cmd =
           (fun s ->
             let lru = Sweep.stats sweep ~size:s in
             Printf.printf "  %8d | %9d %9d %9d | %10.1f\n" s lru.Cache.loads
-              lru.Cache.read_hits lru.Cache.stores
-              (lower_bound a ~m ~n ~s))
+              lru.Cache.read_hits lru.Cache.stores (lb ~s))
           sizes)
   in
   (* Sampled variant: every column is an estimate with an interval. *)
-  let run_sweep_sampled entry a ~m ~n ~params ~budget ~rate ~seed spec =
+  let run_sweep_sampled ~program ~params ~budget ~rate ~seed ~lb spec =
     let* sizes = parse_spec spec in
     let* sampled =
-      Sweep.run_sampled_checked ~budget ~rate ~seed ~params
-        entry.Report.program
+      Sweep.run_sampled_checked ~budget ~rate ~seed ~params program
     in
     Printf.printf
       "sampled cache sweep: kept %d of %d accesses (rate %g, seed %d), \
@@ -367,12 +356,27 @@ let simulate_cmd =
             Printf.printf
               "  %8d | %12.4g [%12.4g,%12.4g] | %9.4g %9.4g | %10.1f\n" s
               loads.Sweep.est loads.Sweep.lo loads.Sweep.hi hits.Sweep.est
-              stores.Sweep.est
-              (lower_bound a ~m ~n ~s))
+              stores.Sweep.est (lb ~s))
           sizes)
   in
-  let run name m n s seed sizes sample_rate sample_seed chunk_size jobs
-      budget_spec =
+  let parse_param spec =
+    match String.index_opt spec '=' with
+    | Some i -> (
+        let name = String.sub spec 0 i in
+        let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt v with
+        | Some v when name <> "" -> Ok (name, v)
+        | _ ->
+            Error
+              (Engine_error.Invalid_input
+                 (Printf.sprintf "--param expects NAME=INT, got %S" spec)))
+    | None ->
+        Error
+          (Engine_error.Invalid_input
+             (Printf.sprintf "--param expects NAME=INT, got %S" spec))
+  in
+  let run name file param_overrides m n s seed sizes sample_rate sample_seed
+      chunk_size jobs budget_spec =
     run_checked @@ fun () ->
     let* () =
       match sample_rate with
@@ -401,32 +405,104 @@ let simulate_cmd =
       else Ok ()
     in
     let* budget = make_budget budget_spec in
-    let* entry = Report.find_checked name in
-    let* params = Report.concrete_params entry ~m ~n in
-    let* a = Report.analyze_checked ~budget entry in
+    (* Resolve the subject: a built-in kernel evaluated at -m/-n, or a
+       parsed --file source at its verify sizes (overridable per parameter
+       with --param).  Both produce the program, its concrete sizes, a
+       degradation notice, and labelled lower bounds at a given S. *)
+    let* program, params, degradation, pebble_lines =
+      match (name, file) with
+      | Some _, Some _ ->
+          Error
+            (Engine_error.Invalid_input
+               "KERNEL and --file are exclusive: simulate one subject")
+      | None, None ->
+          Error
+            (Engine_error.Invalid_input
+               "need a KERNEL name or --file PROG.iolb")
+      | Some name, None ->
+          let* () =
+            if param_overrides <> [] then
+              Error
+                (Engine_error.Invalid_input
+                   "--param applies to --file sources; built-in kernels \
+                    take -m/-n")
+            else Ok ()
+          in
+          let* entry = Report.find_checked name in
+          let* params = Report.concrete_params entry ~m ~n in
+          let* a = Report.analyze_checked ~budget entry in
+          let pebble_lines ~s =
+            List.filter_map
+              (fun tech ->
+                Report.eval_best a ~technique:tech ~m ~n ~s
+                |> Option.map (fun v ->
+                       ( (match tech with
+                         | `Classical -> "classical"
+                         | `Hourglass -> "hourglass"),
+                         v )))
+              [ `Classical; `Hourglass ]
+          in
+          Ok (entry.Report.program, params, a.Report.degradation, pebble_lines)
+      | None, Some path ->
+          let* src = Front.parse_file path in
+          let* overrides =
+            List.fold_left
+              (fun acc spec ->
+                let* acc = acc in
+                let* (name, v) = parse_param spec in
+                if List.mem_assoc name src.Front.verify then
+                  Ok ((name, v) :: acc)
+                else
+                  Error
+                    (Engine_error.Invalid_input
+                       (Printf.sprintf
+                          "--param %s=%d: %s is not a parameter of kernel %s"
+                          name v name
+                          src.Front.program.Iolb_ir.Program.name)))
+              (Ok []) param_overrides
+          in
+          let params =
+            List.map
+              (fun (p, v) ->
+                (p, Option.value ~default:v (List.assoc_opt p overrides)))
+              src.Front.verify
+          in
+          let* (o : D.outcome) =
+            D.analyze_ladder ~budget ~verify_params:params src.Front.program
+          in
+          let pebble_lines ~s =
+            match D.best ~params ~s o.D.bounds with
+            | Some b -> [ ("derived", D.eval b ~params ~s) ]
+            | None -> []
+          in
+          Ok (src.Front.program, params, o.D.degradation, pebble_lines)
+    in
     let show_degradation () =
-      match a.degradation with
+      match degradation with
       | Some why -> Printf.printf "degraded: %s\n" why
       | None -> ()
+    in
+    let lb ~s =
+      List.fold_left
+        (fun acc (_, v) -> Float.max acc v)
+        0. (pebble_lines ~s)
     in
     match sizes with
     | Some spec -> (
         show_degradation ();
         match sample_rate with
         | Some rate ->
-            run_sweep_sampled entry a ~m ~n ~params ~budget ~rate
-              ~seed:sample_seed spec
+            run_sweep_sampled ~program ~params ~budget ~rate
+              ~seed:sample_seed ~lb spec
         | None when jobs <> None || chunk_size <> None ->
-            run_sweep_streamed entry a ~m ~n ~params ~budget ~jobs
-              ~chunk_size spec
-        | None -> run_sweep entry a ~m ~n ~params ~budget spec)
+            run_sweep_streamed ~program ~params ~budget ~jobs ~chunk_size
+              ~lb spec
+        | None -> run_sweep ~program ~params ~budget ~lb spec)
     | None ->
-        let* cdag =
-          Cdag.of_program_checked ~budget ~params entry.Report.program
-        in
+        let* cdag = Cdag.of_program_checked ~budget ~params program in
         Format.printf "%a@." Cdag.pp_stats cdag;
         show_degradation ();
-        let* program =
+        let* prog_run =
           Game.run_checked ~budget cdag ~s
             ~schedule:(Game.program_schedule cdag)
         in
@@ -436,21 +512,35 @@ let simulate_cmd =
         in
         Printf.printf "pebble game at S=%d:\n" s;
         Printf.printf "  program order : %d loads (peak red %d)\n"
-          program.Game.loads program.Game.peak_red;
+          prog_run.Game.loads prog_run.Game.peak_red;
         Printf.printf "  random order  : %d loads (peak red %d)\n"
           random.Game.loads random.Game.peak_red;
         List.iter
-          (fun tech ->
-            match Report.eval_best a ~technique:tech ~m ~n ~s with
-            | Some v ->
-                Printf.printf "  lower bound (%s): %.1f\n"
-                  (match tech with
-                  | `Classical -> "classical"
-                  | `Hourglass -> "hourglass")
-                  v
-            | None -> ())
-          [ `Classical; `Hourglass ];
+          (fun (label, v) ->
+            Printf.printf "  lower bound (%s): %.1f\n" label v)
+          (pebble_lines ~s);
         Ok ()
+  in
+  let sim_kernel_arg =
+    let doc =
+      "Kernel name: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2 (omit with \
+       $(b,--file))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+  in
+  let sim_file_arg =
+    let doc =
+      "Simulate the affine program in $(i,FILE) (DSL source) at its \
+       $(b,verify) sizes; $(b,-m)/$(b,-n) are ignored in this mode."
+    in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let sim_param_arg =
+    let doc =
+      "With $(b,--file): override one verify binding, e.g. $(b,--param \
+       N=16).  Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "param" ] ~docv:"NAME=V" ~doc)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -460,9 +550,9 @@ let simulate_cmd =
           bounds"
        ~exits:engine_exits)
     Term.(
-      const run $ kernel_arg $ m_arg $ n_arg $ s_arg $ seed_arg $ sizes_arg
-      $ sample_rate_arg $ sample_seed_arg $ chunk_arg $ jobs_arg
-      $ budget_args)
+      const run $ sim_kernel_arg $ sim_file_arg $ sim_param_arg $ m_arg
+      $ n_arg $ s_arg $ seed_arg $ sizes_arg $ sample_rate_arg
+      $ sample_seed_arg $ chunk_arg $ jobs_arg $ budget_args)
 
 let tile_cmd =
   let b_arg =
@@ -582,7 +672,25 @@ let check_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Suppress the human-readable summary.")
   in
-  let run count seed props json max_failures quiet budget_spec =
+  let parse_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "parse" ] ~docv:"FILE"
+          ~doc:
+            "Parse and elaborate the DSL source in $(i,FILE) and print a \
+             one-line structural summary instead of running the random \
+             certification; a diagnostic exits with code 2.  Repeatable.")
+  in
+  let run count seed props json max_failures quiet parse_files budget_spec =
+    if parse_files <> [] then
+      run_checked @@ fun () ->
+      List.fold_left
+        (fun acc file ->
+          let* () = acc in
+          let* src = Front.parse_file file in
+          Ok (Printf.printf "%s: %s\n" file (Driver.describe src)))
+        (Ok ()) parse_files
+    else
     let code = ref 0 in
     let rc =
       run_checked @@ fun () ->
@@ -637,7 +745,32 @@ let check_cmd =
        ~exits)
     Term.(
       const run $ count_arg $ seed_arg $ props_arg $ json_arg
-      $ max_failures_arg $ quiet_arg $ budget_args)
+      $ max_failures_arg $ quiet_arg $ parse_arg $ budget_args)
+
+let print_cmd =
+  let run name =
+    run_checked @@ fun () ->
+    (* Emitting then re-parsing a built-in is the round-trip identity the
+       shipped examples/kernels/*.iolb files are generated from. *)
+    match Report.find_checked name with
+    | Ok entry ->
+        Ok
+          (print_string
+             (Front.print ~verify:entry.Report.verify_params
+                entry.Report.program))
+    | Error e -> (
+        match List.find_opt (fun (n, _, _) -> n = name) Report.baselines with
+        | Some (_, program, verify) ->
+            Ok (print_string (Front.print ~verify program))
+        | None -> Error e)
+  in
+  Cmd.v
+    (Cmd.info "print"
+       ~doc:
+         "Emit the DSL source of a built-in kernel (re-parses to the \
+          identical program)"
+       ~exits:engine_exits)
+    Term.(const run $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Bound service: `iolb serve` and its line client.                    *)
@@ -793,8 +926,9 @@ let client_cmd =
   let op_arg =
     let doc =
       "Operation: $(b,ping), $(b,list), $(b,stats), $(b,shutdown), \
-       $(b,analyze), $(b,eval), $(b,crash), or $(b,raw) (send $(i,ARG) as \
-       a verbatim request line)."
+       $(b,analyze), $(b,eval), $(b,source) (analyse the DSL file named by \
+       $(i,ARG)), $(b,crash), or $(b,raw) (send $(i,ARG) as a verbatim \
+       request line)."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
@@ -803,7 +937,9 @@ let client_cmd =
       value
       & pos 1 (some string) None
       & info [] ~docv:"ARG"
-          ~doc:"Kernel name (analyze/eval) or raw request line (raw).")
+          ~doc:
+            "Kernel name (analyze/eval), DSL file path (source), or raw \
+             request line (raw).")
   in
   let fault_arg =
     Arg.(
@@ -902,6 +1038,34 @@ let client_cmd =
                     :: ("op", Json.String "eval")
                     :: ("m", Json.Int m) :: ("n", Json.Int n)
                     :: ("s", Json.Int s) :: fs)))
+        | "source" -> (
+            (* The file is read client-side; the service never touches the
+               filesystem.  Json.escape keeps the multi-line source on one
+               wire line. *)
+            match arg with
+            | None ->
+                Error
+                  (Engine_error.Invalid_input "source needs a DSL file path")
+            | Some path -> (
+                match
+                  let ic = open_in_bin path in
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () ->
+                      really_input_string ic (in_channel_length ic))
+                with
+                | exception Sys_error msg ->
+                    Error
+                      (Engine_error.Invalid_input
+                         (Printf.sprintf "cannot read %s: %s" path msg))
+                | src ->
+                    Ok
+                      (Json.to_string
+                         (Json.Obj
+                            (("id", Json.Null)
+                            :: ("op", Json.String "source")
+                            :: ("src", Json.String src)
+                            :: fields)))))
         | "raw" -> (
             match arg with
             | Some l -> Ok l
@@ -913,7 +1077,7 @@ let client_cmd =
               (Engine_error.Invalid_input
                  (Printf.sprintf
                     "unknown client op %S (ping, list, stats, shutdown, \
-                     analyze, eval, crash, raw)"
+                     analyze, eval, source, crash, raw)"
                     other))
       in
       let* client =
@@ -988,6 +1152,7 @@ let () =
             list_cmd;
             analyze_cmd;
             bounds_cmd;
+            print_cmd;
             eval_cmd;
             simulate_cmd;
             tile_cmd;

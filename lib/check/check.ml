@@ -9,6 +9,7 @@ type failure = {
   spec : Spec.t;
   shrunk : Spec.t;
   shrunk_detail : string;
+  shrunk_source : string;
   shrink_steps : int;
 }
 
@@ -129,6 +130,12 @@ let run ?(budget = fun () -> Budget.unlimited) ?(max_failures = 5) ?progress
                 if Spec.equal shrunk spec then detail
                 else fail_detail ~budget oracle shrunk
               in
+              (* The minimal counterexample as a saveable .iolb source,
+                 so a failure replays through the textual front end too. *)
+              let shrunk_source =
+                let prog, params = Spec.to_program shrunk in
+                Iolb_front.Front.print ~verify:params prog
+              in
               failures :=
                 {
                   seed = s;
@@ -137,6 +144,7 @@ let run ?(budget = fun () -> Budget.unlimited) ?(max_failures = 5) ?progress
                   spec;
                   shrunk;
                   shrunk_detail;
+                  shrunk_source;
                   shrink_steps;
                 }
                 :: !failures))
@@ -165,6 +173,7 @@ let failure_to_json f =
       ("spec", Spec.to_json f.spec);
       ("shrunk", Spec.to_json f.shrunk);
       ("shrunk_detail", Json.String f.shrunk_detail);
+      ("shrunk_source", Json.String f.shrunk_source);
       ("shrink_steps", Json.Int f.shrink_steps);
       ( "replay",
         Json.String (Printf.sprintf "iolb check --seed %d --count 1" f.seed) );
@@ -207,7 +216,12 @@ let pp fmt r =
     (fun f ->
       Format.fprintf fmt
         "@,@[<v2>FAIL seed %d, property %s:@,%s@,spec: %s@,shrunk (%d \
-         steps): %s@,on shrunk: %s@]"
+         steps): %s@,on shrunk: %s@,reproducer (save as FAIL.iolb, rerun \
+         with iolb bounds --file FAIL.iolb):"
         f.seed f.prop f.detail (Spec.to_string f.spec) f.shrink_steps
-        (Spec.to_string f.shrunk) f.shrunk_detail)
+        (Spec.to_string f.shrunk) f.shrunk_detail;
+      List.iter
+        (fun line -> Format.fprintf fmt "@,  %s" line)
+        (String.split_on_char '\n' (String.trim f.shrunk_source));
+      Format.fprintf fmt "@]")
     r.failures

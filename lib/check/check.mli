@@ -9,6 +9,9 @@ type failure = {
   spec : Spec.t;  (** the spec as generated *)
   shrunk : Spec.t;  (** locally minimal failing spec (= [spec] if already) *)
   shrunk_detail : string;  (** oracle detail for the shrunk spec *)
+  shrunk_source : string;
+      (** the shrunk spec's program as DSL source - a ready-to-save
+          [.iolb] reproducer for [iolb bounds --file] *)
   shrink_steps : int;
 }
 

@@ -633,6 +633,77 @@ let prop_region_cover c =
       collect issues
 
 (* ------------------------------------------------------------------ *)
+(* parse-roundtrip: printing the generated program as DSL source and
+   re-parsing it must reproduce the program exactly - structural
+   equality on the IR and the same verify bindings.  This pins the
+   printer/parser/elaborator composition as the identity on every
+   program the generator can produce, so textual kernel sources are a
+   faithful exchange format, not an approximation.                      *)
+
+module Front = Iolb_front.Front
+module Front_diag = Iolb_front.Diag
+
+let prop_parse_roundtrip c =
+  let printed = Front.print ~verify:c.params c.prog in
+  match Front.parse_string ~file:"<spec>" printed with
+  | Error d ->
+      fail "printed source does not re-parse: %s" (Front_diag.to_string d)
+  | Ok src ->
+      let issues = ref [] in
+      if not (Program.equal src.Front.program c.prog) then
+        push issues "re-parsed program is not structurally equal to the original";
+      let sort l = List.sort compare l in
+      if sort src.Front.verify <> sort c.params then
+        push issues "verify bindings differ: printed %s, re-parsed %s"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) c.params))
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                src.Front.verify));
+      collect issues
+
+(* ------------------------------------------------------------------ *)
+(* parse-derive: the full derivation pipeline (hourglass detection plus
+   the bound derivations, exactly as [ctx] computes them) run on the
+   re-parsed copy of the program must produce the same bounds, rendered
+   through [Derive.pp], as the original.  Catches anything the
+   round-trip's structural equality is too weak to see - e.g. a printer
+   normalisation that [Program.equal] accepts but that shifts a
+   projection or a cardinality downstream.                              *)
+
+let prop_parse_derive c =
+  let printed = Front.print ~verify:c.params c.prog in
+  match Front.parse_string ~file:"<spec>" printed with
+  | Error d ->
+      fail "printed source does not re-parse: %s" (Front_diag.to_string d)
+  | Ok src ->
+      let prog' = src.Front.program in
+      let hgs' =
+        Iolb.Hourglass.detect_verified ~budget:c.budget
+          ~params:src.Front.verify prog'
+      in
+      let bounds' =
+        List.concat_map (D.hourglass ~budget:c.budget prog') hgs'
+        @ D.classical_deepest ~budget:c.budget prog'
+      in
+      let render bs =
+        List.map (fun (b : D.t) -> Format.asprintf "%a" D.pp b) bs
+      in
+      let orig = render (Lazy.force c.bounds)
+      and reparsed = render bounds' in
+      let issues = ref [] in
+      if List.length (ctx_hourglasses c) <> List.length hgs' then
+        push issues "hourglass count differs: %d original, %d re-parsed"
+          (List.length (ctx_hourglasses c))
+          (List.length hgs');
+      if orig <> reparsed then
+        push issues "derived bounds differ: original [%s] vs re-parsed [%s]"
+          (String.concat " | " orig)
+          (String.concat " | " reparsed);
+      collect issues
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 
 type t = { name : string; doc : string }
@@ -653,6 +724,8 @@ let impl = function
   | "hourglass-path" -> prop_hourglass_path
   | "split-regions" -> prop_split_regions
   | "region-cover" -> prop_region_cover
+  | "parse-roundtrip" -> prop_parse_roundtrip
+  | "parse-derive" -> prop_parse_derive
   | "demo-broken" ->
       fun _ ->
         Fail
@@ -703,6 +776,14 @@ let all =
     {
       name = "region-cover";
       doc = "parametric-simplex regions tile [1/2,1] and match pinned solves";
+    };
+    {
+      name = "parse-roundtrip";
+      doc = "print-as-DSL then re-parse is the identity on the IR";
+    };
+    {
+      name = "parse-derive";
+      doc = "re-parsed source derives byte-identical bounds";
     };
   ]
 

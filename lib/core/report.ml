@@ -111,11 +111,18 @@ let find_checked name =
   match find name with
   | e -> Ok e
   | exception Not_found ->
+      let paper =
+        List.map (fun e -> Paper_formulas.kernel_name e.kernel) registry
+      in
+      let baseline = List.map (fun (n, _, _) -> n) baselines in
       Error
         (Engine_error.Invalid_input
            (Printf.sprintf
-              "unknown kernel %S (try: mgs, qr_hh_a2v, qr_hh_v2q, gebd2, gehd2)"
-              name))
+              "unknown kernel %S (paper kernels: %s; baselines: %s; or pass \
+               a DSL source with --file PROG.iolb)"
+              name
+              (String.concat ", " paper)
+              (String.concat ", " baseline)))
 
 type analysis = {
   entry : entry;

@@ -1,0 +1,46 @@
+(* Located surface syntax produced by the parser, before elaboration to
+   [Iolb_ir.Program].  Expressions keep products so the elaborator can
+   point at the exact '*' of an affinity violation. *)
+
+type expr =
+  | Int of int * Loc.t
+  | Var of string * Loc.t
+  | Neg of expr * Loc.t
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr * Loc.t  (* location of the '*' *)
+
+let rec expr_loc = function
+  | Int (_, l) | Var (_, l) | Neg (_, l) | Mul (_, _, l) -> l
+  | Add (a, _) | Sub (a, _) -> expr_loc a
+
+type access = { arr : string; arr_loc : Loc.t; index : expr list }
+
+type cmp = Cge | Cle | Cgt | Clt | Ceq
+
+type constr = { lhs : expr; cmp : cmp; rhs : expr }
+
+type node =
+  | For of {
+      var : string;
+      var_loc : Loc.t;
+      first : expr;  (* lower bound, or upper bound of a downto loop *)
+      second : expr;
+      down : bool;
+      body : node list;
+    }
+  | Stmt of {
+      sname : string;
+      sloc : Loc.t;
+      writes : access list;
+      reads : access list;
+    }
+
+type kernel = {
+  kname : string;
+  kname_loc : Loc.t;
+  params : (string * Loc.t) list;
+  assumes : constr list;
+  verify : (string * Loc.t * int) list;
+  body : node list;
+}

@@ -1,0 +1,8 @@
+type t = { loc : Loc.t; msg : string }
+
+let make loc msg = { loc; msg }
+let makef loc fmt = Printf.ksprintf (fun msg -> { loc; msg }) fmt
+let to_string d = Printf.sprintf "%s: %s" (Loc.to_string d.loc) d.msg
+
+let to_engine_error d =
+  Iolb_util.Engine_error.Invalid_input (to_string d)

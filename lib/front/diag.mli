@@ -1,0 +1,19 @@
+(** Front-end diagnostics: a located message.
+
+    Every lexing, parsing and elaboration failure is a [Diag.t]; mapped
+    onto the engine's typed-error convention it becomes an
+    {!Iolb_util.Engine_error.Invalid_input} (exit code 2), rendered as
+    [file:line:col: message]. *)
+
+type t = { loc : Loc.t; msg : string }
+
+val make : Loc.t -> string -> t
+
+(** [makef loc fmt ...] formats the message. *)
+val makef : Loc.t -> ('a, unit, string, t) format4 -> 'a
+
+(** ["file:line:col: message"] *)
+val to_string : t -> string
+
+(** The exit-code-2 embedding used by the CLI and the bound service. *)
+val to_engine_error : t -> Iolb_util.Engine_error.t

@@ -1,0 +1,95 @@
+module Report = Iolb.Report
+module D = Iolb.Derive
+module Program = Iolb_ir.Program
+module Deps = Iolb_ir.Deps
+
+let ( let* ) = Result.bind
+
+(* Verify bindings are order-insensitive: the printer emits them in
+   program-parameter order, the registry stores them in historical order. *)
+let verify_equal a b =
+  let sort l = List.sort (fun (x, _) (y, _) -> String.compare x y) l in
+  List.equal
+    (fun (x, (v : int)) (y, w) -> String.equal x y && v = w)
+    (sort a) (sort b)
+
+let resolve (src : Front.source) =
+  List.find_opt
+    (fun (e : Report.entry) ->
+      Program.equal e.program src.Front.program
+      && verify_equal e.verify_params src.Front.verify)
+    Report.registry
+
+(* The exact bytes [iolb analyze] prints after the report: a blank line,
+   the bound, then (with [logs]) its derivation log. *)
+let render_bounds ~logs bounds =
+  String.concat ""
+    (List.map
+       (fun (b : D.t) ->
+         Format.asprintf "@.%a@." D.pp b
+         ^
+         if logs then
+           String.concat ""
+             (List.map (fun l -> Format.asprintf "    | %s@." l) b.D.log)
+         else "")
+       bounds)
+
+let render_analysis ~logs (a : Report.analysis) =
+  (* The registry report already lists each bound; the trailing section
+     repeats them only to attach the derivation logs. *)
+  Format.asprintf "%a@." Report.pp_analysis a
+  ^ if logs then render_bounds ~logs a.Report.bounds else ""
+
+let render_outcome ~logs (o : D.outcome) =
+  (match o.D.degradation with
+  | Some why -> Format.asprintf "degraded: %s@." why
+  | None -> (
+      match o.D.bounds with
+      | [] ->
+          Format.asprintf
+            "no bound derivable (no hourglass; Brascamp-Lieb exponent <= 1)@."
+      | _ :: _ -> ""))
+  ^ render_bounds ~logs o.D.bounds
+
+let render_entry ~budget ~logs entry =
+  let* a = Report.analyze_checked ~budget entry in
+  Ok (render_analysis ~logs a)
+
+let render_ladder ~budget ~logs ~verify_params program =
+  let* o = D.analyze_ladder ~budget ~verify_params program in
+  Ok (render_outcome ~logs o)
+
+let render_kernel ~budget ~logs name =
+  match Report.find_checked name with
+  | Ok entry -> render_entry ~budget ~logs entry
+  | Error e -> (
+      match List.find_opt (fun (n, _, _) -> n = name) Report.baselines with
+      | Some (_, program, verify_params) ->
+          render_ladder ~budget ~logs ~verify_params program
+      | None -> Error e)
+
+let render_source ~budget ~logs (src : Front.source) =
+  match resolve src with
+  | Some entry -> render_entry ~budget ~logs entry
+  | None ->
+      render_ladder ~budget ~logs ~verify_params:src.Front.verify
+        src.Front.program
+
+let render_file ~budget ~logs path =
+  let* src = Front.parse_file path in
+  render_source ~budget ~logs src
+
+let rec count_stmts n = function
+  | Program.Stmt _ -> n + 1
+  | Program.Loop { body; _ } -> List.fold_left count_stmts n body
+
+let describe (src : Front.source) =
+  let p = src.Front.program in
+  Printf.sprintf "kernel %s: %d parameters, %d statements, %d dependence relations%s"
+    p.Program.name
+    (List.length p.Program.params)
+    (List.fold_left count_stmts 0 p.Program.body)
+    (List.length (Deps.relations p))
+    (match resolve src with
+    | Some e -> Printf.sprintf " (matches built-in %s)" e.Report.display
+    | None -> "")

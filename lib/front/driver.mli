@@ -1,0 +1,50 @@
+(** Analysis driver for parsed programs: the single rendering path behind
+    [iolb analyze], [iolb bounds --file] and the differential tests.
+
+    Byte-identity contract: for a source file that {!resolve}s to a built-in
+    registry entry, {!render_source} produces exactly the bytes [iolb
+    analyze <name>] (with [logs:true]) or the kernel's section of [iolb
+    bounds] (with [logs:false]) prints today; for any other well-formed
+    source it produces the graceful-degradation ladder report the CLI
+    prints for baselines. *)
+
+(** [resolve src] is the registry entry whose program is
+    {!Iolb_ir.Program.equal} to the parsed one with the same verify
+    bindings, if any.  Resolution is structural: renaming a statement or
+    perturbing a bound makes a source a custom program, never a mislabelled
+    built-in. *)
+val resolve : Front.source -> Iolb.Report.entry option
+
+(** [render_analysis ~logs a] renders a registry analysis; [logs] appends
+    each bound's derivation log lines as [iolb analyze] does. *)
+val render_analysis : logs:bool -> Iolb.Report.analysis -> string
+
+(** [render_outcome ~logs o] renders a ladder outcome (degradation line,
+    the no-bound notice, then each bound). *)
+val render_outcome : logs:bool -> Iolb.Derive.outcome -> string
+
+(** [render_kernel ~budget ~logs name] is the report for a built-in kernel
+    name: registry first, then baselines, then the unknown-kernel error. *)
+val render_kernel :
+  budget:Iolb_util.Budget.t ->
+  logs:bool ->
+  string ->
+  (string, Iolb_util.Engine_error.t) result
+
+val render_source :
+  budget:Iolb_util.Budget.t ->
+  logs:bool ->
+  Front.source ->
+  (string, Iolb_util.Engine_error.t) result
+
+(** [render_file ~budget ~logs path] parses [path] and renders it. *)
+val render_file :
+  budget:Iolb_util.Budget.t ->
+  logs:bool ->
+  string ->
+  (string, Iolb_util.Engine_error.t) result
+
+(** [describe src] is a one-line structural summary for [iolb check
+    --parse]: parameter/statement/dependence-relation counts plus the
+    resolved built-in name when the program matches one. *)
+val describe : Front.source -> string

@@ -1,0 +1,130 @@
+module Affine = Iolb_poly.Affine
+module Constr = Iolb_poly.Constr
+module Access = Iolb_ir.Access
+module Program = Iolb_ir.Program
+
+type source = { program : Program.t; verify : (string * int) list }
+
+exception Bail of Diag.t
+
+let bail loc fmt = Printf.ksprintf (fun msg -> raise (Bail (Diag.make loc msg))) fmt
+
+(* Scope: parameters plus the enclosing loop variables, outermost first. *)
+type scope = { params : (string * Loc.t) list; loops : string list }
+
+let visible sc = List.rev_append sc.loops (List.map fst sc.params)
+
+let rec affine sc = function
+  | Ast.Int (v, _) -> Affine.const v
+  | Ast.Var (x, loc) ->
+      if List.mem x (visible sc) then Affine.var x
+      else
+        bail loc "unbound name %s (visible here: %s)" x
+          (match visible sc with
+          | [] -> "none"
+          | vs -> String.concat ", " vs)
+  | Ast.Neg (e, _) -> Affine.neg (affine sc e)
+  | Ast.Add (a, b) -> Affine.add (affine sc a) (affine sc b)
+  | Ast.Sub (a, b) -> Affine.sub (affine sc a) (affine sc b)
+  | Ast.Mul (a, b, loc) -> (
+      let ea = affine sc a and eb = affine sc b in
+      match (Affine.is_constant ea, Affine.is_constant eb) with
+      | Some c, _ -> Affine.scale c eb
+      | _, Some c -> Affine.scale c ea
+      | None, None ->
+          bail loc
+            "non-affine product %s * %s: one operand of '*' must be \
+             constant (subscripts and bounds are affine in loop variables \
+             and parameters)"
+            (Affine.to_string ea) (Affine.to_string eb))
+
+let constr sc (c : Ast.constr) =
+  let l = affine sc c.lhs and r = affine sc c.rhs in
+  match c.cmp with
+  | Ast.Cge -> Constr.ge_of l r
+  | Ast.Cle -> Constr.le_of l r
+  | Ast.Cgt -> Constr.lt_of r l
+  | Ast.Clt -> Constr.lt_of l r
+  | Ast.Ceq -> Constr.eq_of l r
+
+let access sc (a : Ast.access) =
+  Access.make a.arr (List.map (affine sc) a.index)
+
+let rec node sc seen = function
+  | Ast.Stmt { sname; sloc; writes; reads } ->
+      (match List.assoc_opt sname !seen with
+      | Some first ->
+          bail sloc "duplicate statement id %s (first defined at %s)" sname
+            (Loc.to_string first)
+      | None -> seen := (sname, sloc) :: !seen);
+      Program.stmt sname
+        ~writes:(List.map (access sc) writes)
+        ~reads:(List.map (access sc) reads)
+  | Ast.For { var; var_loc; first; second; down; body } ->
+      if List.mem var sc.loops then
+        bail var_loc "loop variable %s shadows an enclosing loop variable" var;
+      if List.mem_assoc var sc.params then
+        bail var_loc "loop variable %s shadows a parameter" var;
+      let first = affine sc first and second = affine sc second in
+      let lo, hi = if down then (second, first) else (first, second) in
+      (match (Affine.is_constant lo, Affine.is_constant hi) with
+      | Some l, Some h when h < l ->
+          bail var_loc
+            "negative bound: %s iterates %d .. %d, a trip count of %d \
+             (bounds are inclusive)"
+            var l h (h - l + 1)
+      | _ -> ());
+      let inner = { sc with loops = sc.loops @ [ var ] } in
+      let body = List.map (node inner seen) body in
+      if down then Program.loop_rev var lo hi body
+      else Program.loop var lo hi body
+
+let kernel (k : Ast.kernel) =
+  match
+    let rec dup_param = function
+      | [] -> ()
+      | (p, _) :: rest ->
+          (match List.assoc_opt p rest with
+          | Some loc -> bail loc "duplicate parameter %s" p
+          | None -> ());
+          dup_param rest
+    in
+    dup_param k.params;
+    let sc = { params = k.params; loops = [] } in
+    let assumptions = List.map (constr sc) k.assumes in
+    let seen = ref [] in
+    let body = List.map (node sc seen) k.body in
+    (* The verify clause: one concrete value per parameter, no strays. *)
+    let rec dup_verify = function
+      | [] -> ()
+      | (name, _, _) :: rest ->
+          (match List.find_opt (fun (n, _, _) -> n = name) rest with
+          | Some (_, loc, _) -> bail loc "duplicate verify binding for %s" name
+          | None -> ());
+          dup_verify rest
+    in
+    dup_verify k.verify;
+    List.iter
+      (fun (name, loc, _) ->
+        if not (List.mem_assoc name k.params) then
+          bail loc "verify binds %s, which is not a parameter of kernel %s"
+            name k.kname)
+      k.verify;
+    List.iter
+      (fun (p, loc) ->
+        if not (List.exists (fun (n, _, _) -> n = p) k.verify) then
+          bail loc
+            "parameter %s has no verify value (add 'verify %s = <size>' so \
+             patterns can be verified at concrete sizes)"
+            p p)
+      k.params;
+    let program =
+      try
+        Program.make ~name:k.kname ~params:(List.map fst k.params)
+          ~assumptions body
+      with Invalid_argument msg -> bail k.kname_loc "%s" msg
+    in
+    { program; verify = List.map (fun (n, _, v) -> (n, v)) k.verify }
+  with
+  | src -> Ok src
+  | exception Bail d -> Error d

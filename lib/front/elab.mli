@@ -1,0 +1,23 @@
+(** Elaboration of the surface AST to {!Iolb_ir.Program} programs.
+
+    Beyond lowering, this is where the DSL's static semantics live, each
+    violation reported at its source location:
+    - every expression must be affine in the visible names (a product
+      needs at least one constant operand);
+    - every name must be a parameter or an enclosing loop variable;
+    - loop variables may not shadow parameters or enclosing loop
+      variables;
+    - statement ids are unique across the kernel;
+    - constant loop bounds may not give a negative trip count;
+    - the [verify] clause must bind every parameter exactly once (it
+      supplies the concrete sizes at which hourglass patterns are
+      empirically verified and bounds evaluated). *)
+
+type source = {
+  program : Iolb_ir.Program.t;
+  verify : (string * int) list;
+      (** concrete parameter values from the [verify] clause, in source
+          order *)
+}
+
+val kernel : Ast.kernel -> (source, Diag.t) result

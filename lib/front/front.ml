@@ -1,0 +1,27 @@
+type source = Elab.source = {
+  program : Iolb_ir.Program.t;
+  verify : (string * int) list;
+}
+
+let ( let* ) = Result.bind
+
+let parse_string ~file src =
+  let* toks = Lexer.tokenize ~file src in
+  let* ast = Parser.parse toks in
+  Elab.kernel ast
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg ->
+      Error
+        (Iolb_util.Engine_error.Invalid_input
+           (Printf.sprintf "cannot read %s: %s" path msg))
+  | src ->
+      Result.map_error Diag.to_engine_error (parse_string ~file:path src)
+
+let print = Printer.print

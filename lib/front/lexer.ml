@@ -1,0 +1,170 @@
+type token =
+  | KERNEL
+  | ASSUME
+  | VERIFY
+  | FOR
+  | DOWNTO
+  | DOTDOT
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | EQ
+  | EQEQ
+  | GE
+  | LE
+  | GT
+  | LT
+  | PLUS
+  | MINUS
+  | STAR
+  | IDENT of string
+  | INT of int
+  | EOF
+
+type located = { tok : token; loc : Loc.t }
+
+let describe = function
+  | KERNEL -> "'kernel'"
+  | ASSUME -> "'assume'"
+  | VERIFY -> "'verify'"
+  | FOR -> "'for'"
+  | DOWNTO -> "'downto'"
+  | DOTDOT -> "'..'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | EQ -> "'='"
+  | EQEQ -> "'=='"
+  | GE -> "'>='"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | LT -> "'<'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | IDENT x -> Printf.sprintf "identifier %S" x
+  | INT i -> Printf.sprintf "integer %d" i
+  | EOF -> "end of input"
+
+let keyword = function
+  | "kernel" -> Some KERNEL
+  | "assume" -> Some ASSUME
+  | "verify" -> Some VERIFY
+  | "for" -> Some FOR
+  | "downto" -> Some DOWNTO
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ~file src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let error = ref None in
+  let here () = Loc.make ~file ~line:!line ~col:!col in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let push tok loc = toks := { tok; loc } :: !toks in
+  let skip_line () =
+    while !i < n && src.[!i] <> '\n' do
+      advance ()
+    done
+  in
+  while !error = None && !i < n do
+    let loc = here () in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then skip_line ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then skip_line ()
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      push (match keyword word with Some k -> k | None -> IDENT word) loc
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      let digits = String.sub src start (!i - start) in
+      match int_of_string_opt digits with
+      | Some v -> push (INT v) loc
+      | None ->
+          error := Some (Diag.makef loc "integer literal %s is out of range" digits)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then
+          match (c, src.[!i + 1]) with
+          | '.', '.' -> Some DOTDOT
+          | '>', '=' -> Some GE
+          | '<', '=' -> Some LE
+          | '=', '=' -> Some EQEQ
+          | _ -> None
+        else None
+      in
+      match two with
+      | Some tok ->
+          advance ();
+          advance ();
+          push tok loc
+      | None -> (
+          let one =
+            match c with
+            | '{' -> Some LBRACE
+            | '}' -> Some RBRACE
+            | '(' -> Some LPAREN
+            | ')' -> Some RPAREN
+            | '[' -> Some LBRACKET
+            | ']' -> Some RBRACKET
+            | ',' -> Some COMMA
+            | ';' -> Some SEMI
+            | ':' -> Some COLON
+            | '=' -> Some EQ
+            | '>' -> Some GT
+            | '<' -> Some LT
+            | '+' -> Some PLUS
+            | '-' -> Some MINUS
+            | '*' -> Some STAR
+            | _ -> None
+          in
+          match one with
+          | Some tok ->
+              advance ();
+              push tok loc
+          | None ->
+              error :=
+                Some
+                  (Diag.makef loc "unexpected character %C"
+                     c))
+    end
+  done;
+  match !error with
+  | Some d -> Error d
+  | None ->
+      push EOF (here ());
+      Ok (Array.of_list (List.rev !toks))

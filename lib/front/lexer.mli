@@ -1,0 +1,44 @@
+(** Hand-written lexer for the affine-program DSL.
+
+    Tokens carry the location of their first character.  Comments run
+    from [#] or [//] to end of line; whitespace is insignificant. *)
+
+type token =
+  | KERNEL
+  | ASSUME
+  | VERIFY
+  | FOR
+  | DOWNTO
+  | DOTDOT  (** [..] *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | EQ  (** [=] *)
+  | EQEQ  (** [==], accepted as a synonym of [=] in constraints *)
+  | GE
+  | LE
+  | GT
+  | LT
+  | PLUS
+  | MINUS
+  | STAR
+  | IDENT of string
+  | INT of int
+  | EOF
+
+type located = { tok : token; loc : Loc.t }
+
+(** Human rendering used by expected-token diagnostics (e.g. ["'..'"],
+    ["an identifier"], ["end of input"]). *)
+val describe : token -> string
+
+(** [tokenize ~file src] lexes the whole source, ending with an [EOF]
+    token.  Fails on the first unexpected character or unreadable integer
+    literal. *)
+val tokenize : file:string -> string -> (located array, Diag.t) result

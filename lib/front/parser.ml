@@ -1,0 +1,254 @@
+open Lexer
+
+exception Bail of Diag.t
+
+(* The parser state is a cursor over the token array (which always ends
+   with EOF, so [peek] is total). *)
+type st = { toks : located array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail_at (l : located) expected =
+  raise
+    (Bail
+       (Diag.makef l.loc "expected %s, got %s" expected (describe l.tok)))
+
+(* [eat st tok expected]: consume exactly [tok] or fail listing [expected]
+   (a human rendering of the acceptable-token set at this point). *)
+let eat st tok expected =
+  let l = peek st in
+  if l.tok = tok then advance st else fail_at l expected
+
+let ident st expected =
+  let l = peek st in
+  match l.tok with
+  | IDENT x ->
+      advance st;
+      (x, l.loc)
+  | _ -> fail_at l expected
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                        *)
+
+let rec factor st =
+  let l = peek st in
+  match l.tok with
+  | INT v ->
+      advance st;
+      Ast.Int (v, l.loc)
+  | IDENT x ->
+      advance st;
+      Ast.Var (x, l.loc)
+  | MINUS ->
+      advance st;
+      Ast.Neg (factor st, l.loc)
+  | LPAREN ->
+      advance st;
+      let e = expr st in
+      eat st RPAREN "')' closing the parenthesised expression";
+      e
+  | _ -> fail_at l "an expression (integer, name, '-' or '(')"
+
+and term st =
+  let rec loop acc =
+    let l = peek st in
+    match l.tok with
+    | STAR ->
+        advance st;
+        loop (Ast.Mul (acc, factor st, l.loc))
+    | _ -> acc
+  in
+  loop (factor st)
+
+and expr st =
+  let rec loop acc =
+    match (peek st).tok with
+    | PLUS ->
+        advance st;
+        loop (Ast.Add (acc, term st))
+    | MINUS ->
+        advance st;
+        loop (Ast.Sub (acc, term st))
+    | _ -> acc
+  in
+  loop (term st)
+
+(* ------------------------------------------------------------------ *)
+(* Header clauses.                                                     *)
+
+let constr st =
+  let lhs = expr st in
+  let l = peek st in
+  let cmp =
+    match l.tok with
+    | GE -> Ast.Cge
+    | LE -> Ast.Cle
+    | GT -> Ast.Cgt
+    | LT -> Ast.Clt
+    | EQ | EQEQ -> Ast.Ceq
+    | _ -> fail_at l "a comparison ('>=', '<=', '>', '<' or '=')"
+  in
+  advance st;
+  let rhs = expr st in
+  { Ast.lhs; cmp; rhs }
+
+let int_literal st expected =
+  let l = peek st in
+  match l.tok with
+  | INT v ->
+      advance st;
+      v
+  | MINUS -> (
+      advance st;
+      let l2 = peek st in
+      match l2.tok with
+      | INT v ->
+          advance st;
+          -v
+      | _ -> fail_at l2 expected)
+  | _ -> fail_at l expected
+
+let rec comma_sep st one =
+  let first = one st in
+  if (peek st).tok = COMMA then begin
+    advance st;
+    first :: comma_sep st one
+  end
+  else [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Statements and loops.                                               *)
+
+let access st =
+  let arr, arr_loc = ident st "an array or scalar name" in
+  let rec indices acc =
+    if (peek st).tok = LBRACKET then begin
+      advance st;
+      let e = expr st in
+      eat st RBRACKET "']' closing the subscript";
+      indices (e :: acc)
+    end
+    else List.rev acc
+  in
+  { Ast.arr; arr_loc; index = indices [] }
+
+(* [name: w1, w2[i] = f(r1, r2[i - 1]);] — the writes before '=', the
+   reads as arguments of the opaque function 'f'.  A statement with no
+   writes drops the '=' part: [name: f(r);].  The lookahead is
+   unambiguous: a write access is never followed by '('. *)
+let reads_call st =
+  eat st LPAREN "'(' opening the read list of 'f'";
+  let reads =
+    if (peek st).tok = RPAREN then [] else comma_sep st access
+  in
+  eat st RPAREN "')' closing the read list";
+  reads
+
+let stmt_tail st sname sloc =
+  eat st COLON "':' after the statement id";
+  let next_tok =
+    if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok else EOF
+  in
+  let no_writes =
+    match ((peek st).tok, next_tok) with
+    | IDENT "f", LPAREN -> true
+    | _ -> false
+  in
+  let writes = if no_writes then [] else comma_sep st access in
+  if not no_writes then
+    eat st EQ "'=' between the written cells and the 'f(...)' read list";
+  let f, floc = ident st "'f' (every statement computes opaque 'f(reads)')" in
+  if f <> "f" then
+    raise
+      (Bail
+         (Diag.makef floc
+            "expected 'f' (every statement computes opaque 'f(reads)'), got \
+             identifier %S"
+            f));
+  let reads = reads_call st in
+  eat st SEMI "';' terminating the statement";
+  Ast.Stmt { sname; sloc; writes; reads }
+
+let rec node st =
+  let l = peek st in
+  match l.tok with
+  | FOR ->
+      advance st;
+      let var, var_loc = ident st "a loop variable after 'for'" in
+      eat st EQ "'=' after the loop variable";
+      let first = expr st in
+      let l2 = peek st in
+      let down =
+        match l2.tok with
+        | DOTDOT -> false
+        | DOWNTO -> true
+        | _ -> fail_at l2 "'..' or 'downto' between the loop bounds"
+      in
+      advance st;
+      let second = expr st in
+      eat st LBRACE "'{' opening the loop body";
+      let body = nodes st in
+      eat st RBRACE "'}' closing the loop body";
+      Ast.For { var; var_loc; first; second; down; body }
+  | IDENT _ ->
+      let sname, sloc = ident st "a statement id" in
+      stmt_tail st sname sloc
+  | _ -> fail_at l "'for', a statement id, or '}' closing the body"
+
+and nodes st =
+  match (peek st).tok with
+  | RBRACE | EOF -> []
+  | _ ->
+      let n = node st in
+      n :: nodes st
+
+(* ------------------------------------------------------------------ *)
+(* Kernel.                                                             *)
+
+let kernel st =
+  eat st KERNEL "'kernel' opening the program";
+  let kname, kname_loc = ident st "the kernel name after 'kernel'" in
+  eat st LPAREN "'(' opening the parameter list";
+  let params =
+    if (peek st).tok = RPAREN then []
+    else comma_sep st (fun st -> ident st "a parameter name")
+  in
+  eat st RPAREN "')' closing the parameter list";
+  let assumes = ref [] and verify = ref [] in
+  let rec clauses () =
+    match (peek st).tok with
+    | ASSUME ->
+        advance st;
+        assumes := !assumes @ comma_sep st constr;
+        clauses ()
+    | VERIFY ->
+        advance st;
+        let one st =
+          let name, loc = ident st "a parameter name in the verify clause" in
+          eat st EQ "'=' after the verify parameter name";
+          let v = int_literal st "an integer verify value" in
+          (name, loc, v)
+        in
+        verify := !verify @ comma_sep st one;
+        clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  eat st LBRACE "'{' opening the kernel body (or 'assume'/'verify')";
+  let body = nodes st in
+  eat st RBRACE "'}' closing the kernel body";
+  eat st EOF "end of input after the kernel";
+  {
+    Ast.kname;
+    kname_loc;
+    params;
+    assumes = !assumes;
+    verify = !verify;
+    body;
+  }
+
+let parse toks =
+  match kernel { toks; pos = 0 } with
+  | k -> Ok k
+  | exception Bail d -> Error d

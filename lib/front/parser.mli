@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the affine-program DSL.
+
+    Grammar (see the README for the worked version):
+    {v
+    kernel  := 'kernel' IDENT '(' [ IDENT {',' IDENT} ] ')'
+               { 'assume' constr {',' constr}
+               | 'verify' IDENT '=' int {',' IDENT '=' int} }
+               '{' {node} '}'
+    node    := 'for' IDENT '=' expr ('..' | 'downto') expr '{' {node} '}'
+             | IDENT ':' [ access {',' access} '=' ] 'f' '(' [ access
+               {',' access} ] ')' ';'
+    access  := IDENT {'[' expr ']'}
+    constr  := expr ('>=' | '<=' | '>' | '<' | '=' | '==') expr
+    expr    := term {('+' | '-') term}
+    term    := factor {'*' factor}
+    factor  := INT | IDENT | '-' factor | '(' expr ')'
+    v}
+
+    Parse errors carry the offending token's location and the expected
+    token set. *)
+
+val parse : Lexer.located array -> (Ast.kernel, Diag.t) result

@@ -1,0 +1,87 @@
+module Affine = Iolb_poly.Affine
+module Constr = Iolb_poly.Constr
+module Access = Iolb_ir.Access
+module Program = Iolb_ir.Program
+
+(* Canonical affine rendering: terms in increasing variable order (the
+   order [Affine.terms] fixes), constant last, every token lexable by
+   {!Lexer}.  Parsing the result rebuilds the same [Affine.t]. *)
+let pp_affine fmt e =
+  let terms = Affine.terms e and const = Affine.constant e in
+  let pp_coeff ~leading c x =
+    let mag = abs c in
+    if leading then
+      Format.fprintf fmt "%s%s%s"
+        (if c < 0 then "-" else "")
+        (if mag = 1 then "" else Printf.sprintf "%d*" mag)
+        x
+    else
+      Format.fprintf fmt " %s %s%s"
+        (if c < 0 then "-" else "+")
+        (if mag = 1 then "" else Printf.sprintf "%d*" mag)
+        x
+  in
+  match terms with
+  | [] -> Format.pp_print_int fmt const
+  | (c0, x0) :: rest ->
+      pp_coeff ~leading:true c0 x0;
+      List.iter (fun (c, x) -> pp_coeff ~leading:false c x) rest;
+      if const <> 0 then
+        Format.fprintf fmt " %s %d" (if const < 0 then "-" else "+") (abs const)
+
+let pp_access fmt (a : Access.t) =
+  Format.pp_print_string fmt a.array;
+  List.iter (fun e -> Format.fprintf fmt "[%a]" pp_affine e) a.index
+
+let pp_accesses fmt accs =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_access fmt accs
+
+(* Assumptions print in solved form ([e >= 0] / [e = 0]): re-parsing
+   builds [ge_of e 0] = [ge e], i.e. exactly the stored constraint. *)
+let pp_constr fmt (c : Constr.t) =
+  match c.kind with
+  | Constr.Ge -> Format.fprintf fmt "%a >= 0" pp_affine c.expr
+  | Constr.Eq -> Format.fprintf fmt "%a = 0" pp_affine c.expr
+
+let rec pp_node indent fmt = function
+  | Program.Stmt s ->
+      if s.writes = [] then
+        Format.fprintf fmt "%s%s: f(%a);\n" indent s.name pp_accesses s.reads
+      else
+        Format.fprintf fmt "%s%s: %a = f(%a);\n" indent s.name pp_accesses
+          s.writes pp_accesses s.reads
+  | Program.Loop { var; lo; hi; rev; body } ->
+      if rev then
+        Format.fprintf fmt "%sfor %s = %a downto %a {\n" indent var pp_affine
+          hi pp_affine lo
+      else
+        Format.fprintf fmt "%sfor %s = %a .. %a {\n" indent var pp_affine lo
+          pp_affine hi;
+      List.iter (pp_node (indent ^ "  ") fmt) body;
+      Format.fprintf fmt "%s}\n" indent
+
+let print ?(verify = []) (p : Program.t) =
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "kernel %s(%s)\n" p.name (String.concat ", " p.params);
+  (match p.assumptions with
+  | [] -> ()
+  | cs ->
+      Format.fprintf fmt "assume %a\n"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_constr)
+        cs);
+  (match verify with
+  | [] -> ()
+  | vs ->
+      Format.fprintf fmt "verify %s\n"
+        (String.concat ", "
+           (List.map (fun (x, v) -> Printf.sprintf "%s = %d" x v) vs)));
+  Format.fprintf fmt "{\n";
+  List.iter (pp_node "  " fmt) p.body;
+  Format.fprintf fmt "}\n";
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

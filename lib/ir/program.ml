@@ -70,6 +70,30 @@ let make ~name ~params ~assumptions body =
   List.iter (check_node params [] seen) body;
   { name; params; assumptions; body }
 
+(* Structural equality.  Polymorphic compare is unsound here: [Affine.t]
+   is a balanced map whose internal shape can differ between equal
+   expressions, so every affine leaf goes through [Affine.equal]. *)
+let stmt_equal (a : stmt) (b : stmt) =
+  String.equal a.name b.name
+  && List.equal Access.equal a.writes b.writes
+  && List.equal Access.equal a.reads b.reads
+
+let rec node_equal a b =
+  match (a, b) with
+  | Stmt sa, Stmt sb -> stmt_equal sa sb
+  | ( Loop { var = v1; lo = lo1; hi = hi1; rev = r1; body = b1 },
+      Loop { var = v2; lo = lo2; hi = hi2; rev = r2; body = b2 } ) ->
+      String.equal v1 v2 && Affine.equal lo1 lo2 && Affine.equal hi1 hi2
+      && r1 = r2
+      && List.equal node_equal b1 b2
+  | Stmt _, Loop _ | Loop _, Stmt _ -> false
+
+let equal a b =
+  String.equal a.name b.name
+  && List.equal String.equal a.params b.params
+  && List.equal Constr.equal a.assumptions b.assumptions
+  && List.equal node_equal a.body b.body
+
 type stmt_info = {
   def : stmt;
   dims : string list;

@@ -54,6 +54,12 @@ val make :
   node list ->
   t
 
+(** Structural equality (name, params, assumptions, loop tree and accesses,
+    with affine leaves compared by {!Affine.equal}).  This is the identity
+    the textual front-end round-trips against: [parse (print p)] must be
+    [equal] to [p]. *)
+val equal : t -> t -> bool
+
 (** {1 Derived statement views} *)
 
 type stmt_info = {

@@ -31,6 +31,9 @@ type op =
   | Ping
   | List_kernels
   | Analyze of { kernel : string; budget : budget_spec }
+  (* A DSL program shipped inline: [src] is the full source text (the
+     JSON string escaping keeps it one wire line). *)
+  | Source of { src : string; budget : budget_spec }
   | Eval of {
       kernel : string;
       m : int;
@@ -49,6 +52,7 @@ let op_name = function
   | Ping -> "ping"
   | List_kernels -> "list"
   | Analyze _ -> "analyze"
+  | Source _ -> "source"
   | Eval _ -> "eval"
   | Stats -> "stats"
   | Crash -> "crash"
@@ -163,6 +167,16 @@ let parse_request line : (request, Json.t * string) result =
                 (let* kernel = kernel_field json in
                  let* budget = parse_budget json in
                  Ok (Analyze { kernel; budget }))
+          | "source" ->
+              with_op
+                (let* src =
+                   match Json.member "src" json with
+                   | Some (Json.String s) -> Ok s
+                   | Some _ -> Error "field \"src\" must be a string"
+                   | None -> Error "missing field \"src\""
+                 in
+                 let* budget = parse_budget json in
+                 Ok (Source { src; budget }))
           | "eval" ->
               with_op
                 (let* kernel = kernel_field json in
@@ -275,6 +289,18 @@ let analysis_result ~spec (a : Report.analysis) =
       ("bounds", Json.List (List.map bound_json a.bounds));
     ]
 
+(* Result of an inline-source analysis: same shape as [analysis_result],
+   with the parsed kernel's own name. *)
+let source_result ~spec ~kernel ~hourglasses (o : Derive.outcome) =
+  Json.Obj
+    [
+      ("kernel", Json.String kernel);
+      ("spec", Json.String spec);
+      ("hourglasses", Json.Int hourglasses);
+      ("degradation", degradation_json o.degradation);
+      ("bounds", Json.List (List.map bound_json o.bounds));
+    ]
+
 let eval_result ?empirical ~spec (a : Report.analysis) ~m ~n ~s =
   let best tech =
     match Report.eval_best a ~technique:tech ~m ~n ~s with
@@ -310,6 +336,9 @@ let eval_result ?empirical ~spec (a : Report.analysis) ~m ~n ~s =
 let spec_key op ~display =
   match op with
   | Analyze _ -> Some (Printf.sprintf "analyze\x00%s" display)
+  (* A source request is addressed by its text: two byte-identical
+     programs share a cache entry whatever [display] resolves to. *)
+  | Source { src; _ } -> Some (Printf.sprintf "source\x00%s" src)
   | Eval { m; n; s; empirical; _ } ->
       (* The empirical rider is part of the content only when present:
          plain evals keep their pre-existing keys (and cached bytes),

@@ -41,6 +41,10 @@ type op =
   | Ping
   | List_kernels
   | Analyze of { kernel : string; budget : budget_spec }
+  | Source of { src : string; budget : budget_spec }
+      (** an inline DSL program ([src] is the full source text; the JSON
+          string escaping keeps it one wire line), analysed through the
+          graceful-degradation ladder *)
   | Eval of {
       kernel : string;
       m : int;
@@ -101,6 +105,15 @@ val ok_response_raw : id:Json.t -> op:string -> string -> string
 
 val analysis_result : spec:string -> Iolb.Report.analysis -> Json.t
 
+(** [source_result ~spec ~kernel ~hourglasses o] renders an inline-source
+    ladder outcome with the same field shape as {!analysis_result}. *)
+val source_result :
+  spec:string ->
+  kernel:string ->
+  hourglasses:int ->
+  Iolb.Derive.outcome ->
+  Json.t
+
 (** [eval_result ?empirical ...] renders the eval payload; [empirical],
     when given, is an already-rendered measurement object appended as the
     ["empirical"] field (plain evals keep their exact historical bytes). *)
@@ -116,7 +129,8 @@ val eval_result :
 (** Canonical content key of a cacheable request ([None] for the ops that
     are never cached): the resolved kernel display name plus, for [eval],
     the evaluation point and, when present, the empirical rider's rate
-    and seed.  Budgets are excluded - a complete result is the same
+    and seed; [source] requests are keyed by their source text and ignore
+    [display].  Budgets are excluded - a complete result is the same
     answer whatever budget produced it. *)
 val spec_key : op -> display:string -> string option
 

@@ -3,6 +3,10 @@ module Pool = Iolb_util.Pool
 module Budget = Iolb_util.Budget
 module Engine_error = Iolb_util.Engine_error
 module Report = Iolb.Report
+module Derive = Iolb.Derive
+module Hourglass = Iolb.Hourglass
+module Front = Iolb_front.Front
+module Diag = Iolb_front.Diag
 module Sweep = Iolb_pebble.Sweep
 
 type address = Unix_sock of string | Tcp of string * int
@@ -240,6 +244,50 @@ let handle_engine t (req : Protocol.request) =
                   in
                   if cacheable budget a then Lru.add t.cache key result;
                   respond_ok t ~id ~op:"analyze" result)))
+  | Protocol.Source { src; budget } -> (
+      (* Inline DSL source: parse, then run the graceful-degradation
+         ladder.  Parse failures are Invalid_input with the diagnostic's
+         line:col position; caching mirrors Analyze (content = the source
+         text itself, complete results only). *)
+      match Front.parse_string ~file:"<source>" src with
+      | Error d ->
+          respond_error t ~id (Protocol.Engine (Diag.to_engine_error d))
+      | Ok source -> (
+          let key = Option.get (Protocol.spec_key req.op ~display:"") in
+          let spec = Protocol.spec_hash key in
+          let lookup =
+            if budget.fault = None then Lru.find t.cache key else None
+          in
+          match lookup with
+          | Some result -> respond_ok t ~id ~op:"source" result
+          | None -> (
+              match make_budget t budget with
+              | Error e -> respond_error t ~id (Protocol.Engine e)
+              | Ok b -> (
+                  let hourglasses =
+                    match
+                      Hourglass.detect_verified ~budget:b
+                        ~params:source.Front.verify source.Front.program
+                    with
+                    | hgs -> List.length hgs
+                    | exception Budget.Exhausted _ -> 0
+                  in
+                  match
+                    Derive.analyze_ladder ~budget:b
+                      ~verify_params:source.Front.verify source.Front.program
+                  with
+                  | Error e -> respond_error t ~id (Protocol.Engine e)
+                  | Ok o ->
+                      let result =
+                        Json.to_string
+                          (Protocol.source_result ~spec
+                             ~kernel:
+                               source.Front.program.Iolb_ir.Program.name
+                             ~hourglasses o)
+                      in
+                      if budget.fault = None && o.Derive.degradation = None
+                      then Lru.add t.cache key result;
+                      respond_ok t ~id ~op:"source" result))))
   | Protocol.Eval { kernel; m; n; s; empirical; budget } -> (
       match Report.find_checked kernel with
       | Error e -> respond_error t ~id (Protocol.Engine e)
@@ -389,7 +437,8 @@ let handle_line t conn line =
             (respond_ok t ~id ~op:"shutdown"
                (Json.to_string (Json.Obj [ ("stopping", Json.Bool true) ])));
           request_stop t
-      | Protocol.Analyze _ | Protocol.Eval _ | Protocol.Crash ->
+      | Protocol.Analyze _ | Protocol.Source _ | Protocol.Eval _
+      | Protocol.Crash ->
           (* Admission control: the queue either takes the request or the
              client is told to back off now - the queue cannot grow
              beyond its capacity and the reader never blocks. *)

@@ -32,5 +32,6 @@ let () =
       ("serve", Test_serve.suite);
       ("lemma-empirical", Test_lemma_empirical.suite);
       ("check", Test_check.suite);
+      ("front", Test_front.suite);
       ("fuzz", Test_fuzz.suite);
     ]
